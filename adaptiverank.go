@@ -1,0 +1,307 @@
+// Package adaptiverank is an adaptive document-ranking library for
+// scalable information extraction, reproducing Barrio, Simões, Galhardas,
+// and Gravano, "Learning to Rank Adaptively for Scalable Information
+// Extraction" (EDBT 2015).
+//
+// Given a document collection and an already-trained, black-box
+// information extraction system, the library prioritizes the documents
+// most likely to yield tuples so that most of the extraction output is
+// obtained after processing a small fraction of the collection. The
+// ranking model (RSVM-IE, an online pairwise RankSVM with elastic-net
+// in-training feature selection, or BAgg-IE, a bagged committee of online
+// linear SVMs) learns continuously from extraction outcomes, and an
+// update-detection policy (Mod-C, Top-K, Wind-F, or Feat-S) decides when
+// re-ranking the remaining documents pays off.
+//
+// Quick start:
+//
+//	coll, _ := adaptiverank.GenerateCorpus(42, 5000) // or bring your own documents
+//	ex := adaptiverank.BuiltinExtractor(adaptiverank.NaturalDisasterLocation)
+//	res, err := adaptiverank.Run(coll, ex, adaptiverank.Options{})
+//
+// See the examples directory for complete programs.
+package adaptiverank
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"adaptiverank/internal/corpus"
+	"adaptiverank/internal/extract"
+	"adaptiverank/internal/pipeline"
+	"adaptiverank/internal/ranking"
+	"adaptiverank/internal/relation"
+	"adaptiverank/internal/sampling"
+	"adaptiverank/internal/textgen"
+	"adaptiverank/internal/update"
+)
+
+// Document is one text document of a collection.
+type Document = corpus.Document
+
+// DocID identifies a document within a collection.
+type DocID = corpus.DocID
+
+// Collection is an ordered document set.
+type Collection = corpus.Collection
+
+// Tuple is one extracted fact.
+type Tuple = relation.Tuple
+
+// Relation identifies one of the built-in extraction tasks.
+type Relation = relation.Relation
+
+// The built-in extraction tasks of the paper's Table 1.
+const (
+	PersonOrganization      = relation.PO
+	DiseaseOutbreak         = relation.DO
+	PersonCareer            = relation.PC
+	NaturalDisasterLocation = relation.ND
+	ManMadeDisasterLocation = relation.MD
+	PersonCharge            = relation.PH
+	ElectionWinner          = relation.EW
+)
+
+// Extractor is the black-box information extraction system interface: any
+// already-trained system that maps a document to tuples can be plugged in.
+type Extractor = extract.Extractor
+
+// BuiltinExtractor returns the trained built-in extraction system for one
+// of the seven Table 1 relations.
+func BuiltinExtractor(rel Relation) Extractor { return extract.Get(rel) }
+
+// funcExtractor adapts a plain extraction function to the Extractor
+// interface.
+type funcExtractor struct {
+	rel  Relation
+	cost time.Duration
+	fn   func(d *Document) []Tuple
+}
+
+func (f *funcExtractor) Relation() Relation           { return f.rel }
+func (f *funcExtractor) SimulatedCost() time.Duration { return f.cost }
+func (f *funcExtractor) Extract(d *Document) []Tuple  { return f.fn(d) }
+
+// NewExtractor wraps a user-supplied extraction function as an Extractor,
+// so any black-box IE system can be plugged into the ranking pipeline.
+// rel labels the produced tuples (reuse the closest built-in relation or
+// any Relation value); cost is the per-document CPU cost used by the
+// time-accounting reports.
+func NewExtractor(rel Relation, cost time.Duration, fn func(d *Document) []Tuple) Extractor {
+	return &funcExtractor{rel: rel, cost: cost, fn: fn}
+}
+
+// NewCollection wraps documents (ids are assigned by position).
+func NewCollection(docs []*Document) *Collection { return corpus.NewCollection(docs) }
+
+// GenerateCorpus generates a synthetic news-style collection with planted
+// relations for all seven built-in tasks (see internal/textgen).
+func GenerateCorpus(seed int64, numDocs int) (*Collection, error) {
+	if numDocs <= 0 {
+		return nil, fmt.Errorf("adaptiverank: numDocs must be positive, got %d", numDocs)
+	}
+	coll, _ := textgen.Generate(textgen.DefaultConfig(seed, numDocs))
+	return coll, nil
+}
+
+// Strategy selects the ranking model.
+type Strategy int
+
+// Available ranking strategies.
+const (
+	// RSVMIE is the paper's best performer: online pairwise RankSVM with
+	// elastic-net in-training feature selection.
+	RSVMIE Strategy = iota
+	// BAggIE is the bagged committee of online linear SVM classifiers.
+	BAggIE
+	// RandomOrder processes documents in random order (baseline).
+	RandomOrder
+)
+
+// Detector selects the update-detection policy for adaptive runs.
+type Detector int
+
+// Available update-detection policies.
+const (
+	// ModC compares the live model against a shadow model trained on a
+	// fraction of recent documents (the paper's best policy).
+	ModC Detector = iota
+	// TopK compares top-K feature lists with a weighted footrule.
+	TopK
+	// WindF updates every fixed number of documents.
+	WindF
+	// FeatS is the kernel one-class-SVM feature-shift baseline.
+	FeatS
+	// NoDetector disables adaptation (base, non-adaptive ranking).
+	NoDetector
+)
+
+// Options configures Run. The zero value requests the paper's best
+// configuration: adaptive RSVM-IE with Mod-C update detection.
+type Options struct {
+	// Strategy is the ranking model (default RSVMIE).
+	Strategy Strategy
+	// Detector is the update policy (default ModC; NoDetector disables
+	// adaptation).
+	Detector Detector
+	// SampleSize is the initial random document sample used to train the
+	// first model (default 500, or 10% of the collection if smaller).
+	SampleSize int
+	// MaxDocs stops after processing this many ranked documents
+	// (0 = whole collection).
+	MaxDocs int
+	// Seed drives sampling and stochastic learning (default 1).
+	Seed int64
+	// Workers sets the number of goroutines used to score pending
+	// documents during (re-)ranking; 0 uses GOMAXPROCS. The resulting
+	// ranking is identical to a sequential run.
+	Workers int
+}
+
+// Result reports an extraction run.
+type Result struct {
+	// Tuples are all distinct tuples extracted, in discovery order.
+	Tuples []Tuple
+	// DocsProcessed counts processed documents (sample + ranked phase).
+	DocsProcessed int
+	// UsefulFound counts processed documents that yielded tuples.
+	UsefulFound int
+	// Updates counts model updates performed during the run.
+	Updates int
+	// RankingOverhead is the measured CPU time spent ranking, training,
+	// and detecting updates (everything except extraction itself).
+	RankingOverhead time.Duration
+	// Order is the ranked-phase processing order.
+	Order []DocID
+}
+
+// liveOracle runs the user's extractor lazily as documents are processed
+// and accumulates the extraction output.
+type liveOracle struct {
+	ex     Extractor
+	seen   map[Tuple]bool
+	tuples []Tuple
+	useful int
+	docs   int
+}
+
+func (o *liveOracle) Label(d *Document) (bool, []Tuple) {
+	ts := o.ex.Extract(d)
+	o.docs++
+	if len(ts) > 0 {
+		o.useful++
+	}
+	for _, t := range ts {
+		if !o.seen[t] {
+			o.seen[t] = true
+			o.tuples = append(o.tuples, t)
+		}
+	}
+	return len(ts) > 0, ts
+}
+
+func (o *liveOracle) TotalUseful() (int, bool) { return 0, false }
+
+// workers resolves the worker-count option.
+func workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run executes adaptive ranked extraction over the collection with the
+// given black-box extractor.
+func Run(coll *Collection, ex Extractor, opts Options) (*Result, error) {
+	if coll == nil || coll.Len() == 0 {
+		return nil, fmt.Errorf("adaptiverank: empty collection")
+	}
+	if ex == nil {
+		return nil, fmt.Errorf("adaptiverank: nil extractor")
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.SampleSize == 0 {
+		opts.SampleSize = 500
+		if tenth := coll.Len() / 10; tenth < opts.SampleSize {
+			opts.SampleSize = tenth
+		}
+		if opts.SampleSize < 1 {
+			opts.SampleSize = 1
+		}
+	}
+
+	feat := ranking.NewFeaturizer()
+	var ranker ranking.Ranker
+	switch opts.Strategy {
+	case RSVMIE:
+		ranker = ranking.NewRSVMIE(ranking.RSVMOptions{Seed: opts.Seed})
+	case BAggIE:
+		ranker = ranking.NewBAggIE(ranking.BAggOptions{})
+	case RandomOrder:
+		ranker = ranking.NewRandomRanker(opts.Seed)
+	default:
+		return nil, fmt.Errorf("adaptiverank: unknown strategy %d", opts.Strategy)
+	}
+
+	var det update.Detector
+	switch opts.Detector {
+	case ModC:
+		alpha := 5.0
+		if opts.Strategy == BAggIE {
+			alpha = 30
+		}
+		det = update.NewModC(ranker, 0.1, alpha, opts.Seed+100)
+	case TopK:
+		det = update.NewTopK(update.TopKOptions{})
+	case WindF:
+		det = update.NewWindF(coll.Len() / 50)
+	case FeatS:
+		det = update.NewFeatS(update.FeatSOptions{})
+	case NoDetector:
+		det = nil
+	default:
+		return nil, fmt.Errorf("adaptiverank: unknown detector %d", opts.Detector)
+	}
+	if opts.Strategy == RandomOrder {
+		det = nil // adaptation cannot help a random order
+	}
+
+	oracle := &liveOracle{ex: ex, seen: make(map[Tuple]bool)}
+	res, err := pipeline.Run(pipeline.Options{
+		Rel:            ex.Relation(),
+		ExtractionCost: ex.SimulatedCost(),
+		Coll:           coll,
+		Labels:         oracle,
+		Sample:         sampling.SRS(coll, opts.SampleSize, opts.Seed),
+		Strategy:       pipeline.NewLearned(ranker, feat),
+		Detector:       det,
+		Featurizer:     feat,
+		MaxDocs:        opts.MaxDocs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Tuples:          oracle.tuples,
+		DocsProcessed:   oracle.docs,
+		UsefulFound:     oracle.useful,
+		Updates:         len(res.UpdatePositions),
+		RankingOverhead: res.Time.Overhead(),
+		Order:           res.Order,
+	}, nil
+}
+
+// LoadCorpusJSONL reads a collection from a JSON-lines file with one
+// {"title": ..., "text": ...} object per line — the interchange format for
+// bringing your own documents.
+func LoadCorpusJSONL(path string) (*Collection, error) {
+	return corpus.LoadJSONL(path)
+}
+
+// SaveCorpusJSONL writes a collection to a JSON-lines file.
+func SaveCorpusJSONL(path string, c *Collection) error {
+	return corpus.SaveJSONL(path, c)
+}

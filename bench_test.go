@@ -1,0 +1,214 @@
+package adaptiverank_test
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation section (see DESIGN.md §4 for the experiment index). Each
+// BenchmarkTableN / BenchmarkFigureN runs the corresponding experiment at
+// bench scale and reports the regenerated rows/series through the
+// benchmark log, plus headline numbers as custom metrics.
+//
+// Run a single experiment with e.g.
+//
+//	go test -bench=BenchmarkFigure3 -benchtime=1x
+//
+// The full suite (go test -bench=. -benchmem) takes tens of minutes at
+// paper-shape scale; results are cached within the shared environment, so
+// experiments that share configurations (Figure 12 / Table 4) pay once.
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	"adaptiverank/internal/experiments"
+	"adaptiverank/internal/extract"
+	"adaptiverank/internal/learn"
+	"adaptiverank/internal/ranking"
+	"adaptiverank/internal/relation"
+	"adaptiverank/internal/textgen"
+	"adaptiverank/internal/update"
+	"adaptiverank/internal/vector"
+)
+
+var (
+	benchEnvOnce sync.Once
+	benchEnv     *experiments.Env
+)
+
+// env returns the shared bench-scale environment. Set ADAPTIVERANK_BENCH
+// to "test" for a fast smoke-scale pass, and ADAPTIVERANK_RUNS to override
+// the repetitions per configuration.
+func env() *experiments.Env {
+	benchEnvOnce.Do(func() {
+		cfg := experiments.DefaultConfig()
+		if os.Getenv("ADAPTIVERANK_BENCH") == "test" {
+			cfg = experiments.TestConfig()
+		}
+		if r, err := strconv.Atoi(os.Getenv("ADAPTIVERANK_RUNS")); err == nil && r > 0 {
+			cfg.Runs = r
+		}
+		benchEnv = experiments.NewEnv(cfg)
+	})
+	return benchEnv
+}
+
+// runExperiment executes one suite item once per benchmark iteration and
+// logs the rendered output.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := experiments.RunSuite(env(), &buf, id); err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + buf.String())
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B)          { runExperiment(b, "table1") }
+func BenchmarkFigure3(b *testing.B)         { runExperiment(b, "figure3") }
+func BenchmarkFigure4(b *testing.B)         { runExperiment(b, "figure4") }
+func BenchmarkFigure5(b *testing.B)         { runExperiment(b, "figure5") }
+func BenchmarkFigure6(b *testing.B)         { runExperiment(b, "figure6") }
+func BenchmarkFigure7(b *testing.B)         { runExperiment(b, "figure7") }
+func BenchmarkTable2(b *testing.B)          { runExperiment(b, "table2") }
+func BenchmarkFigure8(b *testing.B)         { runExperiment(b, "figure8") }
+func BenchmarkFigure9(b *testing.B)         { runExperiment(b, "figure9") }
+func BenchmarkTable3(b *testing.B)          { runExperiment(b, "table3") }
+func BenchmarkFeatureChurn(b *testing.B)    { runExperiment(b, "churn") }
+func BenchmarkFigure10(b *testing.B)        { runExperiment(b, "figure10") }
+func BenchmarkFigure11(b *testing.B)        { runExperiment(b, "figure11") }
+func BenchmarkTable4(b *testing.B)          { runExperiment(b, "table4") }
+func BenchmarkFigure12(b *testing.B)        { runExperiment(b, "figure12") }
+func BenchmarkFigure13(b *testing.B)        { runExperiment(b, "figure13") }
+func BenchmarkSearchInterface(b *testing.B) { runExperiment(b, "searchiface") }
+
+// --- Component micro-benchmarks -----------------------------------------
+// These measure the primitives whose costs Table 3 and Figure 13 are built
+// from: per-document ranker scoring and learning, per-document update
+// detection, extraction, and corpus generation.
+
+func benchDocs(n int) []vector.Sparse {
+	r := rand.New(rand.NewSource(1))
+	out := make([]vector.Sparse, n)
+	for i := range out {
+		m := make(map[int32]float64)
+		for k := 0; k < 80; k++ {
+			m[int32(r.Intn(20000))] = 1
+		}
+		out[i] = vector.FromCounts(m).Normalize()
+	}
+	return out
+}
+
+func BenchmarkRSVMIELearn(b *testing.B) {
+	docs := benchDocs(512)
+	rk := ranking.NewRSVMIE(ranking.RSVMOptions{Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rk.Learn(docs[i%len(docs)], i%7 == 0)
+	}
+}
+
+func BenchmarkRSVMIEScore(b *testing.B) {
+	docs := benchDocs(512)
+	rk := ranking.NewRSVMIE(ranking.RSVMOptions{Seed: 1})
+	for i := 0; i < 2000; i++ {
+		rk.Learn(docs[i%len(docs)], i%7 == 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rk.Score(docs[i%len(docs)])
+	}
+}
+
+func BenchmarkBAggIELearn(b *testing.B) {
+	docs := benchDocs(512)
+	rk := ranking.NewBAggIE(ranking.BAggOptions{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rk.Learn(docs[i%len(docs)], i%7 == 0)
+	}
+}
+
+func BenchmarkBAggIEScore(b *testing.B) {
+	docs := benchDocs(512)
+	rk := ranking.NewBAggIE(ranking.BAggOptions{})
+	for i := 0; i < 2000; i++ {
+		rk.Learn(docs[i%len(docs)], i%7 == 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rk.Score(docs[i%len(docs)])
+	}
+}
+
+// Per-detector Observe cost: the microscopic version of Table 3.
+func benchDetector(b *testing.B, mk func(live ranking.Ranker) update.Detector) {
+	docs := benchDocs(512)
+	live := ranking.NewRSVMIE(ranking.RSVMOptions{Seed: 2})
+	for i := 0; i < 1000; i++ {
+		live.Learn(docs[i%len(docs)], i%7 == 0)
+	}
+	det := mk(live)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if det.Observe(docs[i%len(docs)], i%7 == 0) {
+			det.Reset()
+		}
+	}
+}
+
+func BenchmarkDetectorWindF(b *testing.B) {
+	benchDetector(b, func(ranking.Ranker) update.Detector { return update.NewWindF(200) })
+}
+
+func BenchmarkDetectorModC(b *testing.B) {
+	benchDetector(b, func(live ranking.Ranker) update.Detector {
+		return update.NewModC(live, 0.1, 5, 3)
+	})
+}
+
+func BenchmarkDetectorTopK(b *testing.B) {
+	benchDetector(b, func(ranking.Ranker) update.Detector {
+		return update.NewTopK(update.TopKOptions{})
+	})
+}
+
+func BenchmarkDetectorFeatS(b *testing.B) {
+	benchDetector(b, func(ranking.Ranker) update.Detector {
+		return update.NewFeatS(update.FeatSOptions{})
+	})
+}
+
+func BenchmarkExtractionPerDocument(b *testing.B) {
+	coll, _ := textgen.Generate(textgen.DefaultConfig(5, 256))
+	for _, rel := range []relation.Relation{relation.ND, relation.PH, relation.PO} {
+		ex := extract.Get(rel)
+		b.Run(rel.Code(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ex.Extract(coll.Docs()[i%coll.Len()])
+			}
+		})
+	}
+}
+
+func BenchmarkCorpusGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		textgen.Generate(textgen.DefaultConfig(int64(i), 1000))
+	}
+}
+
+func BenchmarkSubseqKernel(b *testing.B) {
+	k := learn.NewSubseqKernel(3, 0.75)
+	s := []string{"<arg1>", "was", "charged", "with", "<arg2>", "yesterday"}
+	t := []string{"prosecutors", "accused", "<arg1>", "of", "<arg2>"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Similarity(s, t)
+	}
+}

@@ -1,0 +1,63 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section over the synthetic corpus and prints them in paper
+// order. Use -list to see experiment ids, -run to select a subset, and
+// -scale test|bench to trade fidelity for speed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"adaptiverank/internal/experiments"
+)
+
+func main() {
+	var (
+		scale = flag.String("scale", "bench", "experiment scale: bench (paper-shape) or test (fast smoke)")
+		run   = flag.String("run", "", "comma-separated experiment ids (default: all)")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+		runs  = flag.Int("runs", 0, "override repetitions per configuration")
+		seed  = flag.Int64("seed", 0, "override corpus seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, item := range experiments.Suite() {
+			fmt.Println(item.ID)
+		}
+		return
+	}
+
+	var cfg experiments.Config
+	switch *scale {
+	case "bench":
+		cfg = experiments.DefaultConfig()
+	case "test":
+		cfg = experiments.TestConfig()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -scale %q (want bench or test)\n", *scale)
+		os.Exit(2)
+	}
+	if *runs > 0 {
+		cfg.Runs = *runs
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	var ids []string
+	if *run != "" {
+		ids = strings.Split(*run, ",")
+	}
+
+	start := time.Now()
+	env := experiments.NewEnv(cfg)
+	if err := experiments.RunSuite(env, os.Stdout, ids...); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "completed in %v\n", time.Since(start).Round(time.Second))
+}

@@ -1,0 +1,77 @@
+// Customrelation: plug your own black-box extraction system into the
+// adaptive ranking pipeline via adaptiverank.NewExtractor. The custom
+// system here extracts "organization sponsored something downtown"
+// mentions with a simple pattern — the point is that the ranking layer
+// needs nothing beyond the documents-in/tuples-out contract.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"adaptiverank"
+)
+
+// extractSponsors is the user-supplied black box: it finds sentences of
+// the form "<Org...> sponsored the event downtown" and emits a tuple per
+// sponsoring organization.
+func extractSponsors(d *adaptiverank.Document) []adaptiverank.Tuple {
+	var out []adaptiverank.Tuple
+	for _, sent := range strings.Split(d.Text, ".") {
+		words := strings.Fields(sent)
+		for i, w := range words {
+			if w != "sponsored" || i == 0 {
+				continue
+			}
+			// Organization = capitalized run ending right before the verb.
+			start := i
+			for start > 0 && isCap(words[start-1]) {
+				start--
+			}
+			if start == i {
+				continue
+			}
+			org := strings.Join(words[start:i], " ")
+			out = append(out, adaptiverank.Tuple{
+				Rel:  adaptiverank.PersonOrganization, // cost/label class
+				Arg1: org,
+				Arg2: "event sponsorship",
+			})
+		}
+	}
+	return out
+}
+
+func isCap(w string) bool { return len(w) > 0 && w[0] >= 'A' && w[0] <= 'Z' }
+
+func main() {
+	coll, err := adaptiverank.GenerateCorpus(11, 5000)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ex := adaptiverank.NewExtractor(
+		adaptiverank.PersonOrganization, // closest built-in relation class
+		5*time.Millisecond,              // per-document cost of your system
+		extractSponsors,
+	)
+
+	res, err := adaptiverank.Run(coll, ex, adaptiverank.Options{
+		Strategy: adaptiverank.RSVMIE,
+		Detector: adaptiverank.ModC,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("custom extractor processed %d documents; %d were useful; %d tuples; %d updates\n",
+		res.DocsProcessed, res.UsefulFound, len(res.Tuples), res.Updates)
+	for i, t := range res.Tuples {
+		if i == 5 {
+			break
+		}
+		fmt.Printf("  <%s, %s>\n", t.Arg1, t.Arg2)
+	}
+}

@@ -1,0 +1,3 @@
+module adaptiverank
+
+go 1.22

@@ -1,0 +1,87 @@
+// Package corpus defines the document collection abstraction shared by the
+// generator, the search index, the extractors, and the ranking pipeline.
+// It plays the role of the NYT Annotated Corpus in the paper: a large set
+// of news-style documents partitioned into training, development, and test
+// splits.
+package corpus
+
+import (
+	"fmt"
+
+	"adaptiverank/internal/tokenize"
+)
+
+// DocID identifies a document within one Collection.
+type DocID int32
+
+// Document is a single news-style text document. Tokens caches the
+// lowercase word tokenization of Text (titles are part of Text).
+type Document struct {
+	ID     DocID
+	Title  string
+	Text   string
+	Tokens []string
+}
+
+// Tokenize fills the Tokens cache if it is empty and returns it.
+func (d *Document) Tokenize() []string {
+	if d.Tokens == nil {
+		d.Tokens = tokenize.Words(d.Text)
+	}
+	return d.Tokens
+}
+
+// Collection is an ordered set of documents with O(1) lookup by id.
+type Collection struct {
+	docs []*Document
+}
+
+// NewCollection builds a collection, assigning sequential DocIDs when the
+// documents do not already carry ids matching their position.
+func NewCollection(docs []*Document) *Collection {
+	for i, d := range docs {
+		d.ID = DocID(i)
+	}
+	return &Collection{docs: docs}
+}
+
+// FromDocs wraps an existing document slice as a Collection *without*
+// reassigning ids. Lookup by id is unsupported on such views unless the
+// documents happen to sit at their id positions; use it for iteration-only
+// consumers (e.g. query learning over a subset of another collection).
+func FromDocs(docs []*Document) *Collection {
+	return &Collection{docs: docs}
+}
+
+// Len reports the number of documents.
+func (c *Collection) Len() int { return len(c.docs) }
+
+// Doc returns the document with the given id.
+func (c *Collection) Doc(id DocID) *Document {
+	if int(id) < 0 || int(id) >= len(c.docs) {
+		panic(fmt.Sprintf("corpus: DocID %d out of range [0,%d)", id, len(c.docs)))
+	}
+	return c.docs[id]
+}
+
+// Docs returns the underlying document slice; callers must not mutate it.
+func (c *Collection) Docs() []*Document { return c.docs }
+
+// Prefix returns a view over the first n documents, used by the scalability
+// experiments that evaluate growing subsets of the test collection. The
+// returned collection shares documents (and their ids) with c.
+func (c *Collection) Prefix(n int) *Collection {
+	if n > len(c.docs) {
+		n = len(c.docs)
+	}
+	return &Collection{docs: c.docs[:n]}
+}
+
+// IDs returns the ids of all documents in collection order.
+func (c *Collection) IDs() []DocID {
+	ids := make([]DocID, len(c.docs))
+	for i, d := range c.docs {
+		ids[i] = d.ID
+	}
+	return ids
+}

@@ -1,0 +1,83 @@
+package corpus
+
+import "testing"
+
+func docs(n int) []*Document {
+	out := make([]*Document, n)
+	for i := range out {
+		out[i] = &Document{Title: "t", Text: "Some text here."}
+	}
+	return out
+}
+
+func TestNewCollectionAssignsSequentialIDs(t *testing.T) {
+	c := NewCollection(docs(3))
+	for i, d := range c.Docs() {
+		if d.ID != DocID(i) {
+			t.Errorf("doc %d has ID %d", i, d.ID)
+		}
+	}
+	if c.Len() != 3 {
+		t.Errorf("Len = %d, want 3", c.Len())
+	}
+}
+
+func TestDocLookup(t *testing.T) {
+	c := NewCollection(docs(2))
+	if c.Doc(1) != c.Docs()[1] {
+		t.Error("Doc(1) must return the second document")
+	}
+}
+
+func TestDocOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range DocID")
+		}
+	}()
+	NewCollection(docs(1)).Doc(5)
+}
+
+func TestPrefixSharesDocuments(t *testing.T) {
+	c := NewCollection(docs(5))
+	p := c.Prefix(2)
+	if p.Len() != 2 {
+		t.Fatalf("prefix Len = %d, want 2", p.Len())
+	}
+	if p.Doc(0) != c.Doc(0) {
+		t.Error("prefix must share documents (and ids) with the parent")
+	}
+	if c.Prefix(100).Len() != 5 {
+		t.Error("oversized prefix must clamp to the collection length")
+	}
+}
+
+func TestFromDocsKeepsIDs(t *testing.T) {
+	c := NewCollection(docs(3))
+	view := FromDocs([]*Document{c.Doc(2), c.Doc(0)})
+	if view.Docs()[0].ID != 2 || view.Docs()[1].ID != 0 {
+		t.Error("FromDocs must not renumber documents")
+	}
+}
+
+func TestTokenizeCaches(t *testing.T) {
+	d := &Document{Text: "Alpha beta."}
+	first := d.Tokenize()
+	if len(first) != 2 {
+		t.Fatalf("Tokenize = %v, want 2 tokens", first)
+	}
+	d.Text = "changed completely now"
+	if got := d.Tokenize(); &got[0] != &first[0] {
+		t.Error("Tokenize must return the cached slice")
+	}
+}
+
+func TestIDs(t *testing.T) {
+	c := NewCollection(docs(3))
+	ids := c.IDs()
+	for i, id := range ids {
+		if id != DocID(i) {
+			t.Errorf("IDs[%d] = %d", i, id)
+		}
+	}
+}

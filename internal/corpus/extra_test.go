@@ -1,0 +1,24 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteJSONLEscapes(t *testing.T) {
+	c := NewCollection([]*Document{{Title: "q\"t", Text: "line\nbreak"}})
+	var sb strings.Builder
+	if err := WriteJSONL(&sb, c); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(sb.String(), "\n") != 1 {
+		t.Errorf("JSONL must keep one document per line, got %q", sb.String())
+	}
+	back, err := ReadJSONL(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Doc(0).Text != "line\nbreak" || back.Doc(0).Title != "q\"t" {
+		t.Error("escaping lost content")
+	}
+}

@@ -1,0 +1,80 @@
+package corpus
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// jsonDoc is the JSONL wire format: one object per line with a title and
+// a text body (the id is positional).
+type jsonDoc struct {
+	Title string `json:"title,omitempty"`
+	Text  string `json:"text"`
+}
+
+// ReadJSONL reads a collection from JSON-lines input: one
+// {"title": ..., "text": ...} object per line. Blank lines are skipped.
+// Documents receive sequential ids in input order.
+func ReadJSONL(r io.Reader) (*Collection, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var docs []*Document
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var jd jsonDoc
+		if err := json.Unmarshal(raw, &jd); err != nil {
+			return nil, fmt.Errorf("corpus: line %d: %w", line, err)
+		}
+		if jd.Text == "" {
+			return nil, fmt.Errorf("corpus: line %d: missing \"text\" field", line)
+		}
+		docs = append(docs, &Document{Title: jd.Title, Text: jd.Text})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("corpus: %w", err)
+	}
+	return NewCollection(docs), nil
+}
+
+// WriteJSONL writes the collection as JSON lines.
+func WriteJSONL(w io.Writer, c *Collection) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, d := range c.Docs() {
+		if err := enc.Encode(jsonDoc{Title: d.Title, Text: d.Text}); err != nil {
+			return fmt.Errorf("corpus: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadJSONL reads a collection from a JSONL file.
+func LoadJSONL(path string) (*Collection, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: %w", err)
+	}
+	defer f.Close()
+	return ReadJSONL(f)
+}
+
+// SaveJSONL writes a collection to a JSONL file.
+func SaveJSONL(path string, c *Collection) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("corpus: %w", err)
+	}
+	if err := WriteJSONL(f, c); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,72 @@
+package corpus
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadJSONL(t *testing.T) {
+	in := `{"title":"A","text":"first body"}
+
+{"text":"second body"}
+`
+	c, err := ReadJSONL(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (blank lines skipped)", c.Len())
+	}
+	if c.Doc(0).Title != "A" || c.Doc(0).Text != "first body" {
+		t.Errorf("doc 0 = %+v", c.Doc(0))
+	}
+	if c.Doc(1).ID != 1 {
+		t.Error("ids must be positional")
+	}
+}
+
+func TestReadJSONLErrors(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("not json\n")); err == nil {
+		t.Error("invalid JSON must fail")
+	}
+	if _, err := ReadJSONL(strings.NewReader(`{"title":"x"}` + "\n")); err == nil {
+		t.Error("missing text field must fail")
+	}
+	if _, err := ReadJSONL(strings.NewReader(`{"text":"ok"}` + "\n" + "broken")); err == nil {
+		t.Error("error must carry through later lines")
+	} else if !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("error %q must name the offending line", err)
+	}
+}
+
+func TestJSONLRoundTripFile(t *testing.T) {
+	docs := []*Document{
+		{Title: "t1", Text: "Some text with \"quotes\" and\ttabs."},
+		{Text: "Unicode: Galhardas, Simões."},
+	}
+	c := NewCollection(docs)
+	path := filepath.Join(t.TempDir(), "corpus.jsonl")
+	if err := SaveJSONL(path, c); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadJSONL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != c.Len() {
+		t.Fatalf("round trip lost documents: %d != %d", back.Len(), c.Len())
+	}
+	for i := 0; i < c.Len(); i++ {
+		if back.Doc(DocID(i)).Text != c.Doc(DocID(i)).Text ||
+			back.Doc(DocID(i)).Title != c.Doc(DocID(i)).Title {
+			t.Errorf("doc %d changed in round trip", i)
+		}
+	}
+}
+
+func TestLoadJSONLMissingFile(t *testing.T) {
+	if _, err := LoadJSONL("/nonexistent/nope.jsonl"); err == nil {
+		t.Error("missing file must fail")
+	}
+}

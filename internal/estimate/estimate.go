@@ -1,0 +1,172 @@
+// Package estimate implements the recall- and cost-estimation direction
+// the paper sketches as future work (Section 6): during extraction,
+// calibrate a usefulness probability from the (ranking score, extraction
+// outcome) pairs observed so far, project how many useful documents remain
+// among the pending ones, and estimate the extraction cost needed to reach
+// a target recall — enabling the robust recall/cost trade-off analysis the
+// paper envisions.
+package estimate
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"time"
+)
+
+// Estimator calibrates P(useful | ranking score) with a one-dimensional
+// logistic model fitted by gradient descent over the observed pairs.
+type Estimator struct {
+	scores []float64
+	labels []bool
+	// logistic parameters: P(useful|s) = sigmoid(a*s + b)
+	a, b   float64
+	fitted bool
+}
+
+// New returns an empty estimator.
+func New() *Estimator { return &Estimator{} }
+
+// Observe records one processed document's ranking score and outcome.
+func (e *Estimator) Observe(score float64, useful bool) {
+	e.scores = append(e.scores, score)
+	e.labels = append(e.labels, useful)
+	e.fitted = false
+}
+
+// Observations reports how many pairs have been recorded.
+func (e *Estimator) Observations() int { return len(e.scores) }
+
+// ErrInsufficientData is returned when the estimator has not seen both
+// outcomes yet.
+var ErrInsufficientData = errors.New("estimate: need observations of both outcomes")
+
+// Fit estimates the logistic calibration. It requires at least one useful
+// and one useless observation.
+func (e *Estimator) Fit() error {
+	pos, neg := 0, 0
+	for _, u := range e.labels {
+		if u {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return ErrInsufficientData
+	}
+	// Standardize scores for a well-conditioned fit.
+	mean, std := moments(e.scores)
+	if std == 0 {
+		std = 1
+	}
+	// Gradient descent on the unweighted log-loss: the maximum-likelihood
+	// logistic is probability-calibrated (its expected positive count
+	// matches the observed count), which is exactly what the downstream
+	// remaining-useful projection needs.
+	a, b := 1.0, 0.0
+	lr := 2.0
+	n := float64(len(e.scores))
+	for iter := 0; iter < 2000; iter++ {
+		var ga, gb float64
+		for i, s := range e.scores {
+			z := (s - mean) / std
+			p := sigmoid(a*z + b)
+			y := 0.0
+			if e.labels[i] {
+				y = 1
+			}
+			ga += (p - y) * z
+			gb += (p - y)
+		}
+		a -= lr * ga / n
+		b -= lr * gb / n
+	}
+	// Fold the standardization back into the parameters.
+	e.a = a / std
+	e.b = b - a*mean/std
+	e.fitted = true
+	return nil
+}
+
+// ProbUseful returns the calibrated usefulness probability for a score.
+// Fit must have succeeded.
+func (e *Estimator) ProbUseful(score float64) float64 {
+	return sigmoid(e.a*score + e.b)
+}
+
+// ExpectedUseful sums the calibrated probabilities over pending-document
+// scores: the expected number of useful documents still unprocessed.
+func (e *Estimator) ExpectedUseful(pendingScores []float64) float64 {
+	var sum float64
+	for _, s := range pendingScores {
+		sum += e.ProbUseful(s)
+	}
+	return sum
+}
+
+// Projection is a recall/cost estimate for one target.
+type Projection struct {
+	// TargetRecall is the requested recall over the projected total.
+	TargetRecall float64
+	// Docs is the estimated number of pending documents that must still
+	// be processed (in ranking order) to reach the target.
+	Docs int
+	// Cost is Docs × the per-document extraction cost.
+	Cost time.Duration
+	// Reachable is false when even processing everything falls short of
+	// the target under the projection.
+	Reachable bool
+}
+
+// CostToRecall projects the cost of reaching targetRecall of all useful
+// documents (found so far + expected pending), assuming pending documents
+// are processed in descending-score order. pendingScores may be unsorted.
+func (e *Estimator) CostToRecall(foundUseful int, pendingScores []float64, targetRecall float64, perDoc time.Duration) Projection {
+	scores := append([]float64(nil), pendingScores...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(scores)))
+	expectedRemaining := e.ExpectedUseful(scores)
+	total := float64(foundUseful) + expectedRemaining
+	proj := Projection{TargetRecall: targetRecall}
+	if total <= 0 {
+		proj.Reachable = true
+		return proj
+	}
+	goal := targetRecall*total - float64(foundUseful)
+	if goal <= 0 {
+		proj.Reachable = true
+		return proj
+	}
+	var cum float64
+	for i, s := range scores {
+		cum += e.ProbUseful(s)
+		if cum >= goal {
+			proj.Docs = i + 1
+			proj.Cost = time.Duration(i+1) * perDoc
+			proj.Reachable = true
+			return proj
+		}
+	}
+	proj.Docs = len(scores)
+	proj.Cost = time.Duration(len(scores)) * perDoc
+	proj.Reachable = false
+	return proj
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+func moments(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return mean, math.Sqrt(ss / float64(len(xs)))
+}

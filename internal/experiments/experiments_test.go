@@ -1,0 +1,221 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"adaptiverank/internal/relation"
+)
+
+// testEnv is shared across the integration tests in this package; the
+// environment caches corpora, labels, and run results, so sharing it keeps
+// the suite fast.
+var testEnv = NewEnv(TestConfig())
+
+func TestRunOneBasicSpecs(t *testing.T) {
+	for _, spec := range []Spec{
+		{Rel: relation.PH, Strategy: "RSVM-IE"},
+		{Rel: relation.PH, Strategy: "BAgg-IE", Detector: "Mod-C"},
+		{Rel: relation.PH, Strategy: "FC"},
+		{Rel: relation.PH, Strategy: "Random"},
+		{Rel: relation.PH, Strategy: "Perfect"},
+		{Rel: relation.PH, Strategy: "RSVM-IE", Sampling: "CQS", Detector: "Top-K"},
+	} {
+		res, err := testEnv.RunOne(spec, 0)
+		if err != nil {
+			t.Fatalf("%v: %v", spec, err)
+		}
+		if len(res.Order) == 0 {
+			t.Errorf("%v: empty order", spec)
+		}
+		if res.AUC < 0 || res.AUC > 1 {
+			t.Errorf("%v: AUC = %g", spec, res.AUC)
+		}
+	}
+}
+
+func TestRunOneRejectsUnknownSpecs(t *testing.T) {
+	if _, err := testEnv.RunOne(Spec{Rel: relation.PH, Strategy: "nope"}, 0); err == nil {
+		t.Error("unknown strategy must fail")
+	}
+	if _, err := testEnv.RunOne(Spec{Rel: relation.PH, Strategy: "RSVM-IE", Detector: "nope"}, 0); err == nil {
+		t.Error("unknown detector must fail")
+	}
+	if _, err := testEnv.RunOne(Spec{Rel: relation.PH, Strategy: "RSVM-IE", Sampling: "nope"}, 0); err == nil {
+		t.Error("unknown sampling must fail")
+	}
+}
+
+func TestRunOneCaches(t *testing.T) {
+	spec := Spec{Rel: relation.EW, Strategy: "Random"}
+	a, err := testEnv.RunOne(spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := testEnv.RunOne(spec, 0)
+	if a != b {
+		t.Error("identical (spec, run) must return the cached result")
+	}
+}
+
+func TestPerfectDominatesInAnyExperiment(t *testing.T) {
+	perfect, err := testEnv.RunOne(Spec{Rel: relation.PC, Strategy: "Perfect"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	random, err := testEnv.RunOne(Spec{Rel: relation.PC, Strategy: "Random"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perfect.AUC <= random.AUC {
+		t.Errorf("perfect AUC %.3f <= random AUC %.3f", perfect.AUC, random.AUC)
+	}
+}
+
+func TestTable1Renders(t *testing.T) {
+	tab, err := testEnv.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(relation.All()) {
+		t.Errorf("rows = %d, want %d", len(tab.Rows), len(relation.All()))
+	}
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	out := buf.String()
+	for _, r := range relation.All() {
+		if !strings.Contains(out, r.Code()) {
+			t.Errorf("rendered table missing %s", r.Code())
+		}
+	}
+}
+
+func TestFigure3ShapeSane(t *testing.T) {
+	fig, err := testEnv.Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Lines) != 5 {
+		t.Fatalf("lines = %d, want 5", len(fig.Lines))
+	}
+	perfect := fig.Line("Perfect")
+	random := fig.Line("Random")
+	if perfect == nil || random == nil {
+		t.Fatal("missing reference lines")
+	}
+	// Perfect must dominate random at 20% processed.
+	if fig.At(1, 20) <= fig.At(0, 20) {
+		t.Errorf("perfect@20 %.3f <= random@20 %.3f", fig.At(1, 20), fig.At(0, 20))
+	}
+	// Every curve ends at 1 (full access processes everything).
+	for _, l := range fig.Lines {
+		if l.Y[100] < 0.999 {
+			t.Errorf("%s final recall = %.3f, want 1", l.Name, l.Y[100])
+		}
+	}
+}
+
+func TestFigure9StructureAndWindFTotal(t *testing.T) {
+	tab, err := testEnv.Figure9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 techniques", len(tab.Rows))
+	}
+	if tab.Rows[0][0] != "Wind-F" {
+		t.Fatalf("first row = %q", tab.Rows[0][0])
+	}
+}
+
+func TestRenderFigureIncludesAllLines(t *testing.T) {
+	fig := &Figure{
+		Title: "t", XLabel: "x", YLabel: "y",
+		X:     []float64{0, 50, 100},
+		Lines: []Line{{Name: "curve-a", Y: []float64{0, 0.5, 1}}},
+	}
+	var buf bytes.Buffer
+	fig.Render(&buf)
+	if !strings.Contains(buf.String(), "curve-a") {
+		t.Error("rendered figure missing line name")
+	}
+}
+
+func TestFigureAtInterpolation(t *testing.T) {
+	fig := &Figure{X: []float64{0, 100}, Lines: []Line{{Y: []float64{0, 1}}}}
+	if got := fig.At(0, 50); got != 0.5 {
+		t.Errorf("At(50) = %g, want 0.5", got)
+	}
+	if fig.At(0, -10) != 0 || fig.At(0, 1000) != 1 {
+		t.Error("At must clamp outside the grid")
+	}
+}
+
+func TestSuiteIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, item := range Suite() {
+		if seen[item.ID] {
+			t.Errorf("duplicate suite id %q", item.ID)
+		}
+		seen[item.ID] = true
+	}
+	if len(seen) < 15 {
+		t.Errorf("suite has %d experiments, want >= 15", len(seen))
+	}
+}
+
+func TestSpecName(t *testing.T) {
+	s := Spec{Strategy: "RSVM-IE", Detector: "Mod-C", Sampling: "CQS"}
+	if got := s.Name(); got != "RSVM-IE+Mod-C/CQS" {
+		t.Errorf("Name = %q", got)
+	}
+}
+
+func TestFCRetrieveKScaling(t *testing.T) {
+	if fcRetrieveK(1000) != 40 {
+		t.Errorf("small collections must floor at 40, got %d", fcRetrieveK(1000))
+	}
+	if fcRetrieveK(12000) != 80 {
+		t.Errorf("fcRetrieveK(12000) = %d, want 80", fcRetrieveK(12000))
+	}
+}
+
+func TestExtensionExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	for _, id := range []string{"diversity", "estimate", "ablation"} {
+		var buf bytes.Buffer
+		if err := RunSuite(testEnv, &buf, id); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if buf.Len() == 0 {
+			t.Errorf("%s rendered nothing", id)
+		}
+	}
+}
+
+func TestDiversityRankedAboveRandom(t *testing.T) {
+	tab, err := testEnv.Diversity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(tab.Rows))
+	}
+	// The adaptive ranker must accumulate distinct tuples faster than a
+	// random order at the 25% mark (column 2).
+	var random, rsvm string
+	for _, row := range tab.Rows {
+		switch row[0] {
+		case "Random":
+			random = row[2]
+		case "RSVM-IE+Mod-C":
+			rsvm = row[2]
+		}
+	}
+	if rsvm <= random {
+		t.Errorf("tuple yield @25%%: RSVM %s <= Random %s", rsvm, random)
+	}
+}

@@ -1,0 +1,249 @@
+package experiments
+
+// This file implements the extension experiments beyond the paper's
+// evaluation section: the recall/cost estimation of its future work
+// (Section 6), tuple-yield/diversity characterization (also future work),
+// and ablations of the design choices DESIGN.md calls out.
+
+import (
+	"fmt"
+	"time"
+
+	"adaptiverank/internal/estimate"
+	"adaptiverank/internal/metrics"
+	"adaptiverank/internal/pipeline"
+	"adaptiverank/internal/ranking"
+	"adaptiverank/internal/relation"
+	"adaptiverank/internal/sampling"
+	"adaptiverank/internal/update"
+)
+
+// Diversity characterizes the ranking strategies by the tuples they
+// produce (future work, Section 6): how fast distinct tuples accumulate
+// along the processing order, and the attribute diversity of the early
+// yield.
+func (e *Env) Diversity() (*Table, error) {
+	e.init()
+	rel := relation.PH
+	labels := e.Labels(rel, e.splits.Dev)
+	t := &Table{
+		Title: "Extension: tuple yield and diversity by strategy (Person–Charge, dev)",
+		Header: []string{"Strategy", "Tuples@10%", "Tuples@25%", "Tuples@50%",
+			"Diversity@25%"},
+	}
+	for _, spec := range []Spec{
+		{Rel: rel, Strategy: "Random"},
+		{Rel: rel, Strategy: "FC"},
+		{Rel: rel, Strategy: "RSVM-IE", Detector: "Mod-C"},
+	} {
+		results, err := e.RunAll(spec)
+		if err != nil {
+			return nil, err
+		}
+		var y10, y25, y50, div float64
+		for _, r := range results {
+			tuplesPerDoc := make([][]relation.Tuple, len(r.Order))
+			var quarter []relation.Tuple
+			for i, id := range r.Order {
+				tuplesPerDoc[i] = labels.Tuples(id)
+				if i < len(r.Order)/4 {
+					quarter = append(quarter, tuplesPerDoc[i]...)
+				}
+			}
+			curve := metrics.TupleYieldCurve(tuplesPerDoc)
+			y10 += curve[10]
+			y25 += curve[25]
+			y50 += curve[50]
+			div += metrics.TupleDiversity(metrics.DistinctTuples(quarter))
+		}
+		n := float64(len(results))
+		t.Rows = append(t.Rows, []string{
+			spec.Name(),
+			fmt.Sprintf("%.2f", y10/n), fmt.Sprintf("%.2f", y25/n),
+			fmt.Sprintf("%.2f", y50/n), fmt.Sprintf("%.2f", div/n),
+		})
+	}
+	t.Notes = append(t.Notes, "Tuples@x = fraction of all distinct tuples discovered after processing x% of the ranked documents")
+	return t, nil
+}
+
+// Estimation exercises the future-work recall/cost estimator: after
+// processing 25% of the ranked documents, project the documents (and CPU
+// cost) needed to reach 75% and 90% recall, and compare against the
+// realized numbers from the rest of the run.
+func (e *Env) Estimation() (*Table, error) {
+	e.init()
+	rel := relation.PH
+	coll := e.splits.Dev
+	labels := e.Labels(rel, coll)
+	t := &Table{
+		Title:  "Extension: recall/cost estimation (Person–Charge, RSVM-IE, projection at 5% processed)",
+		Header: []string{"Run", "Target", "Predicted docs", "Actual docs", "Predicted CPU", "Actual CPU"},
+	}
+	for run := 0; run < e.Cfg.Runs; run++ {
+		seed := e.Cfg.Seed + int64(run)*97 + int64(rel)*11
+		feat := ranking.NewFeaturizer()
+		ranker := ranking.NewRSVMIE(ranking.RSVMOptions{Seed: seed})
+		strat := pipeline.NewLearned(ranker, feat)
+		res, err := pipeline.Run(pipeline.Options{
+			Rel: rel, Coll: coll, Labels: labels,
+			Sample:   sampling.SRS(coll, e.Cfg.SampleSize, seed),
+			Strategy: strat, Detector: update.NewModC(ranker, 0.1, 5, seed+5),
+			Featurizer: feat,
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Replay the run: observe the first 5% — early enough that most
+		// useful documents are still pending — then project.
+		cut := len(res.Order) / 20
+		est := estimate.New()
+		found := 0
+		for i := 0; i < cut; i++ {
+			id := res.Order[i]
+			score := ranker.Score(feat.Features(coll.Doc(id)))
+			est.Observe(score, res.OrderLabels[i])
+			if res.OrderLabels[i] {
+				found++
+			}
+		}
+		if err := est.Fit(); err != nil {
+			t.Rows = append(t.Rows, []string{fmt.Sprint(run), "-", "no useful docs in prefix", "-", "-", "-"})
+			continue
+		}
+		pending := make([]float64, 0, len(res.Order)-cut)
+		for _, id := range res.Order[cut:] {
+			pending = append(pending, ranker.Score(feat.Features(coll.Doc(id))))
+		}
+		totalUseful := found
+		for _, u := range res.OrderLabels[cut:] {
+			if u {
+				totalUseful++
+			}
+		}
+		for _, target := range []float64{0.80, 0.95} {
+			proj := est.CostToRecall(found, pending, target, rel.ExtractionCost())
+			actualDocs := actualDocsToRecall(res.OrderLabels, cut, found, totalUseful, target)
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprint(run),
+				fmt.Sprintf("%.0f%%", 100*target),
+				fmt.Sprint(proj.Docs),
+				fmt.Sprint(actualDocs),
+				fmtDur(proj.Cost),
+				fmtDur(time.Duration(actualDocs) * rel.ExtractionCost()),
+			})
+		}
+	}
+	t.Notes = append(t.Notes, "docs counted from the 5% checkpoint onward; the projection uses only information available at the checkpoint")
+	return t, nil
+}
+
+// actualDocsToRecall counts the ranked documents after the checkpoint
+// needed to reach target recall of the true useful total.
+func actualDocsToRecall(labels []bool, cut, found, totalUseful int, target float64) int {
+	goal := int(target*float64(totalUseful)+0.999999) - found
+	if goal <= 0 {
+		return 0
+	}
+	seen := 0
+	for i := cut; i < len(labels); i++ {
+		if labels[i] {
+			seen++
+		}
+		if seen >= goal {
+			return i - cut + 1
+		}
+	}
+	return len(labels) - cut
+}
+
+func fmtDur(d time.Duration) string {
+	return fmt.Sprintf("%.1f min", metrics.Minutes(d))
+}
+
+// Ablations quantifies the design choices of Section 3.1 by toggling them
+// one at a time on the Person–Charge task: the elastic-net mix (pure L2 vs
+// the paper's 0.99 vs heavier L1), the number of stochastic pairs per
+// example, the committee size, and the tuple-attribute feature boost.
+func (e *Env) Ablations() (*Table, error) {
+	e.init()
+	rel := relation.PH
+	coll := e.splits.Dev
+	labels := e.Labels(rel, coll)
+	t := &Table{
+		Title:  "Extension: ablations of the Section 3.1 design choices (Person–Charge, dev, adaptive Mod-C)",
+		Header: []string{"Variant", "AP", "AUC", "Model features", "Train+rank ms/run"},
+	}
+
+	type variant struct {
+		name  string
+		build func(seed int64, feat *ranking.Featurizer) (pipeline.Strategy, ranking.Ranker)
+	}
+	mkRSVM := func(opts ranking.RSVMOptions, plain bool) func(int64, *ranking.Featurizer) (pipeline.Strategy, ranking.Ranker) {
+		return func(seed int64, feat *ranking.Featurizer) (pipeline.Strategy, ranking.Ranker) {
+			o := opts
+			o.Seed = seed
+			r := ranking.NewRSVMIE(o)
+			s := pipeline.NewLearned(r, feat)
+			s.PlainTraining = plain
+			return s, r
+		}
+	}
+	variants := []variant{
+		{"RSVM-IE (paper: λL2=0.99, 4 pairs)", mkRSVM(ranking.RSVMOptions{}, false)},
+		{"RSVM-IE pure L2 (λL2=1.0)", mkRSVM(ranking.RSVMOptions{LambdaL2: 1.0}, false)},
+		{"RSVM-IE heavy L1 (λL2=0.90)", mkRSVM(ranking.RSVMOptions{LambdaL2: 0.90}, false)},
+		{"RSVM-IE 1 pair/example", mkRSVM(ranking.RSVMOptions{PairsPerExample: 1}, false)},
+		{"RSVM-IE 8 pairs/example", mkRSVM(ranking.RSVMOptions{PairsPerExample: 8}, false)},
+		{"RSVM-IE no tuple-attribute boost", mkRSVM(ranking.RSVMOptions{}, true)},
+		{"BAgg-IE 3 members (paper)", func(seed int64, feat *ranking.Featurizer) (pipeline.Strategy, ranking.Ranker) {
+			r := ranking.NewBAggIE(ranking.BAggOptions{})
+			return pipeline.NewLearned(r, feat), r
+		}},
+		{"BAgg-IE 1 member", func(seed int64, feat *ranking.Featurizer) (pipeline.Strategy, ranking.Ranker) {
+			r := ranking.NewBAggIE(ranking.BAggOptions{Members: 1})
+			return pipeline.NewLearned(r, feat), r
+		}},
+		{"BAgg-IE 5 members", func(seed int64, feat *ranking.Featurizer) (pipeline.Strategy, ranking.Ranker) {
+			r := ranking.NewBAggIE(ranking.BAggOptions{Members: 5})
+			return pipeline.NewLearned(r, feat), r
+		}},
+	}
+
+	for _, v := range variants {
+		var aps, aucs []float64
+		var nnz, overheadMS float64
+		for run := 0; run < e.Cfg.Runs; run++ {
+			seed := e.Cfg.Seed + int64(run)*97 + int64(rel)*11
+			feat := ranking.NewFeaturizer()
+			strat, ranker := v.build(seed, feat)
+			alpha := 5.0
+			if ranker.Name() == "BAgg-IE" {
+				alpha = 30
+			}
+			res, err := pipeline.Run(pipeline.Options{
+				Rel: rel, Coll: coll, Labels: labels,
+				Sample:   sampling.SRS(coll, e.Cfg.SampleSize, seed),
+				Strategy: strat, Detector: update.NewModC(ranker, 0.1, alpha, seed+5),
+				Featurizer: feat,
+			})
+			if err != nil {
+				return nil, err
+			}
+			aps = append(aps, 100*res.AP)
+			aucs = append(aucs, 100*res.AUC)
+			if m := ranker.Model(); m != nil {
+				nnz += float64(m.NNZ())
+			}
+			overheadMS += float64(res.Time.Overhead().Milliseconds())
+		}
+		n := float64(e.Cfg.Runs)
+		ap, auc := metrics.Aggregate(aps), metrics.Aggregate(aucs)
+		t.Rows = append(t.Rows, []string{
+			v.name, ap.String(), auc.String(),
+			fmt.Sprintf("%.0f", nnz/n),
+			fmt.Sprintf("%.0f", overheadMS/n),
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,430 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"adaptiverank/internal/metrics"
+	"adaptiverank/internal/pipeline"
+	"adaptiverank/internal/relation"
+)
+
+// pctGrid is the 0..100% x-axis of the recall figures.
+func pctGrid() []float64 {
+	x := make([]float64, 101)
+	for i := range x {
+		x[i] = float64(i)
+	}
+	return x
+}
+
+// recallFigure runs each spec Runs times and aggregates the recall curves.
+func (e *Env) recallFigure(title string, specs []Spec) (*Figure, error) {
+	fig := &Figure{
+		Title:  title,
+		XLabel: "Processed Documents (%)",
+		YLabel: "Average Recall",
+		X:      pctGrid(),
+	}
+	for _, spec := range specs {
+		results, err := e.RunAll(spec)
+		if err != nil {
+			return nil, err
+		}
+		curves := make([][]float64, len(results))
+		for i, r := range results {
+			curves[i] = r.Curve
+		}
+		fig.Lines = append(fig.Lines, Line{Name: spec.Name(), Y: metrics.AggregateCurves(curves)})
+	}
+	return fig, nil
+}
+
+// baseRankerSpecs is the Figure 3/4/5 comparison: base (non-adaptive)
+// ranking strategies against FC, Random, and Perfect, full access.
+func baseRankerSpecs(rel relation.Relation) []Spec {
+	return []Spec{
+		{Rel: rel, Strategy: "Random"},
+		{Rel: rel, Strategy: "Perfect"},
+		{Rel: rel, Strategy: "BAgg-IE"},
+		{Rel: rel, Strategy: "RSVM-IE"},
+		{Rel: rel, Strategy: "FC"},
+	}
+}
+
+// Figure3 reproduces Figure 3: average recall for Person–Charge under the
+// base ranking generation techniques.
+func (e *Env) Figure3() (*Figure, error) {
+	return e.recallFigure("Figure 3: average recall, Person–Charge, base rankers (dev, full access)",
+		baseRankerSpecs(relation.PH))
+}
+
+// Figure4 reproduces Figure 4 (Disease–Outbreak, sparse).
+func (e *Env) Figure4() (*Figure, error) {
+	return e.recallFigure("Figure 4: average recall, Disease–Outbreak, base rankers (dev, full access)",
+		baseRankerSpecs(relation.DO))
+}
+
+// Figure5 reproduces Figure 5 (Person–Career, dense).
+func (e *Env) Figure5() (*Figure, error) {
+	return e.recallFigure("Figure 5: average recall, Person–Career, base rankers (dev, full access)",
+		baseRankerSpecs(relation.PC))
+}
+
+// samplingSpecs is the Figure 6/7 matrix: base vs adaptive × SRS vs CQS.
+func samplingSpecs(rel relation.Relation, strategy string) []Spec {
+	return []Spec{
+		{Rel: rel, Strategy: "Random"},
+		{Rel: rel, Strategy: "Perfect"},
+		{Rel: rel, Strategy: strategy, Sampling: "SRS"},
+		{Rel: rel, Strategy: strategy, Sampling: "CQS"},
+		{Rel: rel, Strategy: strategy, Sampling: "SRS", Detector: "Mod-C"},
+		{Rel: rel, Strategy: strategy, Sampling: "CQS", Detector: "Mod-C"},
+	}
+}
+
+// Figure6 reproduces Figure 6: Man Made Disaster–Location, RSVM-IE, base
+// and adaptive versions under SRS and CQS sampling.
+func (e *Env) Figure6() (*Figure, error) {
+	fig, err := e.recallFigure("Figure 6: average recall, Man Made Disaster–Location, sampling × adaptation, RSVM-IE",
+		samplingSpecs(relation.MD, "RSVM-IE"))
+	if err != nil {
+		return nil, err
+	}
+	relabelSampling(fig)
+	return fig, nil
+}
+
+// Figure7 is the BAgg-IE companion of Figure 6.
+func (e *Env) Figure7() (*Figure, error) {
+	fig, err := e.recallFigure("Figure 7: average recall, Man Made Disaster–Location, sampling × adaptation, BAgg-IE",
+		samplingSpecs(relation.MD, "BAgg-IE"))
+	if err != nil {
+		return nil, err
+	}
+	relabelSampling(fig)
+	return fig, nil
+}
+
+// relabelSampling renames the sampling-matrix lines to the paper's
+// Base/Adaptive nomenclature.
+func relabelSampling(fig *Figure) {
+	for i := range fig.Lines {
+		switch {
+		case i == 2:
+			fig.Lines[i].Name = "Base SRS"
+		case i == 3:
+			fig.Lines[i].Name = "Base CQS"
+		case i == 4:
+			fig.Lines[i].Name = "Adaptive SRS"
+		case i == 5:
+			fig.Lines[i].Name = "Adaptive CQS"
+		}
+	}
+}
+
+// detectorSpecs is the Figure 8 matrix: update-detection techniques with
+// RSVM-IE on Election–Winner, SRS sampling.
+func detectorSpecs(rel relation.Relation) []Spec {
+	return []Spec{
+		{Rel: rel, Strategy: "Random"},
+		{Rel: rel, Strategy: "Perfect"},
+		{Rel: rel, Strategy: "RSVM-IE", Detector: "Wind-F"},
+		{Rel: rel, Strategy: "RSVM-IE", Detector: "Feat-S"},
+		{Rel: rel, Strategy: "RSVM-IE", Detector: "Top-K"},
+		{Rel: rel, Strategy: "RSVM-IE", Detector: "Mod-C"},
+	}
+}
+
+// Figure8 reproduces Figure 8: average recall for Election–Winner under
+// the different update-detection methods.
+func (e *Env) Figure8() (*Figure, error) {
+	return e.recallFigure("Figure 8: average recall, Election–Winner, update detection methods, RSVM-IE",
+		detectorSpecs(relation.EW))
+}
+
+// Figure9 reproduces Figure 9: the distribution of update positions across
+// extraction deciles per update-detection technique.
+func (e *Env) Figure9() (*Table, error) {
+	t := &Table{
+		Title: "Figure 9: distribution of updates over extraction deciles, Election–Winner, RSVM-IE",
+		Header: []string{"Technique", "0-10%", "10-20%", "20-30%", "30-40%", "40-50%",
+			"50-60%", "60-70%", "70-80%", "80-90%", "90-100%", "total"},
+	}
+	for _, det := range []string{"Wind-F", "Feat-S", "Top-K", "Mod-C"} {
+		results, err := e.RunAll(Spec{Rel: relation.EW, Strategy: "RSVM-IE", Detector: det})
+		if err != nil {
+			return nil, err
+		}
+		deciles := make([]float64, 10)
+		var total float64
+		for _, r := range results {
+			n := len(r.Order)
+			if n == 0 {
+				continue
+			}
+			for _, pos := range r.UpdatePositions {
+				d := pos * 10 / (n + 1)
+				if d > 9 {
+					d = 9
+				}
+				deciles[d]++
+				total++
+			}
+		}
+		row := []string{det}
+		for _, c := range deciles {
+			row = append(row, fmt.Sprintf("%.1f", c/float64(len(results))))
+		}
+		row = append(row, fmt.Sprintf("%.1f", total/float64(len(results))))
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes, "cells are average update counts per run in each extraction decile")
+	return t, nil
+}
+
+// Figure10 reproduces Figure 10: CPU time as a function of collection size
+// for different target recall values, Natural Disaster–Location.
+func (e *Env) Figure10() (*Figure, error) {
+	e.init()
+	targets := []float64{0.25, 0.5, 0.75, 1.0}
+	strategies := []string{"BAgg-IE", "RSVM-IE"}
+	sizes := e.prefixSizes()
+	fig := &Figure{
+		Title:  "Figure 10: CPU minutes to reach target recall vs collection size, Natural Disaster–Location",
+		XLabel: "Collection Size (%)",
+		YLabel: "CPU Time (min)",
+	}
+	for _, n := range sizes {
+		fig.X = append(fig.X, 100*float64(n)/float64(e.splits.Test.Len()))
+	}
+	for _, strat := range strategies {
+		curves := make(map[float64][]float64)
+		for _, n := range sizes {
+			results, err := e.RunAll(Spec{
+				Rel: relation.ND, Strategy: strat, Detector: "Mod-C",
+				Test: true, Prefix: n,
+			})
+			if err != nil {
+				return nil, err
+			}
+			for _, target := range targets {
+				var mins float64
+				for _, r := range results {
+					mins += metrics.Minutes(timeToRecall(r, relation.ND, target))
+				}
+				curves[target] = append(curves[target], mins/float64(len(results)))
+			}
+		}
+		for _, target := range targets {
+			fig.Lines = append(fig.Lines, Line{
+				Name: fmt.Sprintf("%s r=%.2f", strat, target),
+				Y:    curves[target],
+			})
+		}
+	}
+	return fig, nil
+}
+
+// prefixSizes returns 10%..100% prefixes of the test split.
+func (e *Env) prefixSizes() []int {
+	n := e.splits.Test.Len()
+	out := make([]int, 0, 10)
+	for p := 1; p <= 10; p++ {
+		out = append(out, n*p/10)
+	}
+	return out
+}
+
+// timeToRecall estimates the CPU time (simulated extraction + measured
+// overhead, prorated over the processed prefix) needed to reach the target
+// recall within one run.
+func timeToRecall(r *pipeline.Result, rel relation.Relation, target float64) time.Duration {
+	n := len(r.OrderLabels)
+	if n == 0 {
+		return 0
+	}
+	// Find the prefix length reaching the target.
+	needed := n
+	var seen, total float64
+	for _, u := range r.OrderLabels {
+		if u {
+			total++
+		}
+	}
+	if total == 0 {
+		return r.Time.Total()
+	}
+	goal := target * total
+	for i, u := range r.OrderLabels {
+		if u {
+			seen++
+		}
+		if seen >= goal {
+			needed = i + 1
+			break
+		}
+	}
+	frac := float64(needed) / float64(n)
+	sim := time.Duration(float64(rel.ExtractionCost()) * float64(needed))
+	sampleSim := time.Duration(float64(rel.ExtractionCost()) * float64(r.SampleSize))
+	overhead := time.Duration(float64(r.Time.Overhead()) * frac)
+	return sim + sampleSim + overhead
+}
+
+// Figure11 reproduces Figure 11: CPU time to find a fixed number of useful
+// documents (the count in the 10% subset), Person–Organization, as a
+// function of collection size.
+func (e *Env) Figure11() (*Figure, error) {
+	e.init()
+	sizes := e.prefixSizes()
+	testLabels := e.Labels(relation.PO, e.splits.Test)
+	target := testLabels.Restrict(sizes[0]).NumUseful()
+	fig := &Figure{
+		Title:  fmt.Sprintf("Figure 11: CPU minutes to find %d useful documents vs collection size, Person–Organization", target),
+		XLabel: "Collection Size (%)",
+		YLabel: "CPU Time (min)",
+	}
+	for _, n := range sizes {
+		fig.X = append(fig.X, 100*float64(n)/float64(e.splits.Test.Len()))
+	}
+	for _, strat := range []string{"BAgg-IE", "RSVM-IE"} {
+		var ys []float64
+		for _, n := range sizes {
+			results, err := e.RunAll(Spec{
+				Rel: relation.PO, Strategy: strat, Detector: "Mod-C",
+				Test: true, Prefix: n,
+			})
+			if err != nil {
+				return nil, err
+			}
+			var mins float64
+			for _, r := range results {
+				mins += metrics.Minutes(timeToUsefulCount(r, relation.PO, target))
+			}
+			ys = append(ys, mins/float64(len(results)))
+		}
+		fig.Lines = append(fig.Lines, Line{Name: strat, Y: ys})
+	}
+	return fig, nil
+}
+
+// timeToUsefulCount estimates CPU time until `target` useful documents have
+// been processed (sample included).
+func timeToUsefulCount(r *pipeline.Result, rel relation.Relation, target int) time.Duration {
+	remaining := target - r.SampleUseful
+	needed := len(r.OrderLabels)
+	if remaining <= 0 {
+		needed = 0
+	} else {
+		seen := 0
+		for i, u := range r.OrderLabels {
+			if u {
+				seen++
+			}
+			if seen >= remaining {
+				needed = i + 1
+				break
+			}
+		}
+	}
+	frac := 0.0
+	if len(r.OrderLabels) > 0 {
+		frac = float64(needed) / float64(len(r.OrderLabels))
+	}
+	sim := time.Duration(float64(rel.ExtractionCost()) * float64(needed+r.SampleSize))
+	return sim + time.Duration(float64(r.Time.Overhead())*frac)
+}
+
+// finalSpecs is the Figure 12 / Table 4 comparison on the test split with
+// the best configuration (CQS sampling, Mod-C update detection).
+func finalSpecs(rel relation.Relation) []Spec {
+	return []Spec{
+		{Rel: rel, Strategy: "Random", Test: true},
+		{Rel: rel, Strategy: "Perfect", Test: true},
+		{Rel: rel, Strategy: "BAgg-IE", Sampling: "CQS", Detector: "Mod-C", Test: true},
+		{Rel: rel, Strategy: "RSVM-IE", Sampling: "CQS", Detector: "Mod-C", Test: true},
+		{Rel: rel, Strategy: "FC", Test: true},
+		{Rel: rel, Strategy: "A-FC", Test: true},
+	}
+}
+
+// Figure12 reproduces Figure 12: test-set recall curves for the sparse
+// Disease–Outbreak (a) and dense Person–Career (b) relations.
+func (e *Env) Figure12() (*Figure, *Figure, error) {
+	a, err := e.recallFigure("Figure 12a: average recall, Disease–Outbreak (test, full access)",
+		finalSpecs(relation.DO))
+	if err != nil {
+		return nil, nil, err
+	}
+	b, err := e.recallFigure("Figure 12b: average recall, Person–Career (test, full access)",
+		finalSpecs(relation.PC))
+	if err != nil {
+		return nil, nil, err
+	}
+	return a, b, nil
+}
+
+// Figure13 reproduces Figure 13: CPU time to reach each recall level for a
+// slow extraction task (ND, a) and a fast one (PO, b).
+func (e *Env) Figure13() (*Figure, *Figure, error) {
+	mk := func(rel relation.Relation, title string) (*Figure, error) {
+		fig := &Figure{
+			Title:  title,
+			XLabel: "Useful Document Recall (%)",
+			YLabel: "CPU Time (min)",
+		}
+		grid := []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+		fig.X = grid
+		for _, spec := range []Spec{
+			{Rel: rel, Strategy: "Random", Test: true},
+			{Rel: rel, Strategy: "BAgg-IE", Sampling: "CQS", Detector: "Mod-C", Test: true},
+			{Rel: rel, Strategy: "RSVM-IE", Sampling: "CQS", Detector: "Mod-C", Test: true},
+			{Rel: rel, Strategy: "FC", Test: true},
+			{Rel: rel, Strategy: "A-FC", Test: true},
+		} {
+			results, err := e.RunAll(spec)
+			if err != nil {
+				return nil, err
+			}
+			ys := make([]float64, len(grid))
+			for gi, g := range grid {
+				var mins float64
+				for _, r := range results {
+					mins += metrics.Minutes(timeToRecall(r, rel, g/100))
+				}
+				ys[gi] = mins / float64(len(results))
+			}
+			fig.Lines = append(fig.Lines, Line{Name: spec.Name(), Y: ys})
+		}
+		return fig, nil
+	}
+	a, err := mk(relation.ND, "Figure 13a: CPU minutes to reach recall, Natural Disaster–Location (6 s/doc extractor)")
+	if err != nil {
+		return nil, nil, err
+	}
+	b, err := mk(relation.PO, "Figure 13b: CPU minutes to reach recall, Person–Organization (0.01 s/doc extractor)")
+	if err != nil {
+		return nil, nil, err
+	}
+	return a, b, nil
+}
+
+// SearchInterface compares base vs adaptive RSVM-IE recall in the
+// search-interface access scenario (Section 4, Document Access), which the
+// paper reports as yielding "similar conclusions".
+func (e *Env) SearchInterface() (*Figure, error) {
+	fig, err := e.recallFigure("Search-interface scenario: average recall, Man Made Disaster–Location, RSVM-IE",
+		[]Spec{
+			{Rel: relation.MD, Strategy: "RSVM-IE", Sampling: "CQS", SearchIface: true},
+			{Rel: relation.MD, Strategy: "RSVM-IE", Sampling: "CQS", Detector: "Mod-C", SearchIface: true},
+		})
+	if err != nil {
+		return nil, err
+	}
+	fig.Lines[0].Name = "Base CQS (search iface)"
+	fig.Lines[1].Name = "Adaptive CQS (search iface)"
+	fig.Notes = append(fig.Notes,
+		"recall denominators count all useful documents in the collection; the pool only grows via queries")
+	return fig, nil
+}

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a rendered experiment result with a header row.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Line is one curve of a figure.
+type Line struct {
+	Name string
+	// Y holds the curve values on the X grid.
+	Y []float64
+}
+
+// Figure is a set of curves on a shared x-grid (the paper's line plots,
+// rendered as a values table plus an ASCII sketch).
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// X is the shared grid (e.g. percent processed 0..100).
+	X     []float64
+	Lines []Line
+	Notes []string
+}
+
+// At interpolates line li of the figure at x.
+func (f *Figure) At(li int, x float64) float64 {
+	xs, ys := f.X, f.Lines[li].Y
+	if len(xs) == 0 {
+		return 0
+	}
+	if x <= xs[0] {
+		return ys[0]
+	}
+	for i := 1; i < len(xs); i++ {
+		if x <= xs[i] {
+			frac := (x - xs[i-1]) / (xs[i] - xs[i-1])
+			return ys[i-1] + frac*(ys[i]-ys[i-1])
+		}
+	}
+	return ys[len(ys)-1]
+}
+
+// Line returns the curve with the given name, or nil.
+func (f *Figure) Line(name string) []float64 {
+	for _, l := range f.Lines {
+		if l.Name == name {
+			return l.Y
+		}
+	}
+	return nil
+}
+
+// Render writes the figure as a values table sampled on (at most) 11 grid
+// points.
+func (f *Figure) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s ==\n", f.Title)
+	fmt.Fprintf(w, "(%s vs %s)\n", f.YLabel, f.XLabel)
+	// Sample up to 11 x positions.
+	step := 1
+	if len(f.X) > 11 {
+		step = (len(f.X) + 10) / 11
+	}
+	var cols []int
+	for i := 0; i < len(f.X); i += step {
+		cols = append(cols, i)
+	}
+	if len(cols) == 0 || cols[len(cols)-1] != len(f.X)-1 {
+		cols = append(cols, len(f.X)-1)
+	}
+	header := []string{pad(f.XLabel+":", 24)}
+	for _, c := range cols {
+		header = append(header, fmt.Sprintf("%8.4g", f.X[c]))
+	}
+	fmt.Fprintln(w, strings.Join(header, " "))
+	for _, l := range f.Lines {
+		row := []string{pad(l.Name, 24)}
+		for _, c := range cols {
+			v := 0.0
+			if c < len(l.Y) {
+				v = l.Y[c]
+			}
+			row = append(row, fmt.Sprintf("%8.3f", v))
+		}
+		fmt.Fprintln(w, strings.Join(row, " "))
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRenderAlignsColumns(t *testing.T) {
+	tab := &Table{
+		Title:  "demo",
+		Header: []string{"A", "LongHeader"},
+		Rows:   [][]string{{"x", "1"}, {"longervalue", "2"}},
+		Notes:  []string{"a note"},
+	}
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "note: a note") {
+		t.Error("missing note")
+	}
+	lines := strings.Split(out, "\n")
+	// Header and separator must have the same column start for col 2.
+	hIdx := strings.Index(lines[1], "LongHeader")
+	sepLine := lines[2]
+	if hIdx < 0 || len(sepLine) <= hIdx || sepLine[hIdx] != '-' {
+		t.Errorf("separator misaligned:\n%s", out)
+	}
+}
+
+func TestFigureRenderSamplesWideGrids(t *testing.T) {
+	fig := &Figure{Title: "wide", XLabel: "x", YLabel: "y"}
+	for i := 0; i <= 100; i++ {
+		fig.X = append(fig.X, float64(i))
+	}
+	ys := make([]float64, 101)
+	fig.Lines = []Line{{Name: "l", Y: ys}}
+	var buf bytes.Buffer
+	fig.Render(&buf)
+	// Must not print all 101 columns.
+	header := strings.SplitN(buf.String(), "\n", 4)[2]
+	if cols := len(strings.Fields(header)); cols > 15 {
+		t.Errorf("rendered %d columns, want a sampled grid", cols)
+	}
+}
+
+func TestPairRendersBoth(t *testing.T) {
+	a := &Table{Title: "first", Header: []string{"h"}}
+	b := &Table{Title: "second", Header: []string{"h"}}
+	var buf bytes.Buffer
+	pair{a, b}.Render(&buf)
+	if !strings.Contains(buf.String(), "first") || !strings.Contains(buf.String(), "second") {
+		t.Error("pair must render both parts")
+	}
+}

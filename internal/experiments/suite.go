@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// Renderable is anything the suite can print.
+type Renderable interface {
+	Render(w io.Writer)
+}
+
+// Item is one named experiment of the suite.
+type Item struct {
+	ID  string
+	Run func(e *Env) (Renderable, error)
+}
+
+// wrap adapts the typed experiment functions to Item signatures.
+func wrapTable(f func(e *Env) (*Table, error)) func(e *Env) (Renderable, error) {
+	return func(e *Env) (Renderable, error) { return f(e) }
+}
+
+func wrapFigure(f func(e *Env) (*Figure, error)) func(e *Env) (Renderable, error) {
+	return func(e *Env) (Renderable, error) { return f(e) }
+}
+
+type pair struct{ a, b Renderable }
+
+func (p pair) Render(w io.Writer) {
+	p.a.Render(w)
+	p.b.Render(w)
+}
+
+// Suite lists every experiment in paper order.
+func Suite() []Item {
+	return []Item{
+		{"table1", wrapTable((*Env).Table1)},
+		{"figure3", wrapFigure((*Env).Figure3)},
+		{"figure4", wrapFigure((*Env).Figure4)},
+		{"figure5", wrapFigure((*Env).Figure5)},
+		{"figure6", wrapFigure((*Env).Figure6)},
+		{"figure7", wrapFigure((*Env).Figure7)},
+		{"table2", wrapTable((*Env).Table2)},
+		{"figure8", wrapFigure((*Env).Figure8)},
+		{"figure9", wrapTable((*Env).Figure9)},
+		{"table3", wrapTable((*Env).Table3)},
+		{"churn", wrapTable((*Env).FeatureChurn)},
+		{"figure10", wrapFigure((*Env).Figure10)},
+		{"figure11", wrapFigure((*Env).Figure11)},
+		{"table4", wrapTable((*Env).Table4)},
+		{"figure12", func(e *Env) (Renderable, error) {
+			a, b, err := e.Figure12()
+			if err != nil {
+				return nil, err
+			}
+			return pair{a, b}, nil
+		}},
+		{"figure13", func(e *Env) (Renderable, error) {
+			a, b, err := e.Figure13()
+			if err != nil {
+				return nil, err
+			}
+			return pair{a, b}, nil
+		}},
+		{"searchiface", wrapFigure((*Env).SearchInterface)},
+		{"diversity", wrapTable((*Env).Diversity)},
+		{"estimate", wrapTable((*Env).Estimation)},
+		{"ablation", wrapTable((*Env).Ablations)},
+	}
+}
+
+// RunSuite executes the named experiments (all when ids is empty) and
+// renders them to w.
+func RunSuite(e *Env, w io.Writer, ids ...string) error {
+	want := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		want[id] = true
+	}
+	for _, item := range Suite() {
+		if len(ids) > 0 && !want[item.ID] {
+			continue
+		}
+		r, err := item.Run(e)
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", item.ID, err)
+		}
+		r.Render(w)
+	}
+	return nil
+}

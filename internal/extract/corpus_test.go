@@ -1,0 +1,96 @@
+package extract
+
+import (
+	"testing"
+
+	"adaptiverank/internal/corpus"
+	"adaptiverank/internal/relation"
+	"adaptiverank/internal/textgen"
+)
+
+// TestCorpusLevelExtractionQuality runs every extraction system over a
+// generated corpus and checks the end-to-end calibration invariants:
+// high recall on extractor-friendly planted documents, and no tuples from
+// unplanted documents (distractors and noise must not fire).
+func TestCorpusLevelExtractionQuality(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus-level extraction is slow")
+	}
+	coll, gt := textgen.Generate(textgen.DefaultConfig(123, 3000))
+	for _, r := range relation.All() {
+		e := Get(r)
+		planted := make(map[corpus.DocID]bool, len(gt.Planted[r]))
+		for _, id := range gt.Planted[r] {
+			planted[id] = true
+		}
+		var easyHit, easyTotal, falsePos int
+		for _, d := range coll.Docs() {
+			useful := Useful(e, d)
+			if useful && !planted[d.ID] {
+				falsePos++
+				if falsePos <= 3 {
+					t.Logf("%s false positive doc %d: %v", r.Code(), d.ID, e.Extract(d))
+				}
+			}
+			if gt.EasyPlanted[r][d.ID] {
+				easyTotal++
+				if useful {
+					easyHit++
+				}
+			}
+		}
+		if falsePos > 0 {
+			t.Errorf("%s: %d unplanted documents produced tuples", r.Code(), falsePos)
+		}
+		if easyTotal == 0 {
+			continue // too sparse at this corpus size
+		}
+		if recall := float64(easyHit) / float64(easyTotal); recall < 0.9 {
+			t.Errorf("%s: easy-planted recall = %.2f (%d/%d), want >= 0.9",
+				r.Code(), recall, easyHit, easyTotal)
+		}
+	}
+}
+
+// TestExtractedTuplesMatchPlanted verifies that when the extractor fires
+// on a planted document, the extracted tuples are (a subset of) the
+// planted ones up to case normalization.
+func TestExtractedTuplesMatchPlanted(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus-level extraction is slow")
+	}
+	coll, gt := textgen.Generate(textgen.DefaultConfig(77, 1500))
+	for _, r := range []relation.Relation{relation.ND, relation.PH, relation.EW} {
+		e := Get(r)
+		checked := 0
+		for _, id := range gt.Planted[r] {
+			wantArgs := map[string]bool{}
+			for _, tu := range gt.Tuples[id] {
+				if tu.Rel == r {
+					wantArgs[normalize(tu.Arg1)] = true
+				}
+			}
+			for _, tu := range e.Extract(coll.Doc(id)) {
+				checked++
+				if !wantArgs[normalize(tu.Arg1)] {
+					t.Errorf("%s doc %d: extracted arg1 %q not planted (planted: %v)",
+						r.Code(), id, tu.Arg1, wantArgs)
+				}
+			}
+		}
+		if checked == 0 {
+			t.Logf("%s: no planted docs at this corpus size (sparse)", r.Code())
+		}
+	}
+}
+
+func normalize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, c := range s {
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		out = append(out, c)
+	}
+	return string(out)
+}

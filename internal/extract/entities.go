@@ -1,0 +1,261 @@
+package extract
+
+import (
+	"strings"
+	"sync"
+	"unicode"
+
+	"adaptiverank/internal/tokenize"
+
+	"adaptiverank/internal/learn"
+	"adaptiverank/internal/relation"
+	"adaptiverank/internal/textgen"
+)
+
+// dictionaryRecognizer matches a phrase gazetteer (case-insensitive,
+// longest match first) against sentence tokens. It is the "dictionaries"
+// entity recognizer of Section 4.
+type dictionaryRecognizer struct {
+	typ     string
+	phrases map[string]bool // lowercase space-joined phrases
+	maxLen  int
+}
+
+func newDictionaryRecognizer(typ string, phrases []string) *dictionaryRecognizer {
+	d := &dictionaryRecognizer{typ: typ, phrases: make(map[string]bool, len(phrases)), maxLen: 1}
+	for _, p := range phrases {
+		toks := strings.Fields(strings.ToLower(p))
+		if len(toks) == 0 {
+			continue
+		}
+		if len(toks) > d.maxLen {
+			d.maxLen = len(toks)
+		}
+		d.phrases[strings.Join(toks, " ")] = true
+	}
+	return d
+}
+
+func (d *dictionaryRecognizer) Type() string { return d.typ }
+
+func (d *dictionaryRecognizer) Recognize(tokens []string) []Span {
+	lower := make([]string, len(tokens))
+	for i, t := range tokens {
+		lower[i] = strings.ToLower(t)
+	}
+	var spans []Span
+	for i := 0; i < len(tokens); {
+		matched := 0
+		for l := d.maxLen; l >= 1; l-- {
+			if i+l > len(tokens) {
+				continue
+			}
+			if d.phrases[strings.Join(lower[i:i+l], " ")] {
+				spans = append(spans, Span{
+					Type: d.typ, Start: i, End: i + l,
+					Text: strings.Join(lower[i:i+l], " "),
+				})
+				matched = l
+				break
+			}
+		}
+		if matched > 0 {
+			i += matched
+		} else {
+			i++
+		}
+	}
+	return spans
+}
+
+// Gazetteer accessors: the extractors' dictionaries come from the same
+// pools the generator draws entities from, modelling real gazetteers
+// compiled from the same domain as the corpus.
+func diseasePhrases() []string  { return textgen.Diseases }
+func careerPhrases() []string   { return textgen.Careers }
+func chargePhrases() []string   { return textgen.Charges }
+func locationPhrases() []string { return textgen.Locations }
+
+// orgRecognizer is the automatically-generated-pattern recognizer for
+// organizations (Whitelaw et al. in the paper): a maximal run of
+// capitalized tokens ending in a known organization suffix.
+type orgRecognizer struct {
+	suffixes map[string]bool
+}
+
+func newOrgRecognizer() *orgRecognizer {
+	o := &orgRecognizer{suffixes: make(map[string]bool, len(textgen.OrgSuffixes))}
+	for _, s := range textgen.OrgSuffixes {
+		o.suffixes[strings.ToLower(s)] = true
+	}
+	return o
+}
+
+func (o *orgRecognizer) Type() string { return "Organization" }
+
+func isCapitalized(tok string) bool {
+	r := []rune(tok)
+	return len(r) > 0 && unicode.IsUpper(r[0])
+}
+
+func (o *orgRecognizer) Recognize(tokens []string) []Span {
+	var spans []Span
+	for i, tok := range tokens {
+		if !o.suffixes[strings.ToLower(tok)] || !isCapitalized(tok) {
+			continue
+		}
+		start := i
+		for start > 0 && isCapitalized(tokens[start-1]) &&
+			!o.suffixes[strings.ToLower(tokens[start-1])] &&
+			!tokenize.IsStopword(strings.ToLower(tokens[start-1])) {
+			start--
+		}
+		if start == i {
+			continue // a bare suffix word is not an organization
+		}
+		spans = append(spans, Span{
+			Type: "Organization", Start: start, End: i + 1,
+			Text: strings.Join(tokens[start:i+1], " "),
+		})
+	}
+	return spans
+}
+
+// temporalRecognizer is the manually-crafted-regular-expression recognizer
+// for temporal expressions: "in <Month>", "in early <Month>",
+// "last <Weekday>".
+type temporalRecognizer struct {
+	months, weekdays map[string]bool
+}
+
+func newTemporalRecognizer() *temporalRecognizer {
+	t := &temporalRecognizer{months: map[string]bool{}, weekdays: map[string]bool{}}
+	for _, m := range []string{"january", "february", "march", "april", "may",
+		"june", "july", "august", "september", "october", "november", "december"} {
+		t.months[m] = true
+	}
+	for _, w := range []string{"monday", "tuesday", "wednesday", "thursday",
+		"friday", "saturday", "sunday"} {
+		t.weekdays[w] = true
+	}
+	return t
+}
+
+func (t *temporalRecognizer) Type() string { return "Temporal" }
+
+func (t *temporalRecognizer) Recognize(tokens []string) []Span {
+	var spans []Span
+	for i := 0; i < len(tokens); i++ {
+		low := strings.ToLower(tokens[i])
+		switch low {
+		case "in":
+			if i+1 < len(tokens) && t.months[strings.ToLower(tokens[i+1])] {
+				spans = append(spans, Span{Type: "Temporal", Start: i, End: i + 2,
+					Text: "in " + tokens[i+1]})
+			} else if i+2 < len(tokens) && strings.ToLower(tokens[i+1]) == "early" &&
+				t.months[strings.ToLower(tokens[i+2])] {
+				spans = append(spans, Span{Type: "Temporal", Start: i, End: i + 3,
+					Text: "in early " + tokens[i+2]})
+			}
+		case "last":
+			if i+1 < len(tokens) && t.weekdays[strings.ToLower(tokens[i+1])] {
+				spans = append(spans, Span{Type: "Temporal", Start: i, End: i + 2,
+					Text: "last " + tokens[i+1]})
+			}
+		}
+	}
+	return spans
+}
+
+// electionRecognizer finds election mentions: "<modifier> (election|race|vote)"
+// noun phrases, per the pattern-based entity recognition style of Section 4.
+type electionRecognizer struct {
+	heads map[string]bool
+}
+
+func newElectionRecognizer() *electionRecognizer {
+	return &electionRecognizer{heads: map[string]bool{"election": true, "race": true, "vote": true}}
+}
+
+func (e *electionRecognizer) Type() string { return "Election" }
+
+func (e *electionRecognizer) Recognize(tokens []string) []Span {
+	var spans []Span
+	for i := 1; i < len(tokens); i++ {
+		if !e.heads[strings.ToLower(tokens[i])] {
+			continue
+		}
+		mod := strings.ToLower(tokens[i-1])
+		if mod == "the" || mod == "a" || mod == "an" || isCapitalized(tokens[i-1]) {
+			continue
+		}
+		spans = append(spans, Span{Type: "Election", Start: i - 1, End: i + 1,
+			Text: mod + " " + strings.ToLower(tokens[i])})
+	}
+	return spans
+}
+
+// taggerRecognizer adapts a BIO sequence tagger into a Recognizer.
+type taggerRecognizer struct {
+	typ string
+	tag func(words []string) []string
+}
+
+func (t *taggerRecognizer) Type() string { return t.typ }
+
+func (t *taggerRecognizer) Recognize(tokens []string) []Span {
+	tags := t.tag(tokens)
+	var spans []Span
+	for i := 0; i < len(tags); {
+		if !strings.HasPrefix(tags[i], "B-") {
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(tags) && tags[j] == "I-"+tags[i][2:] {
+			j++
+		}
+		text := strings.Join(tokens[i:j], " ")
+		if t.typ != "Person" {
+			text = strings.ToLower(text)
+		}
+		spans = append(spans, Span{Type: t.typ, Start: i, End: j, Text: text})
+		i = j
+	}
+	return spans
+}
+
+var (
+	personOnce sync.Once
+	personRec  Recognizer
+
+	disasterOnce [2]sync.Once
+	disasterRec  [2]Recognizer
+)
+
+// personHMM returns the shared HMM-based Person recognizer, trained once on
+// deterministic synthetic labelled sentences.
+func personHMM() Recognizer {
+	personOnce.Do(func() {
+		sents, tags := personTrainingData(4000, 11)
+		hmm := learn.TrainHMM(sents, tags)
+		personRec = &taggerRecognizer{typ: "Person", tag: hmm.Tag}
+	})
+	return personRec
+}
+
+// disasterTagger returns the shared perceptron-based disaster mention
+// recognizer for ND or MD (the MEMM/CRF stand-ins of Section 4).
+func disasterTagger(rel relation.Relation) Recognizer {
+	idx := 0
+	typ := "NaturalDisaster"
+	if rel == relation.MD {
+		idx, typ = 1, "ManMadeDisaster"
+	}
+	disasterOnce[idx].Do(func() {
+		sents, tags := disasterTrainingData(rel, 3000, 13+int64(idx))
+		p := learn.TrainPerceptron(sents, tags, 4)
+		disasterRec[idx] = &taggerRecognizer{typ: typ, tag: p.Tag}
+	})
+	return disasterRec[idx]
+}

@@ -1,0 +1,194 @@
+// Package extract implements the information extraction systems of the
+// paper's experimental setting (Section 4): entity recognizers of several
+// model families (dictionary, pattern, supervised HMM, structured
+// perceptron) combined with relation extractors (distance-based, linear
+// SVM, subsequence-kernel nearest-exemplar). Each relation in Table 1 gets
+// the system mix the paper describes. The ranking layer treats every
+// extractor as an already-trained black box, exactly as in the paper.
+package extract
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"adaptiverank/internal/corpus"
+	"adaptiverank/internal/relation"
+	"adaptiverank/internal/tokenize"
+)
+
+// Span is an entity mention: token interval [Start, End) in a sentence.
+type Span struct {
+	Type  string
+	Start int
+	End   int
+	Text  string
+}
+
+// Recognizer finds entity mentions of one type in a tokenized sentence.
+type Recognizer interface {
+	// Recognize returns the spans found in the (case-preserving) tokens.
+	Recognize(tokens []string) []Span
+	// Type names the entity type this recognizer produces.
+	Type() string
+}
+
+// Extractor is the black-box information extraction system interface the
+// ranking pipeline consumes: documents in, tuples out, plus the simulated
+// per-document CPU cost of the underlying system.
+type Extractor interface {
+	Relation() relation.Relation
+	Extract(d *corpus.Document) []relation.Tuple
+	SimulatedCost() time.Duration
+}
+
+// Useful reports whether the extractor produces at least one tuple for d —
+// the paper's definition of a useful document.
+func Useful(e Extractor, d *corpus.Document) bool {
+	return len(e.Extract(d)) > 0
+}
+
+// pairClassifier decides whether a candidate (arg1, arg2) span pair in a
+// sentence expresses the relation.
+type pairClassifier interface {
+	classify(tokens []string, arg1, arg2 Span) bool
+}
+
+// sentenceExtractor is the shared implementation: recognize arg1 and arg2
+// entities per sentence, classify every cross pair, dedupe tuples.
+type sentenceExtractor struct {
+	rel        relation.Relation
+	arg1, arg2 Recognizer
+	classifier pairClassifier
+}
+
+func (e *sentenceExtractor) Relation() relation.Relation { return e.rel }
+
+func (e *sentenceExtractor) SimulatedCost() time.Duration { return e.rel.ExtractionCost() }
+
+func (e *sentenceExtractor) Extract(d *corpus.Document) []relation.Tuple {
+	seen := make(map[relation.Tuple]bool)
+	var out []relation.Tuple
+	for _, sent := range tokenize.Sentences(d.Text) {
+		tokens := tokenize.WordsCased(sent)
+		if len(tokens) == 0 {
+			continue
+		}
+		a1 := e.arg1.Recognize(tokens)
+		if len(a1) == 0 {
+			continue
+		}
+		a2 := e.arg2.Recognize(tokens)
+		if len(a2) == 0 {
+			continue
+		}
+		for _, s1 := range a1 {
+			for _, s2 := range a2 {
+				if spansOverlap(s1, s2) {
+					continue
+				}
+				if !e.classifier.classify(tokens, s1, s2) {
+					continue
+				}
+				t := relation.Tuple{Rel: e.rel, Arg1: s1.Text, Arg2: s2.Text}
+				if !seen[t] {
+					seen[t] = true
+					out = append(out, t)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Arg1 != out[j].Arg1 {
+			return out[i].Arg1 < out[j].Arg1
+		}
+		return out[i].Arg2 < out[j].Arg2
+	})
+	return out
+}
+
+func spansOverlap(a, b Span) bool {
+	return a.Start < b.End && b.Start < a.End
+}
+
+var (
+	registry   sync.Map // relation.Relation -> *sync.Once + Extractor
+	registryMu sync.Mutex
+	extractors = map[relation.Relation]Extractor{}
+)
+
+// Get returns the trained extraction system for rel, constructing (and
+// training) it on first use. Construction is deterministic, so repeated
+// processes build identical extractors.
+func Get(rel relation.Relation) Extractor {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if e, ok := extractors[rel]; ok {
+		return e
+	}
+	e := build(rel)
+	extractors[rel] = e
+	return e
+}
+
+// build assembles the per-relation system mix of Section 4.
+func build(rel relation.Relation) Extractor {
+	switch rel {
+	case relation.PO:
+		// HMM person NER + pattern organization NER + SVM relation
+		// classifier.
+		return &sentenceExtractor{
+			rel:        rel,
+			arg1:       personHMM(),
+			arg2:       newOrgRecognizer(),
+			classifier: newPOSVM(),
+		}
+	case relation.DO:
+		// Dictionary disease NER + pattern temporal NER +
+		// distance-based relation predictor.
+		return &sentenceExtractor{
+			rel:        rel,
+			arg1:       newDictionaryRecognizer("Disease", diseasePhrases()),
+			arg2:       newTemporalRecognizer(),
+			classifier: distanceClassifier{maxGap: 8},
+		}
+	case relation.PC:
+		return &sentenceExtractor{
+			rel:        rel,
+			arg1:       personHMM(),
+			arg2:       newDictionaryRecognizer("Career", careerPhrases()),
+			classifier: kernelClassifier(rel),
+		}
+	case relation.ND:
+		// Perceptron (MEMM stand-in) disaster NER + location gazetteer +
+		// subsequence-kernel relation classifier.
+		return &sentenceExtractor{
+			rel:        rel,
+			arg1:       disasterTagger(relation.ND),
+			arg2:       newDictionaryRecognizer("Location", locationPhrases()),
+			classifier: kernelClassifier(rel),
+		}
+	case relation.MD:
+		return &sentenceExtractor{
+			rel:        rel,
+			arg1:       disasterTagger(relation.MD),
+			arg2:       newDictionaryRecognizer("Location", locationPhrases()),
+			classifier: kernelClassifier(rel),
+		}
+	case relation.PH:
+		return &sentenceExtractor{
+			rel:        rel,
+			arg1:       personHMM(),
+			arg2:       newDictionaryRecognizer("Charge", chargePhrases()),
+			classifier: kernelClassifier(rel),
+		}
+	case relation.EW:
+		return &sentenceExtractor{
+			rel:        rel,
+			arg1:       newElectionRecognizer(),
+			arg2:       personHMM(),
+			classifier: kernelClassifier(rel),
+		}
+	}
+	panic("extract: unknown relation")
+}

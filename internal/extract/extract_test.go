@@ -1,0 +1,230 @@
+package extract
+
+import (
+	"reflect"
+	"testing"
+
+	"adaptiverank/internal/corpus"
+	"adaptiverank/internal/relation"
+)
+
+func doc(text string) *corpus.Document {
+	return &corpus.Document{Text: text}
+}
+
+func extractText(rel relation.Relation, text string) []relation.Tuple {
+	return Get(rel).Extract(doc(text))
+}
+
+func TestNDEasySentence(t *testing.T) {
+	got := extractText(relation.ND, "A tsunami swept the coast of Hawaii.")
+	want := []relation.Tuple{{Rel: relation.ND, Arg1: "tsunami", Arg2: "hawaii"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Extract = %v, want %v", got, want)
+	}
+}
+
+func TestNDHardSentenceMissed(t *testing.T) {
+	// The hard construction is outside the extractor's competence.
+	if got := extractText(relation.ND, "Residents of Hawaii remembered the tsunami from years past."); len(got) != 0 {
+		t.Errorf("hard construction yielded %v, want none", got)
+	}
+}
+
+func TestNDDistractorRejected(t *testing.T) {
+	// Trigger verb + disaster mention, but no extractable pair.
+	if got := extractText(relation.ND, "The committee swept the proposal over the earthquake debate."); len(got) != 0 {
+		t.Errorf("distractor yielded %v, want none", got)
+	}
+}
+
+func TestNDDoesNotFireOnMDSentence(t *testing.T) {
+	if got := extractText(relation.ND, "A blast demolished Valparaiso on Tuesday."); len(got) != 0 {
+		t.Errorf("ND fired on an MD sentence: %v", got)
+	}
+}
+
+func TestMDEasySentence(t *testing.T) {
+	got := extractText(relation.MD, "A blast demolished Valparaiso on Tuesday.")
+	want := []relation.Tuple{{Rel: relation.MD, Arg1: "blast", Arg2: "valparaiso"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Extract = %v, want %v", got, want)
+	}
+}
+
+func TestMDDoesNotFireOnNDSentence(t *testing.T) {
+	if got := extractText(relation.MD, "A hurricane struck Miami on Monday."); len(got) != 0 {
+		t.Errorf("MD fired on an ND sentence: %v", got)
+	}
+}
+
+func TestDOEasyAndHard(t *testing.T) {
+	got := extractText(relation.DO, "An outbreak of cholera was reported in March.")
+	want := []relation.Tuple{{Rel: relation.DO, Arg1: "cholera", Arg2: "in March"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Extract = %v, want %v", got, want)
+	}
+	hard := "Doctors have studied cholera for decades, and clinics across the region reported steady improvements in testing capacity in March."
+	if got := extractText(relation.DO, hard); len(got) != 0 {
+		t.Errorf("distant disease/temporal pair yielded %v, want none", got)
+	}
+}
+
+func TestDOMultiWordDisease(t *testing.T) {
+	got := extractText(relation.DO, "Cases of yellow fever surged last Tuesday.")
+	if len(got) != 1 || got[0].Arg1 != "yellow fever" {
+		t.Errorf("Extract = %v, want yellow fever tuple", got)
+	}
+}
+
+func TestPHConstructionsAllExtractable(t *testing.T) {
+	// Every easy construction the generator can emit must be within the
+	// extractor's competence (the co-design invariant).
+	cases := []string{
+		"Robert Wilson was charged with fraud yesterday.",
+		"Robert Wilson was indicted on bribery charges.",
+		"Prosecutors accused Robert Wilson of perjury.",
+		"Robert Wilson was convicted of arson in court.",
+		"Robert Wilson was arraigned on larceny charges Monday.",
+		"Robert Wilson pleaded guilty to smuggling in court.",
+		"Robert Wilson faces trial for extortion this term.",
+		"A jury found Robert Wilson guilty of robbery.",
+		"Robert Wilson was sentenced for forgery on Monday.",
+		"Robert Wilson stood trial on conspiracy counts.",
+	}
+	for _, c := range cases {
+		got := extractText(relation.PH, c)
+		if len(got) != 1 {
+			t.Errorf("%q yielded %v, want exactly one tuple", c, got)
+			continue
+		}
+		if got[0].Arg1 != "Robert Wilson" {
+			t.Errorf("%q: arg1 = %q, want Robert Wilson", c, got[0].Arg1)
+		}
+	}
+}
+
+func TestPHHardAndDistractors(t *testing.T) {
+	for _, c := range []string{
+		"Robert Wilson denied any role in the fraud scandal.",
+		"Rumors about Robert Wilson and the alleged bribery circulated widely.",
+		"The editorial charged that the fraud figures were misleading.",
+		"Commentators said the panel accused nothing despite the murder coverage.",
+	} {
+		if got := extractText(relation.PH, c); len(got) != 0 {
+			t.Errorf("%q yielded %v, want none", c, got)
+		}
+	}
+}
+
+func TestEWConstructions(t *testing.T) {
+	cases := []string{
+		"Mary Johnson won the senate race by a wide margin.",
+		"Mary Johnson was declared the winner of the mayoral election.",
+		"Voters chose Mary Johnson as the winner of the presidential election.",
+		"Mary Johnson prevailed in the runoff election on Tuesday.",
+		"Mary Johnson clinched the congressional race late Sunday.",
+	}
+	for _, c := range cases {
+		got := extractText(relation.EW, c)
+		if len(got) != 1 {
+			t.Errorf("%q yielded %v, want one tuple", c, got)
+			continue
+		}
+		if got[0].Arg2 != "Mary Johnson" {
+			t.Errorf("%q: winner = %q, want Mary Johnson", c, got[0].Arg2)
+		}
+	}
+}
+
+func TestEWHardMissed(t *testing.T) {
+	for _, c := range []string{
+		"Mary Johnson conceded defeat in the senate race.",
+		"Mary Johnson campaigned tirelessly before the mayoral election.",
+	} {
+		if got := extractText(relation.EW, c); len(got) != 0 {
+			t.Errorf("%q yielded %v, want none", c, got)
+		}
+	}
+}
+
+func TestPCConstructions(t *testing.T) {
+	for _, c := range []string{
+		"Karen Davis, a veteran senator, spoke at the event.",
+		"Karen Davis works as a surgeon in the city.",
+		"Karen Davis serves as treasurer for the region.",
+		"Karen Davis began a career as a novelist.",
+	} {
+		got := extractText(relation.PC, c)
+		if len(got) != 1 {
+			t.Errorf("%q yielded %v, want one tuple", c, got)
+		}
+	}
+	if got := extractText(relation.PC, "Karen Davis once dreamed of becoming a senator."); len(got) != 0 {
+		t.Errorf("hard PC construction yielded %v", got)
+	}
+}
+
+func TestPOPositiveAndNegative(t *testing.T) {
+	for _, c := range []string{
+		"James Smith joined Meridian Corp as a senior manager.",
+		"Apex Industries named James Smith its new director.",
+		"James Smith works for Summit Holdings downtown.",
+		"James Smith is employed by Vanguard Bank as an analyst.",
+	} {
+		got := extractText(relation.PO, c)
+		if len(got) != 1 {
+			t.Errorf("%q yielded %v, want one tuple", c, got)
+		}
+	}
+	for _, c := range []string{
+		"James Smith criticized Meridian Corp at the hearing.",
+		"James Smith toured the offices of Apex Industries on Friday.",
+		"James Smith sued Summit Holdings over the contract.",
+	} {
+		if got := extractText(relation.PO, c); len(got) != 0 {
+			t.Errorf("%q yielded %v, want none", c, got)
+		}
+	}
+}
+
+func TestExtractDeterministic(t *testing.T) {
+	text := "A tsunami swept the coast of Hawaii. Robert Wilson was charged with fraud yesterday."
+	a := extractText(relation.ND, text)
+	b := extractText(relation.ND, text)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("extraction must be deterministic")
+	}
+}
+
+func TestExtractDeduplicatesTuples(t *testing.T) {
+	text := "A tsunami swept the coast of Hawaii. A tsunami swept the coast of Hawaii."
+	got := extractText(relation.ND, text)
+	if len(got) != 1 {
+		t.Errorf("duplicate sentences yielded %v, want one tuple", got)
+	}
+}
+
+func TestUsefulHelper(t *testing.T) {
+	e := Get(relation.ND)
+	if !Useful(e, doc("A tsunami swept the coast of Hawaii.")) {
+		t.Error("Useful must be true for an extractable document")
+	}
+	if Useful(e, doc("Nothing to see here.")) {
+		t.Error("Useful must be false for an empty extraction")
+	}
+}
+
+func TestSimulatedCostMatchesRelation(t *testing.T) {
+	for _, r := range relation.All() {
+		if Get(r).SimulatedCost() != r.ExtractionCost() {
+			t.Errorf("%s: SimulatedCost != relation cost", r.Code())
+		}
+	}
+}
+
+func TestGetCachesExtractors(t *testing.T) {
+	if Get(relation.PH) != Get(relation.PH) {
+		t.Error("Get must return the cached extractor")
+	}
+}

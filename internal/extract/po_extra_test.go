@@ -1,0 +1,57 @@
+package extract
+
+import (
+	"testing"
+
+	"adaptiverank/internal/relation"
+)
+
+func TestPOAllPositiveConstructionsExtractable(t *testing.T) {
+	cases := []string{
+		"Laura Adams was appointed by Keystone Institute last spring.",
+		"Laura Adams is a spokesman for Falcon Airlines.",
+		"Laura Adams was promoted at Sterling Group twice.",
+		"Laura Adams leads the research team at Orion Laboratories.",
+		"Laura Adams heads the planning office at Crown Foundation.",
+	}
+	for _, c := range cases {
+		got := extractText(relation.PO, c)
+		if len(got) != 1 {
+			t.Errorf("%q yielded %v, want one tuple", c, got)
+			continue
+		}
+		if got[0].Arg1 != "Laura Adams" {
+			t.Errorf("%q: person = %q", c, got[0].Arg1)
+		}
+	}
+}
+
+func TestPONegativeConstructionsRejected(t *testing.T) {
+	for _, c := range []string{
+		"Granite Holdings denied claims made by Laura Adams last week.",
+		"Laura Adams photographed the Apex Industries building downtown.",
+	} {
+		if got := extractText(relation.PO, c); len(got) != 0 {
+			t.Errorf("%q yielded %v, want none", c, got)
+		}
+	}
+}
+
+func TestPOFeatureCountGrows(t *testing.T) {
+	cls := newPOSVM()
+	if cls.FeatureCount() == 0 {
+		t.Error("trained PO classifier must have features")
+	}
+}
+
+func TestSpansOverlapHelper(t *testing.T) {
+	a := Span{Start: 0, End: 2}
+	b := Span{Start: 1, End: 3}
+	c := Span{Start: 2, End: 4}
+	if !spansOverlap(a, b) {
+		t.Error("overlapping spans not detected")
+	}
+	if spansOverlap(a, c) {
+		t.Error("adjacent spans must not overlap")
+	}
+}

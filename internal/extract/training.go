@@ -1,0 +1,255 @@
+package extract
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"adaptiverank/internal/relation"
+	"adaptiverank/internal/textgen"
+)
+
+// This file generates the deterministic labelled training data the
+// machine-learned extractors are built from, standing in for the annotated
+// corpora real NER/relation systems are trained on. The data is drawn from
+// the same entity pools and sentence constructions as the synthetic corpus,
+// which models the realistic situation of extractors trained on in-domain
+// annotations.
+
+func pick(rng *rand.Rand, xs []string) string { return xs[rng.Intn(len(xs))] }
+
+func personName(rng *rand.Rand) []string {
+	return []string{pick(rng, textgen.FirstNames), pick(rng, textgen.LastNames)}
+}
+
+// appendEntity appends entity tokens with B-/I- tags.
+func appendEntity(sent, tags []string, entity []string, typ string) ([]string, []string) {
+	for i, tok := range entity {
+		sent = append(sent, tok)
+		if i == 0 {
+			tags = append(tags, "B-"+typ)
+		} else {
+			tags = append(tags, "I-"+typ)
+		}
+	}
+	return sent, tags
+}
+
+// oTokens appends plain O-tagged tokens (split on spaces).
+func oTokens(sent, tags []string, text string) ([]string, []string) {
+	for _, tok := range strings.Fields(text) {
+		sent = append(sent, tok)
+		tags = append(tags, "O")
+	}
+	return sent, tags
+}
+
+// personTrainingData builds labelled sentences for the HMM person
+// recognizer: person mentions in varied contexts, and O coverage for the
+// other capitalized vocabulary of the corpus (locations, organizations,
+// months, weekdays) so the tagger does not confuse them with names.
+func personTrainingData(n int, seed int64) (sents [][]string, tags [][]string) {
+	rng := rand.New(rand.NewSource(seed))
+	oVocab := make([]string, 0, 512)
+	oVocab = append(oVocab, textgen.Locations...)
+	oVocab = append(oVocab, textgen.OrgCores...)
+	oVocab = append(oVocab, textgen.OrgSuffixes...)
+	// Capitalized filler nouns start many corpus sentences; the tagger
+	// must know them as O so it does not mistake them for names.
+	for _, n := range textgen.FillerNouns {
+		oVocab = append(oVocab, strings.ToUpper(n[:1])+n[1:])
+	}
+	oVocab = append(oVocab, "Commentators", "Prosecutors", "Doctors",
+		"Friends", "Health", "Voters", "Investigators")
+	oVocab = append(oVocab, "January", "February", "March", "April", "May",
+		"June", "July", "August", "September", "October", "November",
+		"December", "Monday", "Tuesday", "Wednesday", "Thursday", "Friday",
+		"Saturday", "Sunday")
+	lowFill := []string{"the", "event", "downtown", "yesterday", "officials",
+		"reported", "gathering", "attended", "spoke", "meeting", "said",
+		"visited", "plans", "about", "with", "committee", "panel"}
+	for i := 0; i < n; i++ {
+		var s, t []string
+		switch rng.Intn(5) {
+		case 0: // no person; O-vocabulary coverage
+			s, t = oTokens(s, t, "The")
+			for k := 0; k < 3+rng.Intn(4); k++ {
+				if rng.Intn(2) == 0 {
+					// Multi-word gazetteer entries ("Los Angeles") must be
+					// split into tokens, as the tagger will see them.
+					s, t = oTokens(s, t, pick(rng, oVocab))
+				} else {
+					s, t = oTokens(s, t, pick(rng, lowFill))
+				}
+			}
+		case 1: // person at sentence start
+			s, t = appendEntity(s, t, personName(rng), "PER")
+			s, t = oTokens(s, t, pick(rng, []string{
+				"attended the gathering downtown",
+				"spoke at the meeting yesterday",
+				"visited the committee last",
+				"was charged with fraud",
+				"works as a senator",
+			}))
+		case 2: // person mid-sentence
+			s, t = oTokens(s, t, pick(rng, []string{
+				"Officials said that", "Reporters asked whether",
+				"The panel thanked", "Prosecutors accused",
+			}))
+			s, t = appendEntity(s, t, personName(rng), "PER")
+			s, t = oTokens(s, t, pick(rng, []string{
+				"of the charges", "about the plans", "at the event", "on Monday",
+			}))
+		case 3: // two persons
+			s, t = appendEntity(s, t, personName(rng), "PER")
+			s, t = oTokens(s, t, "attended the gathering with")
+			s, t = appendEntity(s, t, personName(rng), "PER")
+		default: // person with org context (for the PO pipeline)
+			s, t = appendEntity(s, t, personName(rng), "PER")
+			s, t = oTokens(s, t, "joined")
+			s, t = oTokens(s, t, pick(rng, textgen.OrgCores))
+			s, t = oTokens(s, t, pick(rng, textgen.OrgSuffixes))
+			s, t = oTokens(s, t, "as a senior manager")
+		}
+		sents = append(sents, s)
+		tags = append(tags, t)
+	}
+	return sents, tags
+}
+
+// disasterSubTopics returns the generator sub-topics for rel.
+func disasterSubTopics(rel relation.Relation) []textgen.SubTopic {
+	if rel == relation.MD {
+		return textgen.MDSubTopics
+	}
+	return textgen.NDSubTopics
+}
+
+// disasterTrainingData builds labelled sentences for the perceptron
+// disaster-mention tagger (ND or MD): mentions in trigger contexts, and
+// O coverage of sub-topic vocabulary and locations.
+func disasterTrainingData(rel relation.Relation, n int, seed int64) (sents [][]string, tags [][]string) {
+	rng := rand.New(rand.NewSource(seed))
+	sts := disasterSubTopics(rel)
+	triggers := textgen.NDTriggers
+	if rel == relation.MD {
+		triggers = textgen.MDTriggers
+	}
+	for i := 0; i < n; i++ {
+		st := sts[rng.Intn(len(sts))]
+		var s, t []string
+		switch rng.Intn(7) {
+		case 0: // "A <mention> <trigger> <Location> ..."
+			s, t = oTokens(s, t, "A")
+			s, t = appendEntity(s, t, strings.Fields(pick(rng, st.Mentions)), "DIS")
+			s, t = oTokens(s, t, pick(rng, triggers))
+			s, t = oTokens(s, t, pick(rng, textgen.Locations))
+			s, t = oTokens(s, t, "on Monday")
+		case 4: // "A powerful <mention> <trigger> <Location> early yesterday"
+			s, t = oTokens(s, t, "A powerful")
+			s, t = appendEntity(s, t, strings.Fields(pick(rng, st.Mentions)), "DIS")
+			s, t = oTokens(s, t, pick(rng, triggers))
+			s, t = oTokens(s, t, pick(rng, textgen.Locations))
+			s, t = oTokens(s, t, "early yesterday")
+		case 5: // "A <mention> <trigger> the coast of <Location>"
+			s, t = oTokens(s, t, "A")
+			s, t = appendEntity(s, t, strings.Fields(pick(rng, st.Mentions)), "DIS")
+			s, t = oTokens(s, t, pick(rng, triggers))
+			s, t = oTokens(s, t, "the coast of")
+			s, t = oTokens(s, t, pick(rng, textgen.Locations))
+		case 6: // "The <mention> <trigger> parts of <Location> overnight"
+			s, t = oTokens(s, t, "The")
+			s, t = appendEntity(s, t, strings.Fields(pick(rng, st.Mentions)), "DIS")
+			s, t = oTokens(s, t, pick(rng, triggers))
+			s, t = oTokens(s, t, "parts of")
+			s, t = oTokens(s, t, pick(rng, textgen.Locations))
+			s, t = oTokens(s, t, "overnight")
+		case 1: // "The <mention> left ..." with sub-topic vocabulary as O
+			s, t = oTokens(s, t, "The")
+			s, t = appendEntity(s, t, strings.Fields(pick(rng, st.Mentions)), "DIS")
+			s, t = oTokens(s, t, "left")
+			s, t = oTokens(s, t, pick(rng, st.Words))
+			s, t = oTokens(s, t, "and")
+			s, t = oTokens(s, t, pick(rng, st.Words))
+			s, t = oTokens(s, t, "behind")
+		case 2: // hard-construction coverage
+			s, t = oTokens(s, t, "Residents of")
+			s, t = oTokens(s, t, pick(rng, textgen.Locations))
+			s, t = oTokens(s, t, "remembered the")
+			s, t = appendEntity(s, t, strings.Fields(pick(rng, st.Mentions)), "DIS")
+			s, t = oTokens(s, t, "from years past")
+		default: // pure O sentence with sub-topic words
+			s, t = oTokens(s, t, "Reports of")
+			s, t = oTokens(s, t, pick(rng, st.Words))
+			s, t = oTokens(s, t, "and")
+			s, t = oTokens(s, t, pick(rng, st.Words))
+			s, t = oTokens(s, t, "reached officials by Friday")
+		}
+		sents = append(sents, s)
+		tags = append(tags, t)
+	}
+	return sents, tags
+}
+
+// poTrainingPair is one labelled (person, organization) candidate pair for
+// the PO relation SVM: the full sentence tokens, span positions, and label.
+type poTrainingPair struct {
+	tokens     []string
+	arg1, arg2 Span
+	positive   bool
+}
+
+// poTrainingData builds labelled pairs for the PO relation classifier:
+// positives from affiliation constructions, negatives from non-affiliation
+// co-occurrence constructions.
+func poTrainingData(n int, seed int64) []poTrainingPair {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]poTrainingPair, 0, n)
+	for i := 0; i < n; i++ {
+		per := personName(rng)
+		org := []string{pick(rng, textgen.OrgCores), pick(rng, textgen.OrgSuffixes)}
+		var tokens []string
+		var pSpan, oSpan Span
+		positive := rng.Intn(2) == 0
+		build := func(parts ...any) {
+			for _, p := range parts {
+				switch v := p.(type) {
+				case string:
+					tokens = append(tokens, strings.Fields(v)...)
+				case []string:
+					tokens = append(tokens, v...)
+				}
+			}
+		}
+		mark := func(ent []string) Span {
+			// Find ent's position in tokens (entities are unique here).
+			for k := 0; k+len(ent) <= len(tokens); k++ {
+				match := true
+				for j := range ent {
+					if tokens[k+j] != ent[j] {
+						match = false
+						break
+					}
+				}
+				if match {
+					return Span{Start: k, End: k + len(ent), Text: strings.Join(ent, " ")}
+				}
+			}
+			panic("extract: training entity not found in constructed sentence")
+		}
+		table := textgen.PONegative
+		if positive {
+			table = textgen.POPositive
+		}
+		c := table[rng.Intn(len(table))]
+		sentence := fmt.Sprintf(c.Format, strings.Join(per, " "), strings.Join(org, " "))
+		build(strings.TrimSuffix(sentence, "."))
+		pSpan = mark(per)
+		oSpan = mark(org)
+		pSpan.Type, oSpan.Type = "Person", "Organization"
+		out = append(out, poTrainingPair{tokens: tokens, arg1: pSpan, arg2: oSpan, positive: positive})
+	}
+	// Deterministic shuffle for SGD epochs.
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}

@@ -1,0 +1,27 @@
+package index
+
+import "testing"
+
+func TestSearchAllEqualsUncapped(t *testing.T) {
+	idx := Build(mkColl("lava a", "lava b", "plain"))
+	if len(idx.SearchAll("lava")) != len(idx.Search("lava", 0)) {
+		t.Error("SearchAll must equal Search with k=0")
+	}
+}
+
+func TestBooleanAndEmptyQuery(t *testing.T) {
+	idx := Build(mkColl("something"))
+	if idx.BooleanAnd("the of") != nil {
+		t.Error("stopword-only AND must be empty")
+	}
+}
+
+func TestBuildEmptyCollection(t *testing.T) {
+	idx := Build(mkColl())
+	if idx.Terms() != 0 {
+		t.Error("empty collection must index no terms")
+	}
+	if hits := idx.Search("anything", 5); len(hits) != 0 {
+		t.Error("search over empty index must be empty")
+	}
+}

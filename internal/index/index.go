@@ -1,0 +1,173 @@
+// Package index implements the keyword-search substrate the paper obtains
+// from Lucene: an in-memory inverted index over a document collection with
+// BM25-ranked retrieval and Boolean retrieval. The query-based document
+// selection baselines (QXtract-style sampling, FactCrawl) and the
+// search-interface access scenario are built on it.
+package index
+
+import (
+	"math"
+	"sort"
+	"strings"
+
+	"adaptiverank/internal/corpus"
+	"adaptiverank/internal/tokenize"
+)
+
+// Posting is one (document, term frequency) entry of a postings list.
+type Posting struct {
+	Doc corpus.DocID
+	TF  int32
+}
+
+// Index is an immutable inverted index over one collection.
+type Index struct {
+	coll      *corpus.Collection
+	postings  map[string][]Posting
+	docLen    []int
+	avgDocLen float64
+	k1, b     float64
+}
+
+// Build tokenizes every document and constructs the index. BM25 parameters
+// take the standard defaults k1=1.2, b=0.75.
+func Build(coll *corpus.Collection) *Index {
+	idx := &Index{
+		coll:     coll,
+		postings: make(map[string][]Posting),
+		docLen:   make([]int, coll.Len()),
+		k1:       1.2,
+		b:        0.75,
+	}
+	var total int
+	for _, d := range coll.Docs() {
+		toks := d.Tokenize()
+		idx.docLen[d.ID] = len(toks)
+		total += len(toks)
+		counts := make(map[string]int32, len(toks))
+		for _, t := range toks {
+			if !tokenize.IsStopword(t) {
+				counts[t]++
+			}
+		}
+		for term, tf := range counts {
+			idx.postings[term] = append(idx.postings[term], Posting{Doc: d.ID, TF: tf})
+		}
+	}
+	if coll.Len() > 0 {
+		idx.avgDocLen = float64(total) / float64(coll.Len())
+	}
+	return idx
+}
+
+// Collection returns the indexed collection.
+func (idx *Index) Collection() *corpus.Collection { return idx.coll }
+
+// DocFreq returns the number of documents containing term.
+func (idx *Index) DocFreq(term string) int {
+	return len(idx.postings[strings.ToLower(term)])
+}
+
+// Terms reports the number of distinct indexed terms.
+func (idx *Index) Terms() int { return len(idx.postings) }
+
+// idf is the BM25 inverse document frequency with the usual +0.5 smoothing.
+func (idx *Index) idf(term string) float64 {
+	n := float64(len(idx.postings[term]))
+	N := float64(idx.coll.Len())
+	return math.Log(1 + (N-n+0.5)/(n+0.5))
+}
+
+// Hit is one scored retrieval result.
+type Hit struct {
+	Doc   corpus.DocID
+	Score float64
+}
+
+// parseQuery lowercases and tokenizes a free-text query, dropping
+// stopwords. Multi-word queries behave as disjunctive keyword queries, as
+// with Lucene's default query parser.
+func parseQuery(query string) []string {
+	return tokenize.ContentWords(query)
+}
+
+// Search runs a BM25-ranked disjunctive keyword query and returns the top-k
+// hits (all matches when k <= 0), ordered by descending score with DocID as
+// the deterministic tiebreaker.
+func (idx *Index) Search(query string, k int) []Hit {
+	terms := parseQuery(query)
+	if len(terms) == 0 {
+		return nil
+	}
+	scores := make(map[corpus.DocID]float64)
+	for _, term := range terms {
+		posts := idx.postings[term]
+		if len(posts) == 0 {
+			continue
+		}
+		idf := idx.idf(term)
+		for _, p := range posts {
+			tf := float64(p.TF)
+			dl := float64(idx.docLen[p.Doc])
+			denom := tf + idx.k1*(1-idx.b+idx.b*dl/idx.avgDocLen)
+			scores[p.Doc] += idf * tf * (idx.k1 + 1) / denom
+		}
+	}
+	hits := make([]Hit, 0, len(scores))
+	for doc, s := range scores {
+		hits = append(hits, Hit{Doc: doc, Score: s})
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].Doc < hits[j].Doc
+	})
+	if k > 0 && k < len(hits) {
+		hits = hits[:k]
+	}
+	return hits
+}
+
+// SearchAll is Search with no result cap.
+func (idx *Index) SearchAll(query string) []Hit { return idx.Search(query, 0) }
+
+// BooleanAnd returns the documents containing every query term, in DocID
+// order.
+func (idx *Index) BooleanAnd(query string) []corpus.DocID {
+	terms := parseQuery(query)
+	if len(terms) == 0 {
+		return nil
+	}
+	// Start from the rarest term for efficiency.
+	sort.Slice(terms, func(i, j int) bool {
+		return len(idx.postings[terms[i]]) < len(idx.postings[terms[j]])
+	})
+	base := idx.postings[terms[0]]
+	if len(base) == 0 {
+		return nil
+	}
+	cur := make([]corpus.DocID, len(base))
+	for i, p := range base {
+		cur[i] = p.Doc
+	}
+	for _, term := range terms[1:] {
+		posts := idx.postings[term]
+		set := make(map[corpus.DocID]bool, len(posts))
+		for _, p := range posts {
+			set[p.Doc] = true
+		}
+		w := 0
+		for _, d := range cur {
+			if set[d] {
+				cur[w] = d
+				w++
+			}
+		}
+		cur = cur[:w]
+		if len(cur) == 0 {
+			return nil
+		}
+	}
+	return cur
+}

@@ -1,0 +1,169 @@
+package index
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"adaptiverank/internal/corpus"
+)
+
+func mkColl(texts ...string) *corpus.Collection {
+	docs := make([]*corpus.Document, len(texts))
+	for i, t := range texts {
+		docs[i] = &corpus.Document{Text: t}
+	}
+	return corpus.NewCollection(docs)
+}
+
+func TestDocFreq(t *testing.T) {
+	idx := Build(mkColl(
+		"the earthquake struck hawaii",
+		"the volcano erupted",
+		"earthquake aftershocks continued",
+	))
+	if got := idx.DocFreq("earthquake"); got != 2 {
+		t.Errorf("DocFreq(earthquake) = %d, want 2", got)
+	}
+	if got := idx.DocFreq("the"); got != 0 {
+		t.Errorf("DocFreq(the) = %d, want 0 (stopwords excluded)", got)
+	}
+	if got := idx.DocFreq("EARTHQUAKE"); got != 2 {
+		t.Errorf("DocFreq must be case-insensitive, got %d", got)
+	}
+}
+
+func TestSearchRanksMatchingDocs(t *testing.T) {
+	idx := Build(mkColl(
+		"earthquake earthquake earthquake report",                                           // 0: high tf
+		"earthquake mentioned once in a long text about gardens flowers trees shrubs lawns", // 1
+		"nothing relevant here at all",                                                      // 2
+	))
+	hits := idx.Search("earthquake", 0)
+	if len(hits) != 2 {
+		t.Fatalf("got %d hits, want 2", len(hits))
+	}
+	if hits[0].Doc != 0 {
+		t.Errorf("top hit = doc %d, want doc 0 (higher tf, shorter doc)", hits[0].Doc)
+	}
+	if hits[0].Score <= hits[1].Score {
+		t.Error("hits must be sorted by descending score")
+	}
+}
+
+func TestSearchDisjunctive(t *testing.T) {
+	idx := Build(mkColl(
+		"lava flows",       // 0
+		"ash clouds",       // 1
+		"lava and ash mix", // 2
+		"unrelated text",   // 3
+	))
+	hits := idx.Search("lava ash", 0)
+	if len(hits) != 3 {
+		t.Fatalf("got %d hits, want 3 (disjunctive match)", len(hits))
+	}
+	if hits[0].Doc != 2 {
+		t.Errorf("doc matching both terms must rank first, got doc %d", hits[0].Doc)
+	}
+}
+
+func TestSearchTopK(t *testing.T) {
+	idx := Build(mkColl("x quake", "y quake", "z quake"))
+	if got := len(idx.Search("quake", 2)); got != 2 {
+		t.Errorf("Search with k=2 returned %d hits", got)
+	}
+}
+
+func TestSearchUnknownTerm(t *testing.T) {
+	idx := Build(mkColl("something"))
+	if hits := idx.Search("missingterm", 10); len(hits) != 0 {
+		t.Errorf("unknown term returned %v", hits)
+	}
+	if hits := idx.Search("the of and", 10); len(hits) != 0 {
+		t.Errorf("stopword-only query returned %v", hits)
+	}
+}
+
+func TestBooleanAnd(t *testing.T) {
+	idx := Build(mkColl(
+		"lava ash crater",
+		"lava flows",
+		"ash plume lava",
+	))
+	got := idx.BooleanAnd("lava ash")
+	want := []corpus.DocID{0, 2}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("BooleanAnd = %v, want %v", got, want)
+	}
+	if idx.BooleanAnd("lava missing") != nil {
+		t.Error("AND with an unmatched term must be empty")
+	}
+}
+
+func TestSearchDeterministicTiebreak(t *testing.T) {
+	idx := Build(mkColl("same words here", "same words here"))
+	hits := idx.Search("words", 0)
+	if len(hits) != 2 || hits[0].Doc != 0 || hits[1].Doc != 1 {
+		t.Errorf("equal-score hits must order by DocID, got %v", hits)
+	}
+}
+
+// TestQuickSearchInvariants checks, for random corpora and queries, that
+// hits are sorted, unique, and every hit actually contains a query term.
+func TestQuickSearchInvariants(t *testing.T) {
+	vocab := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta"}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		texts := make([]string, 3+r.Intn(8))
+		for i := range texts {
+			n := 1 + r.Intn(8)
+			words := make([]string, n)
+			for j := range words {
+				words[j] = vocab[r.Intn(len(vocab))]
+			}
+			texts[i] = fmt.Sprint(words)
+		}
+		idx := Build(mkColl(texts...))
+		term := vocab[r.Intn(len(vocab))]
+		hits := idx.Search(term, 0)
+		if !sort.SliceIsSorted(hits, func(i, j int) bool {
+			if hits[i].Score != hits[j].Score {
+				return hits[i].Score > hits[j].Score
+			}
+			return hits[i].Doc < hits[j].Doc
+		}) {
+			return false
+		}
+		seen := map[corpus.DocID]bool{}
+		for _, h := range hits {
+			if seen[h.Doc] {
+				return false
+			}
+			seen[h.Doc] = true
+			found := false
+			for _, tok := range idx.Collection().Doc(h.Doc).Tokenize() {
+				if tok == term {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		// Completeness: DocFreq must equal the number of hits.
+		return len(hits) == idx.DocFreq(term)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTermsCount(t *testing.T) {
+	idx := Build(mkColl("alpha beta", "beta gamma"))
+	if got := idx.Terms(); got != 3 {
+		t.Errorf("Terms = %d, want 3", got)
+	}
+}

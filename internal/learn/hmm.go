@@ -1,0 +1,193 @@
+package learn
+
+import (
+	"math"
+	"strings"
+	"unicode"
+)
+
+// HMMTagger is a supervised first-order hidden Markov model sequence tagger
+// with add-k smoothed transition and emission probabilities and a
+// shape-based back-off for unknown words. It stands in for the HMM named
+// entity recognizer of Ekbal & Bandyopadhyay used for Person recognition in
+// the paper's PO pipeline.
+type HMMTagger struct {
+	states     []string
+	stateIdx   map[string]int
+	trans      [][]float64 // log P(state_j | state_i)
+	start      []float64   // log P(state | <s>)
+	emit       []map[string]float64
+	emitUnk    [][]float64 // log P(shape | state) back-off, indexed by shape
+	vocabulary map[string]bool
+	smoothing  float64
+}
+
+// Word shapes used by the unknown-word back-off.
+const (
+	shapeLower = iota
+	shapeCap
+	shapeUpper
+	shapeDigit
+	shapeOther
+	numShapes
+)
+
+func wordShape(w string) int {
+	if w == "" {
+		return shapeOther
+	}
+	r := []rune(w)
+	allUpper, allDigit := true, true
+	for _, c := range r {
+		if !unicode.IsUpper(c) {
+			allUpper = false
+		}
+		if !unicode.IsDigit(c) {
+			allDigit = false
+		}
+	}
+	switch {
+	case allDigit:
+		return shapeDigit
+	case allUpper && len(r) > 1:
+		return shapeUpper
+	case unicode.IsUpper(r[0]):
+		return shapeCap
+	case unicode.IsLower(r[0]):
+		return shapeLower
+	default:
+		return shapeOther
+	}
+}
+
+// TrainHMM estimates an HMM tagger from labelled sequences. sentences[i]
+// and tags[i] are parallel slices; tag inventories are discovered from the
+// data.
+func TrainHMM(sentences [][]string, tags [][]string) *HMMTagger {
+	h := &HMMTagger{stateIdx: make(map[string]int), vocabulary: make(map[string]bool), smoothing: 0.1}
+	for _, ts := range tags {
+		for _, t := range ts {
+			if _, ok := h.stateIdx[t]; !ok {
+				h.stateIdx[t] = len(h.states)
+				h.states = append(h.states, t)
+			}
+		}
+	}
+	n := len(h.states)
+	transC := make([][]float64, n)
+	emitC := make([]map[string]float64, n)
+	shapeC := make([][]float64, n)
+	startC := make([]float64, n)
+	stateC := make([]float64, n)
+	for i := 0; i < n; i++ {
+		transC[i] = make([]float64, n)
+		emitC[i] = make(map[string]float64)
+		shapeC[i] = make([]float64, numShapes)
+	}
+	for si, sent := range sentences {
+		prev := -1
+		for wi, w := range sent {
+			t := h.stateIdx[tags[si][wi]]
+			lw := strings.ToLower(w)
+			h.vocabulary[lw] = true
+			emitC[t][lw]++
+			shapeC[t][wordShape(w)]++
+			stateC[t]++
+			if prev < 0 {
+				startC[t]++
+			} else {
+				transC[prev][t]++
+			}
+			prev = t
+		}
+	}
+	// Normalize with add-k smoothing into log space.
+	h.trans = make([][]float64, n)
+	h.start = make([]float64, n)
+	h.emit = make([]map[string]float64, n)
+	h.emitUnk = make([][]float64, n)
+	var startTotal float64
+	for i := 0; i < n; i++ {
+		startTotal += startC[i]
+	}
+	k := h.smoothing
+	for i := 0; i < n; i++ {
+		h.start[i] = math.Log((startC[i] + k) / (startTotal + k*float64(n)))
+		h.trans[i] = make([]float64, n)
+		var rowTotal float64
+		for j := 0; j < n; j++ {
+			rowTotal += transC[i][j]
+		}
+		for j := 0; j < n; j++ {
+			h.trans[i][j] = math.Log((transC[i][j] + k) / (rowTotal + k*float64(n)))
+		}
+		h.emit[i] = make(map[string]float64, len(emitC[i]))
+		vocab := float64(len(h.vocabulary))
+		for w, c := range emitC[i] {
+			h.emit[i][w] = math.Log((c + k) / (stateC[i] + k*vocab))
+		}
+		h.emitUnk[i] = make([]float64, numShapes)
+		for s := 0; s < numShapes; s++ {
+			// Reserve one smoothing unit of emission mass for unknown
+			// words, distributed by shape.
+			pUnk := k / (stateC[i] + k*vocab)
+			pShape := (shapeC[i][s] + k) / (stateC[i] + k*numShapes)
+			h.emitUnk[i][s] = math.Log(pUnk * pShape)
+		}
+	}
+	return h
+}
+
+// States returns the tag inventory in discovery order.
+func (h *HMMTagger) States() []string { return h.states }
+
+func (h *HMMTagger) emission(state int, word string) float64 {
+	lw := strings.ToLower(word)
+	if p, ok := h.emit[state][lw]; ok {
+		return p
+	}
+	return h.emitUnk[state][wordShape(word)]
+}
+
+// Tag runs Viterbi decoding and returns the most likely tag sequence.
+func (h *HMMTagger) Tag(words []string) []string {
+	n := len(h.states)
+	if len(words) == 0 || n == 0 {
+		return nil
+	}
+	T := len(words)
+	delta := make([][]float64, T)
+	back := make([][]int, T)
+	for t := 0; t < T; t++ {
+		delta[t] = make([]float64, n)
+		back[t] = make([]int, n)
+	}
+	for s := 0; s < n; s++ {
+		delta[0][s] = h.start[s] + h.emission(s, words[0])
+	}
+	for t := 1; t < T; t++ {
+		for s := 0; s < n; s++ {
+			best, bestPrev := math.Inf(-1), 0
+			for p := 0; p < n; p++ {
+				if v := delta[t-1][p] + h.trans[p][s]; v > best {
+					best, bestPrev = v, p
+				}
+			}
+			delta[t][s] = best + h.emission(s, words[t])
+			back[t][s] = bestPrev
+		}
+	}
+	bestLast := 0
+	for s := 1; s < n; s++ {
+		if delta[T-1][s] > delta[T-1][bestLast] {
+			bestLast = s
+		}
+	}
+	tags := make([]string, T)
+	cur := bestLast
+	for t := T - 1; t >= 0; t-- {
+		tags[t] = h.states[cur]
+		cur = back[t][cur]
+	}
+	return tags
+}

@@ -1,0 +1,139 @@
+// Package learn implements the machine-learning substrate: the online
+// linear SVM with elastic-net regularization (Pegasos gradient steps with a
+// proximal elastic-net shrinkage that performs the paper's in-training
+// feature selection), an online kernelized one-class SVM for the Feat-S
+// baseline, a supervised HMM tagger, an averaged structured perceptron
+// tagger, and a token subsequence kernel.
+package learn
+
+import (
+	"math"
+
+	"adaptiverank/internal/vector"
+)
+
+// ElasticNet holds the regularization parameters of Sections 3.1 and 4:
+// LambdaAll weights the whole regularizer against the loss, and LambdaL2
+// in [0,1] splits it between the L2 term (weight LambdaL2) and the L1 term
+// (weight 1-LambdaL2).
+type ElasticNet struct {
+	LambdaAll float64
+	LambdaL2  float64
+}
+
+// L2Coeff returns the effective L2 regularization constant.
+func (e ElasticNet) L2Coeff() float64 { return e.LambdaAll * e.LambdaL2 }
+
+// L1Coeff returns the effective L1 regularization constant.
+func (e ElasticNet) L1Coeff() float64 { return e.LambdaAll * (1 - e.LambdaL2) }
+
+// OnlineSVM is a linear model trained with Pegasos-style stochastic
+// sub-gradient steps on the hinge loss followed by a proximal elastic-net
+// shrinkage. The L1 component clips small weights to exactly zero, so the
+// model stays sparse as the feature space grows — the in-training feature
+// selection of Section 3.1. With UseBias=false and difference vectors as
+// inputs it is the RSVM-IE pair learner; with UseBias=true it is a BAgg-IE
+// committee member and the Top-K side classifier.
+type OnlineSVM struct {
+	Reg     ElasticNet
+	UseBias bool
+
+	w    *vector.Weights
+	bias float64
+	t    int // gradient steps taken
+}
+
+// NewOnlineSVM returns an untrained model.
+func NewOnlineSVM(reg ElasticNet, useBias bool) *OnlineSVM {
+	return &OnlineSVM{Reg: reg, UseBias: useBias, w: vector.NewWeights()}
+}
+
+// Clone returns a deep copy (used by the Mod-C shadow model).
+func (m *OnlineSVM) Clone() *OnlineSVM {
+	return &OnlineSVM{Reg: m.Reg, UseBias: m.UseBias, w: m.w.Clone(), bias: m.bias, t: m.t}
+}
+
+// Steps reports how many gradient steps the model has taken.
+func (m *OnlineSVM) Steps() int { return m.t }
+
+// Weights exposes the live weight vector; callers must not mutate it.
+func (m *OnlineSVM) Weights() *vector.Weights { return m.w }
+
+// Bias returns the bias term (always 0 when UseBias is false).
+func (m *OnlineSVM) Bias() float64 { return m.bias }
+
+// Margin returns w·x + b.
+func (m *OnlineSVM) Margin(x vector.Sparse) float64 { return m.w.Dot(x) + m.bias }
+
+// Prob returns the logistic-normalized score 1/(1+exp(-(w·x+b))), the
+// committee-member score s(d) of BAgg-IE.
+func (m *OnlineSVM) Prob(x vector.Sparse) float64 {
+	return 1 / (1 + math.Exp(-m.Margin(x)))
+}
+
+// Step performs one online update on example x with label y in {-1,+1}:
+// a Pegasos gradient step on the hinge loss with learning rate
+// eta_t = 1/(lambda*t), followed by the proximal elastic-net shrinkage
+// that decays all weights (L2) and clips them toward zero (L1).
+func (m *OnlineSVM) Step(x vector.Sparse, y float64) {
+	m.t++
+	lambda := m.Reg.L2Coeff()
+	if lambda <= 0 {
+		// Pure-L1 or unregularized corner: fall back to LambdaAll (or 1)
+		// so the learning-rate schedule stays defined.
+		lambda = m.Reg.LambdaAll
+		if lambda <= 0 {
+			lambda = 1
+		}
+	}
+	eta := 1 / (lambda * float64(m.t))
+	if eta > 1 {
+		eta = 1 // keep the first steps bounded
+	}
+
+	if y*m.Margin(x) < 1 { // hinge sub-gradient
+		m.w.AddSparse(eta*y, x)
+		if m.UseBias {
+			m.bias += eta * y
+		}
+	}
+
+	// Proximal elastic-net shrinkage. Each weight first decays
+	// multiplicatively (L2) and is then soft-thresholded (L1); weights
+	// that cross zero are removed from the sparse model.
+	decay := 1 - eta*m.Reg.L2Coeff()
+	if decay < 0 {
+		decay = 0
+	}
+	thresh := eta * m.Reg.L1Coeff()
+	m.shrink(decay, thresh)
+}
+
+// shrink applies w_i <- sign(w_i) * max(0, |w_i|*decay - thresh) to every
+// stored weight.
+func (m *OnlineSVM) shrink(decay, thresh float64) {
+	if decay == 1 && thresh == 0 {
+		return
+	}
+	var drop []int32
+	m.w.Range(func(i int32, v float64) {
+		nv := math.Abs(v)*decay - thresh
+		if nv <= 0 {
+			drop = append(drop, i)
+			return
+		}
+		if v < 0 {
+			nv = -nv
+		}
+		m.w.Set(i, nv)
+	})
+	for _, i := range drop {
+		m.w.Set(i, 0)
+	}
+}
+
+// StepPair performs one stochastic pairwise descent update (RSVM-IE,
+// Section 3.1): a hinge step on w·(useful - useless) >= 1.
+func (m *OnlineSVM) StepPair(useful, useless vector.Sparse) {
+	m.Step(useful.Sub(useless), 1)
+}

@@ -1,0 +1,146 @@
+package learn
+
+import (
+	"strconv"
+	"strings"
+)
+
+// PerceptronTagger is an averaged structured perceptron sequence tagger
+// with greedy left-to-right decoding over lexical, shape, context, and
+// previous-tag features. It stands in for the CRF and MEMM entity
+// recognizers the paper uses for natural-disaster and other entity types.
+type PerceptronTagger struct {
+	tags    []string
+	tagIdx  map[string]int
+	weights map[string][]float64 // feature -> per-tag weights (averaged after training)
+}
+
+// featuresAt extracts the feature strings for position i given the
+// previous predicted tag.
+func featuresAt(words []string, i int, prevTag string) []string {
+	w := words[i]
+	lw := strings.ToLower(w)
+	feats := []string{
+		"w=" + lw,
+		"shape=" + strconv.Itoa(wordShape(w)),
+		"prevtag=" + prevTag,
+		"suf3=" + suffix(lw, 3),
+	}
+	if i > 0 {
+		feats = append(feats, "w-1="+strings.ToLower(words[i-1]))
+	} else {
+		feats = append(feats, "w-1=<s>")
+	}
+	if i+1 < len(words) {
+		feats = append(feats, "w+1="+strings.ToLower(words[i+1]))
+	} else {
+		feats = append(feats, "w+1=</s>")
+	}
+	return feats
+}
+
+func suffix(w string, n int) string {
+	if len(w) <= n {
+		return w
+	}
+	return w[len(w)-n:]
+}
+
+// TrainPerceptron trains an averaged perceptron tagger for the given number
+// of epochs over the labelled sequences. Training is deterministic: epochs
+// iterate the data in order.
+func TrainPerceptron(sentences [][]string, tags [][]string, epochs int) *PerceptronTagger {
+	p := &PerceptronTagger{tagIdx: make(map[string]int), weights: make(map[string][]float64)}
+	for _, ts := range tags {
+		for _, t := range ts {
+			if _, ok := p.tagIdx[t]; !ok {
+				p.tagIdx[t] = len(p.tags)
+				p.tags = append(p.tags, t)
+			}
+		}
+	}
+	n := len(p.tags)
+	totals := make(map[string][]float64) // accumulated weights for averaging
+	stamps := make(map[string][]float64) // last step each weight changed
+	step := 1.0
+	get := func(m map[string][]float64, f string) []float64 {
+		v, ok := m[f]
+		if !ok {
+			v = make([]float64, n)
+			m[f] = v
+		}
+		return v
+	}
+	updateFeat := func(f string, tag int, delta float64) {
+		w := get(p.weights, f)
+		tot := get(totals, f)
+		st := get(stamps, f)
+		tot[tag] += (step - st[tag]) * w[tag]
+		st[tag] = step
+		w[tag] += delta
+	}
+	for e := 0; e < epochs; e++ {
+		for si, sent := range sentences {
+			prev := "<s>"
+			for wi := range sent {
+				feats := featuresAt(sent, wi, prev)
+				pred := p.scoreBest(feats)
+				gold := p.tagIdx[tags[si][wi]]
+				if pred != gold {
+					for _, f := range feats {
+						updateFeat(f, gold, 1)
+						updateFeat(f, pred, -1)
+					}
+				}
+				step++
+				// Teacher forcing: condition on the gold previous tag
+				// during training for stability.
+				prev = tags[si][wi]
+			}
+		}
+	}
+	// Finalize averaging.
+	for f, w := range p.weights {
+		tot := get(totals, f)
+		st := get(stamps, f)
+		for t := 0; t < n; t++ {
+			tot[t] += (step - st[t]) * w[t]
+			w[t] = tot[t] / step
+		}
+	}
+	return p
+}
+
+func (p *PerceptronTagger) scoreBest(feats []string) int {
+	n := len(p.tags)
+	scores := make([]float64, n)
+	for _, f := range feats {
+		if w, ok := p.weights[f]; ok {
+			for t := 0; t < n; t++ {
+				scores[t] += w[t]
+			}
+		}
+	}
+	best := 0
+	for t := 1; t < n; t++ {
+		if scores[t] > scores[best] {
+			best = t
+		}
+	}
+	return best
+}
+
+// Tag decodes greedily left to right.
+func (p *PerceptronTagger) Tag(words []string) []string {
+	out := make([]string, len(words))
+	prev := "<s>"
+	for i := range words {
+		best := p.scoreBest(featuresAt(words, i, prev))
+		out[i] = p.tags[best]
+		prev = out[i]
+	}
+	return out
+}
+
+// Tags returns the tag inventory in discovery order.
+func (p *PerceptronTagger) Tags() []string { return p.tags }

@@ -1,0 +1,43 @@
+package learn
+
+import "testing"
+
+func TestSuffix(t *testing.T) {
+	if suffix("earthquake", 3) != "ake" {
+		t.Error("suffix of long word")
+	}
+	if suffix("ab", 3) != "ab" {
+		t.Error("suffix of short word must be the word")
+	}
+}
+
+func TestFeaturesAtBoundaries(t *testing.T) {
+	words := []string{"Alpha", "beta"}
+	first := featuresAt(words, 0, "<s>")
+	last := featuresAt(words, 1, "O")
+	has := func(fs []string, f string) bool {
+		for _, x := range fs {
+			if x == f {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(first, "w-1=<s>") {
+		t.Errorf("first position must see the sentence-start marker: %v", first)
+	}
+	if !has(last, "w+1=</s>") {
+		t.Errorf("last position must see the sentence-end marker: %v", last)
+	}
+	if !has(first, "prevtag=<s>") || !has(last, "prevtag=O") {
+		t.Error("previous-tag features missing")
+	}
+}
+
+func TestPerceptronEmptyInput(t *testing.T) {
+	sents, tags := tinyNERData(20, 30)
+	p := TrainPerceptron(sents, tags, 1)
+	if got := p.Tag(nil); len(got) != 0 {
+		t.Errorf("Tag(nil) = %v", got)
+	}
+}

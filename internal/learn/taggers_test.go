@@ -1,0 +1,170 @@
+package learn
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"adaptiverank/internal/vector"
+)
+
+// tinyNERData builds labelled sequences over a closed vocabulary: NAME
+// tokens are persons, everything else is O.
+func tinyNERData(n int, seed int64) (sents [][]string, tags [][]string) {
+	rng := rand.New(rand.NewSource(seed))
+	firsts := []string{"Alice", "Bob", "Carol", "Dave"}
+	lasts := []string{"Stone", "Rivers", "Fields"}
+	ctx := []string{"the", "meeting", "was", "short", "yesterday", "officials", "spoke"}
+	for i := 0; i < n; i++ {
+		var s, t []string
+		s = append(s, ctx[rng.Intn(len(ctx))], ctx[rng.Intn(len(ctx))])
+		t = append(t, "O", "O")
+		s = append(s, firsts[rng.Intn(len(firsts))], lasts[rng.Intn(len(lasts))])
+		t = append(t, "B-PER", "I-PER")
+		s = append(s, ctx[rng.Intn(len(ctx))])
+		t = append(t, "O")
+		sents = append(sents, s)
+		tags = append(tags, t)
+	}
+	return sents, tags
+}
+
+func accuracy(tagFn func([]string) []string, sents [][]string, tags [][]string) float64 {
+	var correct, total float64
+	for i, s := range sents {
+		got := tagFn(s)
+		for j := range got {
+			total++
+			if got[j] == tags[i][j] {
+				correct++
+			}
+		}
+	}
+	return correct / total
+}
+
+func TestHMMLearnsTinyNER(t *testing.T) {
+	sents, tags := tinyNERData(300, 1)
+	h := TrainHMM(sents, tags)
+	test, testTags := tinyNERData(50, 2)
+	if acc := accuracy(h.Tag, test, testTags); acc < 0.95 {
+		t.Errorf("HMM accuracy = %.3f, want >= 0.95", acc)
+	}
+	if len(h.States()) != 3 {
+		t.Errorf("States = %v, want 3 tags", h.States())
+	}
+}
+
+func TestHMMUnknownCapitalizedWordBackoff(t *testing.T) {
+	sents, tags := tinyNERData(300, 3)
+	h := TrainHMM(sents, tags)
+	// "Zelda Quorn" never occurs in training; the shape back-off should
+	// still favour PER for capitalized tokens in a name position.
+	got := h.Tag([]string{"the", "meeting", "Zelda", "Quorn", "spoke"})
+	if got[2] != "B-PER" {
+		t.Errorf("unknown capitalized token tagged %q, want B-PER (got %v)", got[2], got)
+	}
+}
+
+func TestHMMEmptyInput(t *testing.T) {
+	sents, tags := tinyNERData(10, 4)
+	h := TrainHMM(sents, tags)
+	if h.Tag(nil) != nil {
+		t.Error("Tag(nil) must be nil")
+	}
+}
+
+func TestPerceptronLearnsTinyNER(t *testing.T) {
+	sents, tags := tinyNERData(300, 5)
+	p := TrainPerceptron(sents, tags, 3)
+	test, testTags := tinyNERData(50, 6)
+	if acc := accuracy(p.Tag, test, testTags); acc < 0.95 {
+		t.Errorf("perceptron accuracy = %.3f, want >= 0.95", acc)
+	}
+	if len(p.Tags()) != 3 {
+		t.Errorf("Tags = %v, want 3", p.Tags())
+	}
+}
+
+func TestPerceptronDeterministic(t *testing.T) {
+	sents, tags := tinyNERData(100, 7)
+	a := TrainPerceptron(sents, tags, 2)
+	b := TrainPerceptron(sents, tags, 2)
+	in := []string{"officials", "Alice", "Stone", "spoke"}
+	if !reflect.DeepEqual(a.Tag(in), b.Tag(in)) {
+		t.Error("training must be deterministic")
+	}
+}
+
+func TestWordShape(t *testing.T) {
+	cases := map[string]int{
+		"hello": shapeLower,
+		"Hello": shapeCap,
+		"USA":   shapeUpper,
+		"1984":  shapeDigit,
+		"":      shapeOther,
+		"'":     shapeOther,
+	}
+	for w, want := range cases {
+		if got := wordShape(w); got != want {
+			t.Errorf("wordShape(%q) = %d, want %d", w, got, want)
+		}
+	}
+}
+
+func TestOneClassSVMLearnsSupport(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	inDist := func() vector.Sparse {
+		return vector.FromCounts(map[int32]float64{
+			int32(rng.Intn(5)): 1, int32(rng.Intn(5)): 1,
+		}).Normalize()
+	}
+	outDist := func() vector.Sparse {
+		return vector.FromCounts(map[int32]float64{
+			int32(100 + rng.Intn(5)): 1, int32(100 + rng.Intn(5)): 1,
+		}).Normalize()
+	}
+	m := NewOneClassSVM(1.0, 0.1, 128)
+	for i := 0; i < 1500; i++ {
+		m.Step(inDist())
+	}
+	if m.SupportSize() == 0 {
+		t.Fatal("one-class model learned no support vectors")
+	}
+	inIn, outIn := 0, 0
+	for i := 0; i < 200; i++ {
+		if m.Inside(inDist()) {
+			inIn++
+		}
+		if m.Inside(outDist()) {
+			outIn++
+		}
+	}
+	if inIn <= outIn {
+		t.Errorf("inside rate: in-dist %d/200 vs out-dist %d/200; model does not separate the support",
+			inIn, outIn)
+	}
+}
+
+func TestOneClassSVMBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := NewOneClassSVM(1.0, 0.5, 16)
+	for i := 0; i < 500; i++ {
+		m.Step(vector.FromCounts(map[int32]float64{int32(rng.Intn(1000)): 1}))
+	}
+	if m.SupportSize() > 16 {
+		t.Errorf("support size %d exceeds budget 16", m.SupportSize())
+	}
+}
+
+func TestOneClassKernelBounds(t *testing.T) {
+	m := NewOneClassSVM(0.5, 0.1, 8)
+	a := vector.FromCounts(map[int32]float64{0: 1})
+	b := vector.FromCounts(map[int32]float64{1: 1})
+	if k := m.Kernel(a, a); k != 1 {
+		t.Errorf("K(a,a) = %g, want 1", k)
+	}
+	if k := m.Kernel(a, b); k <= 0 || k >= 1 {
+		t.Errorf("K(a,b) = %g, want in (0,1)", k)
+	}
+}

@@ -1,0 +1,68 @@
+package metrics
+
+import "adaptiverank/internal/relation"
+
+// This file implements the tuple-level measures sketched in the paper's
+// future work (Section 6): characterizing document ranking approaches by
+// the tuples they produce — how fast distinct tuples accumulate along the
+// processing order, and how diverse they are.
+
+// TupleYieldCurve returns the fraction of all distinct tuples discovered
+// after each prefix of the processing order, sampled on the 0..100% grid.
+// tuplesPerDoc[i] holds the tuples extracted from the i-th processed
+// document.
+func TupleYieldCurve(tuplesPerDoc [][]relation.Tuple) []float64 {
+	n := len(tuplesPerDoc)
+	curve := make([]float64, 101)
+	if n == 0 {
+		return curve
+	}
+	seen := make(map[relation.Tuple]bool)
+	distinctAt := make([]int, n+1)
+	for i, ts := range tuplesPerDoc {
+		for _, t := range ts {
+			seen[t] = true
+		}
+		distinctAt[i+1] = len(seen)
+	}
+	total := len(seen)
+	if total == 0 {
+		return curve
+	}
+	for p := 0; p <= 100; p++ {
+		k := p * n / 100
+		curve[p] = float64(distinctAt[k]) / float64(total)
+	}
+	return curve
+}
+
+// TupleDiversity measures the attribute-value diversity of a tuple set as
+// the mean type–token ratio of the two argument positions: 1 means every
+// tuple contributes fresh attribute values, values near 0 mean the same
+// few entities repeat.
+func TupleDiversity(tuples []relation.Tuple) float64 {
+	if len(tuples) == 0 {
+		return 0
+	}
+	arg1 := make(map[string]bool, len(tuples))
+	arg2 := make(map[string]bool, len(tuples))
+	for _, t := range tuples {
+		arg1[t.Arg1] = true
+		arg2[t.Arg2] = true
+	}
+	n := float64(len(tuples))
+	return (float64(len(arg1))/n + float64(len(arg2))/n) / 2
+}
+
+// DistinctTuples deduplicates a tuple stream preserving first-seen order.
+func DistinctTuples(tuples []relation.Tuple) []relation.Tuple {
+	seen := make(map[relation.Tuple]bool, len(tuples))
+	out := make([]relation.Tuple, 0, len(tuples))
+	for _, t := range tuples {
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	return out
+}

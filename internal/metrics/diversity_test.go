@@ -1,0 +1,69 @@
+package metrics
+
+import (
+	"testing"
+
+	"adaptiverank/internal/relation"
+)
+
+func tup(a, b string) relation.Tuple {
+	return relation.Tuple{Rel: relation.ND, Arg1: a, Arg2: b}
+}
+
+func TestTupleYieldCurve(t *testing.T) {
+	perDoc := [][]relation.Tuple{
+		{tup("a", "x")},
+		{},
+		{tup("a", "x"), tup("b", "y")}, // one repeat, one new
+		{},
+	}
+	c := TupleYieldCurve(perDoc)
+	if c[0] != 0 {
+		t.Errorf("curve[0] = %g, want 0", c[0])
+	}
+	if c[100] != 1 {
+		t.Errorf("curve[100] = %g, want 1", c[100])
+	}
+	if c[50] != 0.5 { // after 2 of 4 docs: 1 of 2 distinct tuples
+		t.Errorf("curve[50] = %g, want 0.5", c[50])
+	}
+	// Monotone.
+	for i := 1; i < len(c); i++ {
+		if c[i] < c[i-1] {
+			t.Fatal("yield curve must be monotone")
+		}
+	}
+}
+
+func TestTupleYieldCurveEmpty(t *testing.T) {
+	for _, in := range [][][]relation.Tuple{nil, {{}, {}}} {
+		c := TupleYieldCurve(in)
+		for _, v := range c {
+			if v != 0 {
+				t.Fatal("empty input must give a zero curve")
+			}
+		}
+	}
+}
+
+func TestTupleDiversity(t *testing.T) {
+	if d := TupleDiversity(nil); d != 0 {
+		t.Errorf("diversity of empty = %g", d)
+	}
+	all := []relation.Tuple{tup("a", "x"), tup("b", "y")}
+	if d := TupleDiversity(all); d != 1 {
+		t.Errorf("all-distinct diversity = %g, want 1", d)
+	}
+	repeats := []relation.Tuple{tup("a", "x"), tup("a", "y"), tup("a", "z"), tup("a", "w")}
+	if d := TupleDiversity(repeats); d != (0.25+1)/2 {
+		t.Errorf("diversity = %g, want 0.625 (arg1 TTR 0.25, arg2 TTR 1)", d)
+	}
+}
+
+func TestDistinctTuples(t *testing.T) {
+	in := []relation.Tuple{tup("a", "x"), tup("b", "y"), tup("a", "x")}
+	out := DistinctTuples(in)
+	if len(out) != 2 || out[0] != tup("a", "x") || out[1] != tup("b", "y") {
+		t.Errorf("DistinctTuples = %v", out)
+	}
+}

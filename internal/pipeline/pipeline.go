@@ -1,0 +1,424 @@
+package pipeline
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"adaptiverank/internal/corpus"
+	"adaptiverank/internal/index"
+	"adaptiverank/internal/metrics"
+	"adaptiverank/internal/ranking"
+	"adaptiverank/internal/relation"
+	"adaptiverank/internal/update"
+	"adaptiverank/internal/vector"
+)
+
+// SearchIfaceOptions configures the search-interface access scenario: the
+// pending pool starts from keyword-query retrieval instead of the full
+// collection, and each model update issues the top model features as new
+// queries to grow the pool (Section 4, Document Access).
+type SearchIfaceOptions struct {
+	// Index is the search interface over the full collection.
+	Index *index.Index
+	// InitialQueries seed the document pool.
+	InitialQueries []string
+	// RetrieveK is the per-query result depth (default 300).
+	RetrieveK int
+	// TopFeatures is how many top model features become queries after
+	// each update (default 100 per the paper).
+	TopFeatures int
+	// PerFeatureK is the result depth per feature query (default 50).
+	PerFeatureK int
+}
+
+func (o *SearchIfaceOptions) defaults() {
+	if o.RetrieveK == 0 {
+		o.RetrieveK = 300
+	}
+	if o.TopFeatures == 0 {
+		o.TopFeatures = 100
+	}
+	if o.PerFeatureK == 0 {
+		o.PerFeatureK = 50
+	}
+}
+
+// Options configures one pipeline execution.
+type Options struct {
+	// Rel is the extraction task.
+	Rel relation.Relation
+	// ExtractionCost overrides the simulated per-document extraction
+	// cost (default: Rel.ExtractionCost()).
+	ExtractionCost time.Duration
+	// Coll is the document collection (the ranking pool in the
+	// full-access scenario).
+	Coll *corpus.Collection
+	// Labels is the labelling oracle for Coll: precomputed Labels for
+	// experiments (see LabelsFor), or a live extractor-backed oracle.
+	Labels Oracle
+	// Sample is the initial document sample (SRS or CQS); it is labelled
+	// and used to train the initial model, and counts as processed.
+	Sample []*corpus.Document
+	// Strategy is the prioritization approach.
+	Strategy Strategy
+	// Detector, when non-nil, makes the run adaptive: buffered documents
+	// are folded into the model whenever the detector fires.
+	Detector update.Detector
+	// Featurizer is the shared document featurizer (required when
+	// Detector needs document features or Strategy is Learned).
+	Featurizer *ranking.Featurizer
+	// SearchIface switches to the search-interface access scenario.
+	SearchIface *SearchIfaceOptions
+	// MaxDocs stops the run after this many processed documents
+	// (0 = process everything).
+	MaxDocs int
+	// Workers sets the number of goroutines used to score pending
+	// documents during (re-)ranking (0 or 1 = sequential). Scores do not
+	// depend on evaluation order, so the resulting ranking is identical
+	// to the sequential one; each pending document is scored by exactly
+	// one worker, which keeps the per-document caches race-free.
+	Workers int
+}
+
+// ChurnRecord reports the feature turnover of one model update.
+type ChurnRecord struct {
+	// Position is the number of processed documents at the update.
+	Position int
+	// Added and Removed count features entering/leaving the model's
+	// non-zero support.
+	Added, Removed int
+	// Size is the model support size after the update.
+	Size int
+}
+
+// Result is the outcome of one pipeline execution.
+type Result struct {
+	// Strategy names the approach.
+	Strategy string
+	// Order is the ranked-phase processing order. The initial sample is
+	// processed (and costed) before the ranked phase but excluded from
+	// Order and the quality metrics: at laptop scale the sample is a
+	// much larger *fraction* of the collection than in the paper, and
+	// including it would let the (strategy-independent) sample prefix
+	// dominate AP/AUC. Metrics therefore measure how well each strategy
+	// ranks the documents it actually gets to choose among.
+	Order []corpus.DocID
+	// OrderLabels are the usefulness labels along Order.
+	OrderLabels []bool
+	// SampleSize and SampleUseful describe the processed initial sample.
+	SampleSize, SampleUseful int
+	// Curve is the recall-vs-%processed curve (101 points).
+	Curve []float64
+	// AP and AUC are the ranking-quality metrics of Section 4.
+	AP, AUC float64
+	// Time is the CPU-time account (simulated extraction + measured
+	// overheads).
+	Time metrics.TimeAccount
+	// UpdatePositions lists the processed-document counts at which model
+	// updates happened.
+	UpdatePositions []int
+	// Churn records per-update feature turnover (learned strategies).
+	Churn []ChurnRecord
+	// PoolSize is the final pending-pool size (differs from len(Order)
+	// in the search-interface scenario or with MaxDocs).
+	PoolSize int
+	// DetectorObservations counts detector invocations, and
+	// DetectorTime their total measured cost (Table 3).
+	DetectorObservations int
+	DetectorTime         time.Duration
+}
+
+// RecallAt evaluates the run's recall after processing pct% of the pool.
+func (r *Result) RecallAt(pct float64) float64 { return metrics.RecallAt(r.Curve, pct) }
+
+// primer interfaces let detectors consume the initial sample.
+type labeledPrimer interface {
+	Prime(xs []vector.Sparse, useful []bool)
+}
+
+type unlabeledPrimer interface {
+	Prime(xs []vector.Sparse)
+}
+
+// Run executes the Figure 2 loop and returns the instrumented result.
+func Run(opts Options) (*Result, error) {
+	if opts.Coll == nil || opts.Labels == nil || opts.Strategy == nil {
+		return nil, fmt.Errorf("pipeline: Coll, Labels, and Strategy are required")
+	}
+	if opts.SearchIface != nil {
+		opts.SearchIface.defaults()
+	}
+	res := &Result{Strategy: opts.Strategy.Name()}
+	if opts.ExtractionCost == 0 {
+		opts.ExtractionCost = opts.Rel.ExtractionCost()
+	}
+
+	// --- Initial sampling & labelling -------------------------------
+	sample := make([]LabeledDoc, 0, len(opts.Sample))
+	processed := make(map[corpus.DocID]bool, opts.Coll.Len())
+	for _, d := range opts.Sample {
+		useful, tuples := opts.Labels.Label(d)
+		ld := LabeledDoc{Doc: d, Useful: useful, Tuples: tuples}
+		sample = append(sample, ld)
+		if processed[d.ID] {
+			continue
+		}
+		processed[d.ID] = true
+		res.SampleSize++
+		if ld.Useful {
+			res.SampleUseful++
+		}
+		res.Time.Extraction += opts.ExtractionCost
+	}
+
+	// --- Ranking generation ------------------------------------------
+	t0 := time.Now()
+	opts.Strategy.Init(sample)
+	res.Time.Training += time.Since(t0)
+
+	feats := func(d *corpus.Document) vector.Sparse {
+		if opts.Featurizer == nil {
+			return vector.Sparse{}
+		}
+		return opts.Featurizer.Features(d)
+	}
+	if opts.Detector != nil {
+		t0 = time.Now()
+		switch p := opts.Detector.(type) {
+		case labeledPrimer:
+			xs := make([]vector.Sparse, len(sample))
+			ys := make([]bool, len(sample))
+			for i, ld := range sample {
+				xs[i] = feats(ld.Doc)
+				ys[i] = ld.Useful
+			}
+			p.Prime(xs, ys)
+		case unlabeledPrimer:
+			xs := make([]vector.Sparse, len(sample))
+			for i, ld := range sample {
+				xs[i] = feats(ld.Doc)
+			}
+			p.Prime(xs)
+		}
+		res.Time.Detection += time.Since(t0)
+	}
+
+	// --- Build the pending pool --------------------------------------
+	var pending []*corpus.Document
+	if opts.SearchIface == nil {
+		for _, d := range opts.Coll.Docs() {
+			if !processed[d.ID] {
+				pending = append(pending, d)
+			}
+		}
+	} else {
+		pool := make(map[corpus.DocID]bool)
+		for _, q := range opts.SearchIface.InitialQueries {
+			for _, h := range opts.SearchIface.Index.Search(q, opts.SearchIface.RetrieveK) {
+				pool[h.Doc] = true
+			}
+		}
+		ids := make([]corpus.DocID, 0, len(pool))
+		for id := range pool {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			if !processed[id] {
+				pending = append(pending, opts.Coll.Doc(id))
+			}
+		}
+	}
+
+	// --- Initial ranking ----------------------------------------------
+	scores := make(map[corpus.DocID]float64, len(pending))
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	rank := func() {
+		t := time.Now()
+		if workers == 1 || len(pending) < 256 {
+			for _, d := range pending {
+				scores[d.ID] = opts.Strategy.Score(d)
+			}
+		} else {
+			out := make([]float64, len(pending))
+			var wg sync.WaitGroup
+			chunk := (len(pending) + workers - 1) / workers
+			for w := 0; w < workers; w++ {
+				lo := w * chunk
+				hi := lo + chunk
+				if hi > len(pending) {
+					hi = len(pending)
+				}
+				if lo >= hi {
+					break
+				}
+				wg.Add(1)
+				go func(lo, hi int) {
+					defer wg.Done()
+					for i := lo; i < hi; i++ {
+						out[i] = opts.Strategy.Score(pending[i])
+					}
+				}(lo, hi)
+			}
+			wg.Wait()
+			for i, d := range pending {
+				scores[d.ID] = out[i]
+			}
+		}
+		sort.SliceStable(pending, func(i, j int) bool {
+			si, sj := scores[pending[i].ID], scores[pending[j].ID]
+			if si != sj {
+				return si > sj
+			}
+			return pending[i].ID < pending[j].ID
+		})
+		res.Time.Ranking += time.Since(t)
+	}
+	rank()
+
+	modelSupport := func() map[int32]bool {
+		m, ok := opts.Strategy.(Modeler)
+		if !ok || m.Model() == nil {
+			return nil
+		}
+		sup := make(map[int32]bool, m.Model().NNZ())
+		m.Model().Range(func(i int32, v float64) { sup[i] = true })
+		return sup
+	}
+	prevSupport := modelSupport()
+
+	// --- Extraction loop ----------------------------------------------
+	var buffer []LabeledDoc
+	cursor := 0
+	for cursor < len(pending) {
+		if opts.MaxDocs > 0 && len(res.Order) >= opts.MaxDocs {
+			break
+		}
+		d := pending[cursor]
+		cursor++
+		if processed[d.ID] {
+			continue // duplicates can enter via search-interface growth
+		}
+		processed[d.ID] = true
+
+		// Tuple extraction (simulated cost for precomputed oracles; real
+		// extraction work for live oracles).
+		useful, tuples := opts.Labels.Label(d)
+		ld := LabeledDoc{Doc: d, Useful: useful, Tuples: tuples}
+		res.Order = append(res.Order, d.ID)
+		res.OrderLabels = append(res.OrderLabels, ld.Useful)
+		res.Time.Extraction += opts.ExtractionCost
+		buffer = append(buffer, ld)
+
+		// Strategy self-observation (A-FC re-ranks continuously).
+		t := time.Now()
+		selfRerank := opts.Strategy.Observe(ld)
+		res.Time.Ranking += time.Since(t)
+
+		// Update detection.
+		trigger := false
+		if opts.Detector != nil {
+			t = time.Now()
+			trigger = opts.Detector.Observe(feats(d), ld.Useful)
+			dt := time.Since(t)
+			res.Time.Detection += dt
+			res.DetectorTime += dt
+			res.DetectorObservations++
+		}
+
+		if trigger {
+			// Model update: fold the buffered documents in (online —
+			// no retraining from scratch).
+			t = time.Now()
+			opts.Strategy.Update(buffer)
+			res.Time.Training += time.Since(t)
+			buffer = buffer[:0]
+			res.UpdatePositions = append(res.UpdatePositions, len(res.Order))
+			opts.Detector.Reset()
+
+			// Feature churn bookkeeping.
+			if cur := modelSupport(); cur != nil {
+				added, removed := 0, 0
+				for f := range cur {
+					if !prevSupport[f] {
+						added++
+					}
+				}
+				for f := range prevSupport {
+					if !cur[f] {
+						removed++
+					}
+				}
+				res.Churn = append(res.Churn, ChurnRecord{
+					Position: len(res.Order), Added: added, Removed: removed, Size: len(cur),
+				})
+				prevSupport = cur
+			}
+
+			// Search-interface scenario: issue the top model features as
+			// fresh queries and grow the pool.
+			if opts.SearchIface != nil {
+				pending = append(pending, retrieveByTopFeatures(opts, processed)...)
+			}
+		}
+
+		if trigger || selfRerank {
+			pending = pending[cursor:]
+			cursor = 0
+			rank()
+		}
+	}
+
+	res.PoolSize = len(res.Order) + (len(pending) - cursor)
+	total, known := opts.Labels.TotalUseful()
+	if !known {
+		return res, nil
+	}
+	denom := total - res.SampleUseful
+	if denom <= 0 {
+		// Degenerate corner: the sample already covered every useful
+		// document; any order of the (useless) rest is perfect.
+		res.Curve = make([]float64, 101)
+		for i := range res.Curve {
+			res.Curve[i] = 1
+		}
+		res.AP, res.AUC = 1, 0.5
+		return res, nil
+	}
+	res.Curve = metrics.RecallCurve(res.OrderLabels, denom)
+	res.AP = metrics.AveragePrecision(res.OrderLabels)
+	res.AUC = metrics.AUC(res.OrderLabels)
+	return res, nil
+}
+
+// retrieveByTopFeatures turns the strategy's strongest positive model
+// features into keyword queries and returns the unseen retrieved documents.
+func retrieveByTopFeatures(opts Options, processed map[corpus.DocID]bool) []*corpus.Document {
+	m, ok := opts.Strategy.(Modeler)
+	if !ok || m.Model() == nil || opts.Featurizer == nil {
+		return nil
+	}
+	var out []*corpus.Document
+	seen := make(map[corpus.DocID]bool)
+	top := m.Model().TopK(opts.SearchIface.TopFeatures)
+	for _, f := range top {
+		if f.Weight <= 0 {
+			continue
+		}
+		name := opts.Featurizer.FeatureName(f.Index)
+		term := strings.TrimPrefix(name, "w=")
+		for _, h := range opts.SearchIface.Index.Search(term, opts.SearchIface.PerFeatureK) {
+			if !processed[h.Doc] && !seen[h.Doc] {
+				seen[h.Doc] = true
+				out = append(out, opts.Coll.Doc(h.Doc))
+			}
+		}
+	}
+	return out
+}

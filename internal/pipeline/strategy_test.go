@@ -1,0 +1,104 @@
+package pipeline
+
+import (
+	"testing"
+
+	"adaptiverank/internal/corpus"
+	"adaptiverank/internal/ranking"
+	"adaptiverank/internal/relation"
+)
+
+func ld(text string, useful bool, tuples ...relation.Tuple) LabeledDoc {
+	return LabeledDoc{
+		Doc:    &corpus.Document{ID: corpus.DocID(len(text)), Text: text},
+		Useful: useful,
+		Tuples: tuples,
+	}
+}
+
+func TestLearnedInitTrainsRanker(t *testing.T) {
+	feat := ranking.NewFeaturizer()
+	r := ranking.NewRSVMIE(ranking.RSVMOptions{Seed: 1})
+	s := NewLearned(r, feat)
+	sample := []LabeledDoc{
+		ld("lava ash crater eruption", true,
+			relation.Tuple{Rel: relation.ND, Arg1: "eruption", Arg2: "Hilo"}),
+		ld("recipe garlic simmer oven", false),
+	}
+	s.Init(sample)
+	if r.Steps() == 0 {
+		t.Fatal("Init must train the ranker")
+	}
+	useful := &corpus.Document{ID: 50, Text: "lava ash eruption plume"}
+	useless := &corpus.Document{ID: 51, Text: "recipe garlic broth oven"}
+	if s.Score(useful) <= s.Score(useless) {
+		t.Error("trained strategy must prefer the useful-looking document")
+	}
+}
+
+func TestLearnedPlainTrainingSkipsBoost(t *testing.T) {
+	// With PlainTraining, tuple attributes must not enter training
+	// features: two strategies trained on the same docs but different
+	// tuple lists must have identical models.
+	mk := func(tuples []relation.Tuple) *ranking.RSVMIE {
+		feat := ranking.NewFeaturizer()
+		r := ranking.NewRSVMIE(ranking.RSVMOptions{Seed: 2})
+		s := NewLearned(r, feat)
+		s.PlainTraining = true
+		s.Init([]LabeledDoc{
+			ld("lava ash crater", true, tuples...),
+			ld("recipe garlic simmer", false),
+		})
+		return r
+	}
+	a := mk(nil)
+	b := mk([]relation.Tuple{{Rel: relation.ND, Arg1: "lava", Arg2: "Hilo"}})
+	if !a.Model().ToSparse().Equal(b.Model().ToSparse()) {
+		t.Error("PlainTraining must ignore tuple attributes")
+	}
+}
+
+func TestLearnedObserveNeverSelfReranks(t *testing.T) {
+	s := NewLearned(ranking.NewRSVMIE(ranking.RSVMOptions{Seed: 3}), ranking.NewFeaturizer())
+	if s.Observe(ld("anything", true)) {
+		t.Error("learned strategies only change at detector-triggered updates")
+	}
+}
+
+func TestLearnedUpdateFoldsBuffer(t *testing.T) {
+	feat := ranking.NewFeaturizer()
+	r := ranking.NewRSVMIE(ranking.RSVMOptions{Seed: 4})
+	s := NewLearned(r, feat)
+	s.Init([]LabeledDoc{ld("seed text useful", true), ld("seed text useless", false)})
+	before := r.Steps()
+	s.Update([]LabeledDoc{ld("fresh evidence words", true), ld("other words", false)})
+	if r.Steps() <= before {
+		t.Error("Update must perform online steps")
+	}
+}
+
+func TestPerfectStrategyScores(t *testing.T) {
+	l := &Labels{useful: []bool{true, false}, tuples: map[corpus.DocID][]relation.Tuple{}}
+	l.numUseful = 1
+	p := &Perfect{L: l}
+	if p.Score(&corpus.Document{ID: 0}) != 1 || p.Score(&corpus.Document{ID: 1}) != 0 {
+		t.Error("Perfect must score by oracle usefulness")
+	}
+	if p.Name() != "Perfect" {
+		t.Error("name")
+	}
+	if p.Observe(LabeledDoc{}) {
+		t.Error("Perfect never reranks")
+	}
+}
+
+func TestModelerExposure(t *testing.T) {
+	s := NewLearned(ranking.NewRSVMIE(ranking.RSVMOptions{Seed: 5}), ranking.NewFeaturizer())
+	var m Modeler = s
+	if m.Model() == nil {
+		t.Error("learned strategy must expose its model")
+	}
+	var _ Strategy = s
+	var _ Strategy = &Perfect{}
+	var _ Strategy = &FCStrategy{}
+}

@@ -1,0 +1,94 @@
+// Package ranking implements the paper's core contribution: the two online
+// learning-to-rank strategies with in-training feature selection, BAgg-IE
+// and RSVM-IE (Section 3.1), plus the Random and Perfect reference rankers
+// used in the evaluation figures.
+package ranking
+
+import (
+	"sync"
+
+	"adaptiverank/internal/corpus"
+	"adaptiverank/internal/relation"
+	"adaptiverank/internal/tokenize"
+	"adaptiverank/internal/vector"
+)
+
+// Featurizer maps documents to sparse feature vectors over a shared,
+// growing vocabulary. Features are the document's content words (binary
+// presence, L2-normalized). For labelled training documents, the attribute
+// values of extracted tuples contribute extra weight on their word features
+// (the paper trains on "words as well as the attribute values of tuples"),
+// which transfers to unprocessed documents through the shared word space.
+type Featurizer struct {
+	Vocab *tokenize.Vocab
+
+	mu    sync.RWMutex
+	cache map[corpus.DocID]vector.Sparse
+}
+
+// NewFeaturizer returns a featurizer with its own vocabulary.
+func NewFeaturizer() *Featurizer {
+	return &Featurizer{Vocab: tokenize.NewVocab(), cache: make(map[corpus.DocID]vector.Sparse)}
+}
+
+// tupleBoost is the extra count given to each tuple-attribute token in
+// training feature vectors.
+const tupleBoost = 2.0
+
+// Features returns the (cached) word feature vector of d. It is safe for
+// concurrent use; note that documents are identified by DocID, so one
+// Featurizer must not be shared across collections with clashing ids.
+func (f *Featurizer) Features(d *corpus.Document) vector.Sparse {
+	f.mu.RLock()
+	x, ok := f.cache[d.ID]
+	f.mu.RUnlock()
+	if ok {
+		return x
+	}
+	counts := make(map[int32]float64)
+	for _, tok := range d.Tokenize() {
+		if len(tok) > 1 && !tokenize.IsStopword(tok) {
+			counts[f.Vocab.ID("w="+tok)] = 1
+		}
+	}
+	x = vector.FromCounts(counts).Normalize()
+	f.mu.Lock()
+	f.cache[d.ID] = x
+	f.mu.Unlock()
+	return x
+}
+
+// TrainingFeatures returns the feature vector of a labelled document,
+// boosting the word features that appear as attribute values of its
+// extracted tuples.
+func (f *Featurizer) TrainingFeatures(d *corpus.Document, tuples []relation.Tuple) vector.Sparse {
+	if len(tuples) == 0 {
+		return f.Features(d)
+	}
+	counts := make(map[int32]float64)
+	for _, tok := range d.Tokenize() {
+		if len(tok) > 1 && !tokenize.IsStopword(tok) {
+			counts[f.Vocab.ID("w="+tok)] = 1
+		}
+	}
+	for _, t := range tuples {
+		for _, attr := range []string{t.Arg1, t.Arg2} {
+			for _, tok := range tokenize.Words(attr) {
+				if len(tok) > 1 && !tokenize.IsStopword(tok) {
+					counts[f.Vocab.ID("w="+tok)] += tupleBoost
+				}
+			}
+		}
+	}
+	return vector.FromCounts(counts).Normalize()
+}
+
+// FeatureName resolves a feature id back to its string (e.g. "w=lava").
+func (f *Featurizer) FeatureName(id int32) string { return f.Vocab.Name(id) }
+
+// CacheSize reports how many documents have cached feature vectors.
+func (f *Featurizer) CacheSize() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return len(f.cache)
+}

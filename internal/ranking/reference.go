@@ -1,0 +1,41 @@
+package ranking
+
+import (
+	"math/rand"
+
+	"adaptiverank/internal/vector"
+)
+
+// RandomRanker is the random-ordering reference of the evaluation figures:
+// every document gets an i.i.d. pseudo-random score fixed at first sight.
+type RandomRanker struct {
+	rng *rand.Rand
+}
+
+// NewRandomRanker returns a seeded random ranker.
+func NewRandomRanker(seed int64) *RandomRanker {
+	return &RandomRanker{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Ranker.
+func (r *RandomRanker) Name() string { return "Random" }
+
+// Learn implements Ranker (no-op).
+func (r *RandomRanker) Learn(vector.Sparse, bool) {}
+
+// Score implements Ranker with a uniform pseudo-random score. Scores are
+// drawn per call; the pipeline scores each pending document once per
+// (re-)ranking, so the resulting order is a uniform random permutation.
+func (r *RandomRanker) Score(vector.Sparse) float64 { return r.rng.Float64() }
+
+// Model implements Ranker (none).
+func (r *RandomRanker) Model() *vector.Weights { return nil }
+
+// Clone implements Ranker.
+func (r *RandomRanker) Clone() Ranker {
+	return &RandomRanker{rng: rand.New(rand.NewSource(r.rng.Int63()))}
+}
+
+// The perfect-ordering reference of the evaluation figures is implemented
+// in the pipeline package (it needs oracle document labels, which live
+// there); Random is a Ranker so it shares the learned-strategy code path.

@@ -1,0 +1,21 @@
+package relation
+
+import "testing"
+
+func TestTupleEquality(t *testing.T) {
+	a := Tuple{Rel: PH, Arg1: "x", Arg2: "y"}
+	b := Tuple{Rel: PH, Arg1: "x", Arg2: "y"}
+	if a != b {
+		t.Error("identical tuples must compare equal (map-key requirement)")
+	}
+	m := map[Tuple]bool{a: true}
+	if !m[b] {
+		t.Error("tuples must be usable as map keys")
+	}
+}
+
+func TestStringIsCode(t *testing.T) {
+	if ND.String() != "ND" {
+		t.Errorf("String = %q", ND.String())
+	}
+}

@@ -1,0 +1,109 @@
+// Package relation enumerates the seven extraction relations evaluated in
+// the paper (Table 1), together with the metadata the experiments need:
+// human-readable names, target useful-document densities, sparsity class,
+// and the per-document extraction cost of the corresponding information
+// extraction system (used by the simulated CPU-time accounting; see
+// DESIGN.md §2).
+package relation
+
+import (
+	"fmt"
+	"time"
+)
+
+// Relation identifies one extraction task.
+type Relation int
+
+// The seven relations of Table 1.
+const (
+	PO Relation = iota // Person–Organization Affiliation
+	DO                 // Disease–Outbreak
+	PC                 // Person–Career
+	ND                 // Natural Disaster–Location
+	MD                 // Man Made Disaster–Location
+	PH                 // Person–Charge
+	EW                 // Election–Winner
+	numRelations
+)
+
+// All returns the relations in Table 1 order.
+func All() []Relation {
+	return []Relation{PO, DO, PC, ND, MD, PH, EW}
+}
+
+type info struct {
+	code    string
+	name    string
+	density float64       // fraction of useful documents in the test set (Table 1)
+	cost    time.Duration // simulated extraction cost per document (§5, Fig 13)
+	arg1    string
+	arg2    string
+}
+
+var infos = [numRelations]info{
+	PO: {"PO", "Person–Organization Affiliation", 0.1695, 10 * time.Millisecond, "Person", "Organization"},
+	DO: {"DO", "Disease–Outbreak", 0.0008, 50 * time.Millisecond, "Disease", "Outbreak"},
+	PC: {"PC", "Person–Career", 0.4216, 1200 * time.Millisecond, "Person", "Career"},
+	ND: {"ND", "Natural Disaster–Location", 0.0169, 6 * time.Second, "NaturalDisaster", "Location"},
+	MD: {"MD", "Man Made Disaster–Location", 0.0146, 2 * time.Second, "ManMadeDisaster", "Location"},
+	PH: {"PH", "Person–Charge", 0.0177, 2 * time.Second, "Person", "Charge"},
+	EW: {"EW", "Election–Winner", 0.0050, 2 * time.Second, "Election", "Winner"},
+}
+
+func (r Relation) info() info {
+	if r < 0 || r >= numRelations {
+		panic(fmt.Sprintf("relation: invalid Relation %d", int(r)))
+	}
+	return infos[r]
+}
+
+// Code returns the two-letter code used throughout the paper ("PO", "DO"...).
+func (r Relation) Code() string { return r.info().code }
+
+// Name returns the full relation name from Table 1.
+func (r Relation) Name() string { return r.info().name }
+
+// Density returns the fraction of test-set documents that are useful for r
+// according to Table 1; the synthetic generator targets this fraction.
+func (r Relation) Density() float64 { return r.info().density }
+
+// ExtractionCost returns the simulated per-document CPU cost of the
+// information extraction system for r. The paper reports ~6 s/doc for ND
+// and ~0.01 s/doc for PO (§5); the remaining values interpolate by system
+// complexity (dictionary+regex fast, CRF+kernel slow).
+func (r Relation) ExtractionCost() time.Duration { return r.info().cost }
+
+// Sparse reports whether r is a sparse relation (<2% useful documents),
+// the classification used in the paper's discussion of Figures 4 and 12.
+func (r Relation) Sparse() bool { return r.info().density < 0.02 }
+
+// Arg1Type and Arg2Type name the entity types of the relation arguments.
+func (r Relation) Arg1Type() string { return r.info().arg1 }
+
+// Arg2Type names the second argument's entity type.
+func (r Relation) Arg2Type() string { return r.info().arg2 }
+
+// String implements fmt.Stringer.
+func (r Relation) String() string { return r.Code() }
+
+// Parse maps a two-letter code to a Relation.
+func Parse(code string) (Relation, error) {
+	for _, r := range All() {
+		if r.Code() == code {
+			return r, nil
+		}
+	}
+	return 0, fmt.Errorf("relation: unknown code %q", code)
+}
+
+// Tuple is one extracted fact: a pair of attribute values for a relation.
+type Tuple struct {
+	Rel  Relation
+	Arg1 string
+	Arg2 string
+}
+
+// String implements fmt.Stringer.
+func (t Tuple) String() string {
+	return fmt.Sprintf("%s<%s, %s>", t.Rel.Code(), t.Arg1, t.Arg2)
+}

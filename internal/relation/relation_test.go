@@ -1,0 +1,90 @@
+package relation
+
+import "testing"
+
+func TestAllOrderAndCodes(t *testing.T) {
+	want := []string{"PO", "DO", "PC", "ND", "MD", "PH", "EW"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("All() has %d relations, want %d", len(all), len(want))
+	}
+	for i, r := range all {
+		if r.Code() != want[i] {
+			t.Errorf("All()[%d].Code() = %q, want %q", i, r.Code(), want[i])
+		}
+	}
+}
+
+func TestDensitiesMatchTable1(t *testing.T) {
+	cases := map[Relation]float64{
+		PO: 0.1695, DO: 0.0008, PC: 0.4216, ND: 0.0169,
+		MD: 0.0146, PH: 0.0177, EW: 0.0050,
+	}
+	for r, want := range cases {
+		if got := r.Density(); got != want {
+			t.Errorf("%s density = %g, want %g", r.Code(), got, want)
+		}
+	}
+}
+
+func TestSparseClassification(t *testing.T) {
+	sparse := map[Relation]bool{
+		PO: false, DO: true, PC: false, ND: true, MD: true, PH: true, EW: true,
+	}
+	for r, want := range sparse {
+		if r.Sparse() != want {
+			t.Errorf("%s Sparse() = %v, want %v", r.Code(), r.Sparse(), want)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	for _, r := range All() {
+		got, err := Parse(r.Code())
+		if err != nil || got != r {
+			t.Errorf("Parse(%q) = %v, %v", r.Code(), got, err)
+		}
+	}
+	if _, err := Parse("XX"); err == nil {
+		t.Error("Parse of unknown code must fail")
+	}
+}
+
+func TestArgTypes(t *testing.T) {
+	if ND.Arg1Type() != "NaturalDisaster" || ND.Arg2Type() != "Location" {
+		t.Error("ND argument types wrong")
+	}
+}
+
+func TestTupleString(t *testing.T) {
+	tu := Tuple{Rel: ND, Arg1: "tsunami", Arg2: "Hawaii"}
+	if got := tu.String(); got != "ND<tsunami, Hawaii>" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestCostsPositiveAndOrdered(t *testing.T) {
+	for _, r := range All() {
+		if r.ExtractionCost() <= 0 {
+			t.Errorf("%s cost must be positive", r.Code())
+		}
+	}
+	// The paper's anchors: ND ~6s/doc is the slowest, PO ~0.01s the fastest.
+	for _, r := range All() {
+		if r != ND && r.ExtractionCost() > ND.ExtractionCost() {
+			t.Errorf("%s costs more than ND", r.Code())
+		}
+		if r != PO && r.ExtractionCost() < PO.ExtractionCost() {
+			t.Errorf("%s costs less than PO", r.Code())
+		}
+	}
+}
+
+func TestInvalidRelationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Relation(99).Code()
+}

@@ -1,0 +1,34 @@
+package sampling
+
+import (
+	"testing"
+
+	"adaptiverank/internal/index"
+)
+
+func TestCQSZeroTargets(t *testing.T) {
+	coll := mkColl("lava here")
+	idx := index.Build(coll)
+	if s := CQS(idx, []string{"lava"}, 0, 5); len(s) != 0 {
+		t.Errorf("CQS with n=0 returned %v", s)
+	}
+	if s := CQS(idx, nil, 5, 5); len(s) != 0 {
+		t.Errorf("CQS with no queries returned %v", s)
+	}
+}
+
+func TestCQSDefaultPerQuery(t *testing.T) {
+	coll := mkColl("lava a", "lava b", "lava c")
+	idx := index.Build(coll)
+	// perQuery <= 0 must fall back to the default instead of looping.
+	if s := CQS(idx, []string{"lava"}, 2, 0); len(s) != 2 {
+		t.Errorf("CQS with default perQuery returned %d docs", len(s))
+	}
+}
+
+func TestSRSZeroSample(t *testing.T) {
+	coll := mkColl("a b")
+	if s := SRS(coll, 0, 1); len(s) != 0 {
+		t.Errorf("SRS(0) = %v", s)
+	}
+}

@@ -1,0 +1,168 @@
+package sampling
+
+import (
+	"strings"
+	"testing"
+
+	"adaptiverank/internal/corpus"
+	"adaptiverank/internal/index"
+	"adaptiverank/internal/relation"
+	"adaptiverank/internal/textgen"
+)
+
+func mkColl(texts ...string) *corpus.Collection {
+	docs := make([]*corpus.Document, len(texts))
+	for i, t := range texts {
+		docs[i] = &corpus.Document{Text: t}
+	}
+	return corpus.NewCollection(docs)
+}
+
+func TestSRSSizeAndUniqueness(t *testing.T) {
+	coll, _ := textgen.Generate(textgen.DefaultConfig(1, 300))
+	s := SRS(coll, 50, 7)
+	if len(s) != 50 {
+		t.Fatalf("len = %d, want 50", len(s))
+	}
+	seen := map[corpus.DocID]bool{}
+	for _, d := range s {
+		if seen[d.ID] {
+			t.Fatalf("duplicate document %d in sample", d.ID)
+		}
+		seen[d.ID] = true
+	}
+}
+
+func TestSRSDeterministicPerSeed(t *testing.T) {
+	coll, _ := textgen.Generate(textgen.DefaultConfig(1, 200))
+	a := SRS(coll, 20, 3)
+	b := SRS(coll, 20, 3)
+	c := SRS(coll, 20, 4)
+	for i := range a {
+		if a[i].ID != b[i].ID {
+			t.Fatal("same seed must give the same sample")
+		}
+	}
+	diff := false
+	for i := range a {
+		if a[i].ID != c[i].ID {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Error("different seeds gave identical samples")
+	}
+}
+
+func TestSRSClampsToCollection(t *testing.T) {
+	coll := mkColl("a b", "c d")
+	if got := len(SRS(coll, 10, 1)); got != 2 {
+		t.Errorf("len = %d, want 2", got)
+	}
+}
+
+func TestLearnQueriesFindsDiscriminativeTerms(t *testing.T) {
+	var texts []string
+	for i := 0; i < 60; i++ {
+		texts = append(texts, "hypocenter richter aftershock struck report")
+	}
+	for i := 0; i < 140; i++ {
+		texts = append(texts, "recipe garlic simmer oven broth pastry")
+	}
+	coll := mkColl(texts...)
+	useful := func(d *corpus.Document) bool { return d.ID < 60 }
+	queries := LearnQueries(coll, useful, 3, 1)
+	if len(queries) == 0 {
+		t.Fatal("no queries learned")
+	}
+	positive := map[string]bool{"hypocenter": true, "richter": true, "aftershock": true, "struck": true, "report": true}
+	for _, q := range queries {
+		if !positive[q] {
+			t.Errorf("query %q is not a useful-document term", q)
+		}
+	}
+}
+
+func TestLearnQueriesNoPositives(t *testing.T) {
+	coll := mkColl("a b c", "d e f")
+	if q := LearnQueries(coll, func(*corpus.Document) bool { return false }, 5, 1); q != nil {
+		t.Errorf("queries = %v with no useful docs, want nil", q)
+	}
+}
+
+func TestCQSCollectsUnseenAcrossQueries(t *testing.T) {
+	coll := mkColl(
+		"lava lava lava",   // 0: top for lava
+		"ash ash ash",      // 1: top for ash
+		"lava ash mixture", // 2: matches both
+		"plain text",       // 3
+	)
+	idx := index.Build(coll)
+	s := CQS(idx, []string{"lava", "ash"}, 3, 1)
+	if len(s) != 3 {
+		t.Fatalf("len = %d, want 3", len(s))
+	}
+	// perQuery=1: first round takes top-1 of [lava] (doc 0) and top-1 of
+	// [ash] (doc 1); second round continues down the lists.
+	if s[0].ID != 0 || s[1].ID != 1 {
+		t.Errorf("cyclic order broken: %v, %v", s[0].ID, s[1].ID)
+	}
+	seen := map[corpus.DocID]bool{}
+	for _, d := range s {
+		if seen[d.ID] {
+			t.Fatal("CQS returned a duplicate")
+		}
+		seen[d.ID] = true
+	}
+}
+
+func TestCQSExhaustsGracefully(t *testing.T) {
+	coll := mkColl("lava here", "nothing else")
+	idx := index.Build(coll)
+	s := CQS(idx, []string{"lava"}, 10, 5)
+	if len(s) != 1 {
+		t.Errorf("len = %d, want 1 (result lists exhausted)", len(s))
+	}
+}
+
+func TestCQSOnGeneratedCorpusFindsUsefulDocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	// CQS with relation-specific queries must over-sample useful docs
+	// compared to the base rate.
+	cfg := textgen.DefaultConfig(5, 3000)
+	cfg.DensityOverride = map[relation.Relation]float64{relation.PH: 0.02}
+	coll, gt := textgen.Generate(cfg)
+	idx := index.Build(coll)
+	sample := CQS(idx, []string{"charged", "indicted", "fraud", "accused"}, 200, 20)
+	planted := map[corpus.DocID]bool{}
+	for _, id := range gt.Planted[relation.PH] {
+		planted[id] = true
+	}
+	hits := 0
+	for _, d := range sample {
+		if planted[d.ID] {
+			hits++
+		}
+	}
+	base := float64(len(planted)) / 3000
+	got := float64(hits) / float64(len(sample))
+	if got <= 2*base {
+		t.Errorf("CQS useful rate %.3f not above 2x base rate %.3f", got, base)
+	}
+}
+
+func TestJoinQueriesAndNormalize(t *testing.T) {
+	lists := []QueryList{
+		{Method: "a", Queries: []string{"x", "y"}},
+		{Method: "b", Queries: []string{"z"}},
+	}
+	joined := JoinQueries(lists)
+	if strings.Join(joined, ",") != "x,y,z" {
+		t.Errorf("JoinQueries = %v", joined)
+	}
+	if NormalizeQuery("  Lava ") != "lava" {
+		t.Error("NormalizeQuery must trim and lowercase")
+	}
+}

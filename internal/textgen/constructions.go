@@ -1,0 +1,116 @@
+package textgen
+
+// Construction is one surface form that expresses a relation between two
+// arguments. The generator instantiates Format with entity strings; the
+// extraction systems build their subsequence-kernel exemplars from
+// Exemplar and gate on the trigger token. Having one table per relation,
+// shared by generator and extractor, models a real extractor whose
+// competence covers many constructions — which is exactly what makes
+// single-keyword queries low-recall: no individual trigger word appears in
+// more than a fraction of the useful documents.
+type Construction struct {
+	// Format is a fmt template; %[1]s is the relation-specific first
+	// entity (person for PH/EW/PC/PO), %[2]s the second (charge,
+	// election, career, organization).
+	Format string
+	// Exemplar is the pair-context pattern for the kernel classifier,
+	// with <arg1>/<arg2> denoting the *tuple* argument roles.
+	Exemplar string
+	// Gate is the trigger token that must appear in a matching context.
+	Gate string
+}
+
+// PHConstructions are the Person–Charge surface forms (tuple: <person,
+// charge>; %[1]s person, %[2]s charge).
+var PHConstructions = []Construction{
+	{"%[1]s was charged with %[2]s yesterday.", "<arg1> was charged with <arg2> yesterday", "charged"},
+	{"%[1]s was indicted on %[2]s charges.", "<arg1> was indicted on <arg2> charges", "indicted"},
+	{"Prosecutors accused %[1]s of %[2]s.", "prosecutors accused <arg1> of <arg2>", "accused"},
+	{"%[1]s was convicted of %[2]s in court.", "<arg1> was convicted of <arg2> in", "convicted"},
+	{"%[1]s was arraigned on %[2]s charges Monday.", "<arg1> was arraigned on <arg2> charges", "arraigned"},
+	{"%[1]s pleaded guilty to %[2]s in court.", "<arg1> pleaded guilty to <arg2> in", "pleaded"},
+	{"%[1]s faces trial for %[2]s this term.", "<arg1> faces trial for <arg2> this", "faces"},
+	{"A jury found %[1]s guilty of %[2]s.", "a jury found <arg1> guilty of <arg2>", "guilty"},
+	{"%[1]s was sentenced for %[2]s on Monday.", "<arg1> was sentenced for <arg2> on", "sentenced"},
+	{"%[1]s stood trial on %[2]s counts.", "<arg1> stood trial on <arg2> counts", "trial"},
+}
+
+// EWConstructions are the Election–Winner surface forms (tuple: <election,
+// winner>; %[1]s person, %[2]s election kind).
+var EWConstructions = []Construction{
+	{"%[1]s won the %[2]s by a wide margin.", "<arg2> won the <arg1> by", "won"},
+	{"%[1]s was declared the winner of the %[2]s.", "<arg2> was declared the winner of the <arg1>", "winner"},
+	{"Voters chose %[1]s as the winner of the %[2]s.", "voters chose <arg2> as the winner of the <arg1>", "chose"},
+	{"%[1]s prevailed in the %[2]s on Tuesday.", "<arg2> prevailed in the <arg1> on", "prevailed"},
+	{"%[1]s captured the %[2]s with ease.", "<arg2> captured the <arg1> with", "captured"},
+	{"%[1]s clinched the %[2]s late Sunday.", "<arg2> clinched the <arg1> late", "clinched"},
+	{"%[1]s triumphed in the %[2]s.", "<arg2> triumphed in the <arg1>", "triumphed"},
+	{"%[1]s secured victory in the %[2]s.", "<arg2> secured victory in the <arg1>", "victory"},
+}
+
+// PCConstructions are the Person–Career surface forms (tuple: <person,
+// career>).
+var PCConstructions = []Construction{
+	{"%[1]s, a veteran %[2]s, spoke at the event.", "<arg1> a veteran <arg2> spoke", "veteran"},
+	{"%[1]s works as a %[2]s in the city.", "<arg1> works as a <arg2> in", "works"},
+	{"%[1]s serves as %[2]s for the region.", "<arg1> serves as <arg2> for", "serves"},
+	{"%[1]s, the longtime %[2]s, retired quietly.", "<arg1> the longtime <arg2> retired", "longtime"},
+	{"%[1]s began a career as a %[2]s.", "<arg1> began a career as a <arg2>", "career"},
+	{"%[1]s was appointed %[2]s this spring.", "<arg1> was appointed <arg2> this", "appointed"},
+	{"%[1]s earned renown as a %[2]s.", "<arg1> earned renown as a <arg2>", "renown"},
+	{"%[1]s, formerly a %[2]s, returned home.", "<arg1> formerly a <arg2> returned", "formerly"},
+}
+
+// POPositive and PONegative are the Person–Organization surface forms the
+// linear-SVM relation classifier is trained on (%[1]s person, %[2]s
+// organization). The generator uses the same tables.
+var POPositive = []Construction{
+	{"%[1]s joined %[2]s as a senior manager.", "", "joined"},
+	{"%[2]s named %[1]s its new director.", "", "named"},
+	{"%[1]s works for %[2]s downtown.", "", "works"},
+	{"%[2]s hired %[1]s in March.", "", "hired"},
+	{"%[1]s was appointed by %[2]s last spring.", "", "appointed"},
+	{"%[1]s is a spokesman for %[2]s.", "", "spokesman"},
+	{"%[1]s was promoted at %[2]s twice.", "", "promoted"},
+	{"%[1]s leads the research team at %[2]s.", "", "leads"},
+	{"%[1]s heads the planning office at %[2]s.", "", "heads"},
+	{"%[1]s is employed by %[2]s as an analyst.", "", "employed"},
+}
+
+// PONegative are person–organization co-occurrences that express no
+// affiliation; the classifier learns to reject them.
+var PONegative = []Construction{
+	{"%[1]s criticized %[2]s at the hearing.", "", "criticized"},
+	{"%[1]s toured the offices of %[2]s on Friday.", "", "toured"},
+	{"%[1]s walked past %[2]s headquarters yesterday.", "", "walked"},
+	{"%[2]s denied claims made by %[1]s last week.", "", "denied"},
+	{"%[1]s sued %[2]s over the contract.", "", "sued"},
+	{"%[1]s photographed the %[2]s building downtown.", "", "photographed"},
+}
+
+// DOTemplates are the Disease–Outbreak surface forms: %[1]s disease,
+// %[2]s temporal expression, with the two mentions close enough for the
+// distance-based relation predictor.
+var DOTemplates = []string{
+	"An outbreak of %[1]s was reported %[2]s.",
+	"Health officials confirmed %[1]s cases %[2]s.",
+	"The %[1]s outbreak began %[2]s, officials said.",
+	"Cases of %[1]s surged %[2]s.",
+	"An epidemic of %[1]s erupted %[2]s.",
+	"Clinics traced new %[1]s infections %[2]s.",
+}
+
+// GateWords returns the trigger vocabulary of a construction table, used
+// by the distractor generator so that every trigger also appears in
+// useless documents.
+func GateWords(cs []Construction) []string {
+	out := make([]string, 0, len(cs))
+	seen := map[string]bool{}
+	for _, c := range cs {
+		if !seen[c.Gate] {
+			seen[c.Gate] = true
+			out = append(out, c.Gate)
+		}
+	}
+	return out
+}

@@ -1,0 +1,279 @@
+package textgen
+
+// This file holds the hand-curated lexical resources of the generator:
+// entity gazetteers (shared with the extractors, which train their taggers
+// and dictionaries from the same pools, as real systems train from labelled
+// data drawn from the same distribution) and per-sub-topic content lexicons
+// that give useful documents their distinctive vocabulary — the signal the
+// ranking models must discover.
+
+// FirstNames and LastNames form the person gazetteer; persons are rendered
+// as "First Last".
+var FirstNames = []string{
+	"James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael",
+	"Linda", "David", "Elizabeth", "William", "Barbara", "Richard", "Susan",
+	"Joseph", "Jessica", "Thomas", "Sarah", "Charles", "Karen", "Daniel",
+	"Nancy", "Matthew", "Lisa", "Anthony", "Margaret", "Mark", "Betty",
+	"Donald", "Sandra", "Steven", "Ashley", "Paul", "Dorothy", "Andrew",
+	"Kimberly", "Joshua", "Emily", "Kenneth", "Donna", "Kevin", "Michelle",
+	"Brian", "Carol", "George", "Amanda", "Edward", "Melissa", "Ronald",
+	"Deborah", "Timothy", "Stephanie", "Jason", "Rebecca", "Jeffrey",
+	"Laura", "Ryan", "Sharon", "Jacob", "Cynthia", "Gary", "Kathleen",
+	"Nicholas", "Amy", "Eric", "Shirley", "Jonathan", "Angela", "Stephen",
+	"Helen", "Larry", "Anna", "Justin", "Brenda", "Scott", "Pamela",
+	"Brandon", "Nicole", "Benjamin", "Samantha",
+}
+
+// LastNames is the surname pool of the person gazetteer.
+var LastNames = []string{
+	"Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+	"Davis", "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez",
+	"Wilson", "Anderson", "Thomas", "Taylor", "Moore", "Jackson", "Martin",
+	"Lee", "Perez", "Thompson", "White", "Harris", "Sanchez", "Clark",
+	"Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King",
+	"Wright", "Scott", "Torres", "Nguyen", "Hill", "Flores", "Green",
+	"Adams", "Nelson", "Baker", "Hall", "Rivera", "Campbell", "Mitchell",
+	"Carter", "Roberts", "Gomez", "Phillips", "Evans", "Turner", "Diaz",
+	"Parker", "Cruz", "Edwards", "Collins", "Reyes", "Stewart", "Morris",
+	"Morales", "Murphy", "Cook", "Rogers", "Gutierrez", "Ortiz", "Morgan",
+	"Cooper", "Peterson", "Bailey", "Reed", "Kelly", "Howard", "Ramos",
+	"Kim", "Cox", "Ward", "Richardson",
+}
+
+// Locations is the location gazetteer (cities, regions, islands).
+var Locations = []string{
+	"Hawaii", "California", "Tokyo", "Manila", "Jakarta", "Lisbon",
+	"Istanbul", "Mexico City", "San Francisco", "Los Angeles", "Santiago",
+	"Kathmandu", "Port-au-Prince", "Anchorage", "Naples", "Reykjavik",
+	"Quito", "Bogota", "Lima", "Caracas", "Havana", "Miami", "New Orleans",
+	"Houston", "Galveston", "Charleston", "Savannah", "Tampa", "Wilmington",
+	"Dhaka", "Calcutta", "Mumbai", "Karachi", "Shanghai", "Wuhan",
+	"Bangkok", "Hanoi", "Saigon", "Phuket", "Sumatra", "Java", "Luzon",
+	"Mindanao", "Okinawa", "Kobe", "Osaka", "Sendai", "Valparaiso",
+	"Concepcion", "Mendoza", "Asuncion", "Montevideo", "Recife", "Salvador",
+	"Fortaleza", "Managua", "Tegucigalpa", "Guatemala City", "San Salvador",
+	"Kingston", "Santo Domingo", "Nairobi", "Lagos", "Accra", "Dakar",
+	"Casablanca", "Algiers", "Tunis", "Cairo", "Khartoum", "Addis Ababa",
+	"Mogadishu", "Kampala", "Harare", "Maputo", "Johannesburg", "Cape Town",
+	"Perth", "Darwin", "Brisbane", "Wellington", "Auckland", "Suva",
+	"Honolulu", "Hilo", "Pasadena", "Fresno", "Oakland", "Seattle",
+	"Portland", "Denver", "Boulder", "Memphis", "Nashville", "Tulsa",
+	"Wichita", "Topeka", "Omaha", "Fargo", "Duluth", "Buffalo", "Rochester",
+	"Scranton", "Trenton", "Camden", "Norfolk", "Richmond", "Raleigh",
+	"Columbia", "Augusta", "Mobile", "Biloxi", "Shreveport", "Baton Rouge",
+}
+
+// OrgCores and OrgSuffixes compose organization names ("Meridian Corp").
+var OrgCores = []string{
+	"Meridian", "Apex", "Summit", "Pinnacle", "Vanguard", "Horizon",
+	"Keystone", "Frontier", "Liberty", "Sterling", "Cascade", "Granite",
+	"Titan", "Atlas", "Orion", "Nova", "Zenith", "Crown", "Empire",
+	"Pacific", "Atlantic", "Continental", "National", "Global", "United",
+	"Allied", "Consolidated", "Integrated", "Dynamic", "Premier",
+	"Paramount", "Sovereign", "Regent", "Monarch", "Imperial", "Cardinal",
+	"Falcon", "Griffin", "Phoenix", "Sentinel", "Beacon", "Harbor",
+	"Redwood", "Ironwood", "Silverlake", "Stonebridge", "Fairmont",
+	"Lakeshore", "Northgate", "Eastfield",
+}
+
+// OrgSuffixes complete organization names; the pattern recognizer keys on
+// these.
+var OrgSuffixes = []string{
+	"Corp", "Inc", "Industries", "Group", "Holdings", "Partners",
+	"Systems", "Technologies", "Laboratories", "Enterprises", "Capital",
+	"University", "Institute", "Foundation", "Authority", "Commission",
+	"Association", "Bank", "Airlines", "Energy",
+}
+
+// Diseases is the disease gazetteer for the DO relation.
+var Diseases = []string{
+	"cholera", "measles", "influenza", "malaria", "dengue", "typhoid",
+	"diphtheria", "polio", "smallpox", "tuberculosis", "meningitis",
+	"hepatitis", "salmonella", "botulism", "anthrax", "rabies", "plague",
+	"yellow fever", "whooping cough", "encephalitis", "legionnaires",
+	"norovirus", "rotavirus", "shigella", "listeria",
+}
+
+// Charges is the criminal-charge gazetteer for the PH relation.
+var Charges = []string{
+	"fraud", "murder", "bribery", "embezzlement", "racketeering",
+	"extortion", "perjury", "arson", "burglary", "kidnapping",
+	"manslaughter", "larceny", "forgery", "smuggling", "conspiracy",
+	"assault", "robbery", "counterfeiting", "obstruction", "tax evasion",
+}
+
+// Careers is the career/position gazetteer for the PC relation.
+var Careers = []string{
+	"senator", "governor", "mayor", "congressman", "ambassador",
+	"secretary", "chancellor", "minister", "judge", "prosecutor",
+	"chief executive", "chairman", "treasurer", "economist", "surgeon",
+	"cardiologist", "architect", "novelist", "playwright", "composer",
+	"conductor", "sculptor", "quarterback", "goalkeeper", "shortstop",
+	"midfielder", "sprinter", "physicist", "biologist", "astronomer",
+	"geologist", "historian", "linguist", "philosopher", "violinist",
+	"soprano", "director", "producer", "editor", "columnist",
+}
+
+// ElectionKinds parameterize the EW relation's election mentions.
+var ElectionKinds = []string{
+	"presidential election", "senate race", "mayoral election",
+	"gubernatorial race", "parliamentary election", "congressional race",
+	"primary election", "runoff election", "council election",
+	"referendum vote",
+}
+
+// SubTopic is a coherent vocabulary cluster within a relation's domain
+// (e.g. volcano eruptions within Natural Disaster–Location). Useful
+// documents draw their distinctive words from exactly one sub-topic, so a
+// small initial document sample typically misses the rare sub-topics —
+// the heterogeneity that motivates adaptive ranking in the paper.
+type SubTopic struct {
+	Name  string
+	Words []string
+	// Mentions lists the surface forms of the relation's first argument
+	// generated under this sub-topic (e.g. "earthquake", "tremor").
+	// Empty for relations whose argument comes from a global gazetteer.
+	Mentions []string
+}
+
+// NDSubTopics covers natural-disaster domains.
+var NDSubTopics = []SubTopic{
+	{Name: "earthquake",
+		Words:    []string{"richter", "hypocenter", "epicenter", "aftershock", "magnitude", "seismic", "seismologists", "fault", "tremors", "rubble"},
+		Mentions: []string{"earthquake", "tremor", "quake"}},
+	{Name: "hurricane",
+		Words:    []string{"landfall", "evacuation", "storm", "surge", "gusts", "barometric", "meteorologists", "levee", "shelters", "windspeed"},
+		Mentions: []string{"hurricane", "cyclone", "typhoon"}},
+	{Name: "flood",
+		Words:    []string{"floodwaters", "riverbanks", "monsoon", "inundated", "sandbags", "rainfall", "overflow", "submerged", "dikes", "torrential"},
+		Mentions: []string{"flood", "flash flood", "deluge"}},
+	{Name: "volcano",
+		Words:    []string{"lava", "eruption", "ash", "crater", "magma", "sulfuric", "volcanic", "plume", "pyroclastic", "vents"},
+		Mentions: []string{"volcanic eruption", "eruption"}},
+	{Name: "tornado",
+		Words:    []string{"funnel", "twister", "debris", "sirens", "touchdown", "supercell", "windstorm", "trailer", "flattened", "warning"},
+		Mentions: []string{"tornado", "twister"}},
+	{Name: "wildfire",
+		Words:    []string{"blaze", "acres", "firefighters", "containment", "brush", "embers", "smoke", "scorched", "drought", "canyon"},
+		Mentions: []string{"wildfire", "brush fire"}},
+	{Name: "tsunami",
+		Words:    []string{"wave", "coastline", "undersea", "receded", "warning", "buoys", "swept", "harbor", "seawall", "offshore"},
+		Mentions: []string{"tsunami", "tidal wave"}},
+	{Name: "blizzard",
+		Words:    []string{"snowfall", "whiteout", "drifts", "plows", "frostbite", "subzero", "stranded", "icy", "snowstorm", "avalanche"},
+		Mentions: []string{"blizzard", "snowstorm", "ice storm"}},
+}
+
+// MDSubTopics covers man-made-disaster domains.
+var MDSubTopics = []SubTopic{
+	{Name: "explosion",
+		Words:    []string{"blast", "shrapnel", "detonation", "gas", "pipeline", "ignited", "fireball", "debris", "windows", "shockwave"},
+		Mentions: []string{"explosion", "blast"}},
+	{Name: "planecrash",
+		Words:    []string{"fuselage", "cockpit", "runway", "altitude", "wreckage", "aviation", "flight", "descent", "blackbox", "mayday"},
+		Mentions: []string{"plane crash", "jet crash"}},
+	{Name: "derailment",
+		Words:    []string{"locomotive", "railcars", "tracks", "freight", "conductor", "crossing", "coupling", "switchyard", "overturned", "commuter"},
+		Mentions: []string{"train derailment", "derailment", "train wreck"}},
+	{Name: "oilspill",
+		Words:    []string{"tanker", "slick", "barrels", "crude", "booms", "cleanup", "shoreline", "leaking", "hull", "contamination"},
+		Mentions: []string{"oil spill", "chemical spill"}},
+	{Name: "collapse",
+		Words:    []string{"scaffolding", "girders", "concrete", "masonry", "trapped", "excavators", "inspection", "structural", "foundation", "crane"},
+		Mentions: []string{"building collapse", "bridge collapse", "collapse"}},
+	{Name: "mine",
+		Words:    []string{"shaft", "miners", "colliery", "methane", "tunnel", "rescuers", "underground", "cave-in", "ventilation", "coal"},
+		Mentions: []string{"mine accident", "mine collapse", "cave-in"}},
+}
+
+// DOSubTopics covers disease-outbreak domains.
+var DOSubTopics = []SubTopic{
+	{Name: "waterborne",
+		Words: []string{"contaminated", "wells", "sanitation", "sewage", "rehydration", "chlorination", "latrines", "boiling", "diarrheal", "aquifer"}},
+	{Name: "respiratory",
+		Words: []string{"quarantine", "ventilators", "respiratory", "vaccination", "strain", "pandemic", "masks", "wards", "coughing", "virologists"}},
+	{Name: "foodborne",
+		Words: []string{"recall", "processing", "lettuce", "poultry", "refrigeration", "inspection", "packaging", "hygiene", "kitchens", "contamination"}},
+	{Name: "vectorborne",
+		Words: []string{"mosquitoes", "larvae", "netting", "spraying", "stagnant", "repellent", "fumigation", "swamps", "insecticide", "parasites"}},
+}
+
+// PHSubTopics covers criminal-charge domains.
+var PHSubTopics = []SubTopic{
+	{Name: "whitecollar",
+		Words: []string{"indictment", "subpoena", "auditors", "ledgers", "offshore", "shell", "investors", "securities", "regulators", "kickbacks"}},
+	{Name: "violent",
+		Words: []string{"detectives", "homicide", "arraigned", "testimony", "forensic", "weapon", "motive", "jury", "sentencing", "custody"}},
+	{Name: "corruption",
+		Words: []string{"lobbyist", "contracts", "payoffs", "wiretaps", "prosecutors", "grand", "probe", "resignation", "ethics", "favors"}},
+	{Name: "trafficking",
+		Words: []string{"cartel", "seizure", "contraband", "smugglers", "border", "narcotics", "informant", "stash", "couriers", "laundering"}},
+}
+
+// EWSubTopics covers election domains.
+var EWSubTopics = []SubTopic{
+	{Name: "national",
+		Words: []string{"ballots", "precincts", "turnout", "incumbent", "concession", "landslide", "electorate", "polling", "margin", "inauguration"}},
+	{Name: "local",
+		Words: []string{"council", "wards", "canvassing", "recount", "absentee", "registrar", "municipal", "precinct", "runoff", "tally"}},
+	{Name: "international",
+		Words: []string{"observers", "coalition", "parliament", "opposition", "monitors", "electoral", "commission", "provisional", "constituencies", "exiles"}},
+}
+
+// POSubTopics covers person-organization affiliation domains.
+var POSubTopics = []SubTopic{
+	{Name: "corporate",
+		Words: []string{"shareholders", "quarterly", "earnings", "merger", "boardroom", "executives", "dividend", "restructuring", "acquisition", "payroll"}},
+	{Name: "academic",
+		Words: []string{"faculty", "tenure", "endowment", "campus", "dean", "research", "fellowship", "laboratory", "curriculum", "provost"}},
+	{Name: "sports",
+		Words: []string{"roster", "franchise", "playoffs", "contract", "trade", "season", "locker", "scouts", "draft", "clubhouse"}},
+	{Name: "public",
+		Words: []string{"agency", "bureau", "budget", "oversight", "appointees", "directive", "taxpayers", "mandate", "department", "commissioners"}},
+}
+
+// PCSubTopics covers person-career domains.
+var PCSubTopics = []SubTopic{
+	{Name: "politics",
+		Words: []string{"campaign", "legislation", "caucus", "constituents", "statehouse", "veto", "filibuster", "delegation", "platform", "capitol"}},
+	{Name: "business",
+		Words: []string{"startup", "venture", "revenue", "portfolio", "markets", "trading", "valuation", "profits", "commerce", "entrepreneurs"}},
+	{Name: "sports",
+		Words: []string{"championship", "tournament", "standings", "stadium", "innings", "halftime", "referee", "medal", "league", "training"}},
+	{Name: "arts",
+		Words: []string{"gallery", "premiere", "orchestra", "repertoire", "exhibition", "manuscript", "critics", "audition", "ensemble", "studio"}},
+	{Name: "science",
+		Words: []string{"hypothesis", "experiment", "journal", "telescope", "genome", "particle", "specimen", "grant", "symposium", "peer-reviewed"}},
+}
+
+// backgroundTopics supply vocabulary for useless documents (and filler in
+// useful ones), modelling the bulk of a news corpus.
+var backgroundTopics = []SubTopic{
+	{Name: "cooking", Words: []string{"recipe", "simmer", "garlic", "saute", "oven", "broth", "seasoning", "skillet", "marinade", "pastry", "whisk", "zest"}},
+	{Name: "travel", Words: []string{"itinerary", "passport", "resort", "sightseeing", "museum", "cruise", "luggage", "souvenirs", "vineyard", "boutique", "cathedral", "plaza"}},
+	{Name: "fashion", Words: []string{"runway", "couture", "fabric", "silhouette", "designer", "hemline", "tailoring", "accessories", "collection", "chiffon", "tweed", "vogue"}},
+	{Name: "music", Words: []string{"album", "melody", "chorus", "acoustic", "vinyl", "lyrics", "bassline", "encore", "harmony", "tempo", "ballad", "quartet"}},
+	{Name: "film", Words: []string{"screenplay", "box office", "sequel", "casting", "cinematography", "trailer", "matinee", "script", "documentary", "animation", "premiere", "reel"}},
+	{Name: "gardening", Words: []string{"perennials", "mulch", "pruning", "seedlings", "compost", "trellis", "blossoms", "fertilizer", "hedges", "greenhouse", "tulips", "soil"}},
+	{Name: "technology", Words: []string{"software", "gadget", "processor", "bandwidth", "prototype", "interface", "silicon", "circuit", "modem", "pixels", "database", "encryption"}},
+	{Name: "markets", Words: []string{"index", "futures", "bonds", "commodities", "inflation", "yield", "brokers", "rally", "session", "benchmark", "bulls", "hedging"}},
+	{Name: "education", Words: []string{"classroom", "tuition", "syllabus", "homework", "grading", "scholarship", "enrollment", "textbook", "semester", "lecture", "principal", "recess"}},
+	{Name: "weather", Words: []string{"forecast", "humidity", "breeze", "sunshine", "overcast", "drizzle", "frost", "thermometer", "seasonal", "clouds", "mild", "chilly"}},
+	{Name: "dining", Words: []string{"bistro", "entree", "sommelier", "reservation", "brasserie", "appetizer", "dessert", "patio", "chef", "tasting", "menu", "decor"}},
+	{Name: "realestate", Words: []string{"brownstone", "mortgage", "listing", "renovation", "appraisal", "tenants", "zoning", "condominium", "brokerage", "skyline", "lofts", "landlord"}},
+}
+
+// FillerVerbs and FillerNouns give generated sentences a news-prose rhythm.
+var FillerVerbs = []string{
+	"reported", "announced", "described", "noted", "observed", "recalled",
+	"confirmed", "discussed", "examined", "reviewed", "considered",
+	"highlighted", "mentioned", "suggested", "outlined", "emphasized",
+}
+
+// FillerNouns are the subject nouns of generated news-prose sentences.
+var FillerNouns = []string{
+	"officials", "residents", "reporters", "analysts", "witnesses",
+	"neighbors", "visitors", "experts", "organizers", "spokespeople",
+	"commuters", "volunteers", "critics", "observers", "authorities",
+	"correspondents",
+}

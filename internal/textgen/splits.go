@@ -1,0 +1,48 @@
+package textgen
+
+import "adaptiverank/internal/corpus"
+
+// Splits mirrors the paper's corpus partition: a training split (used to
+// train/configure the extraction systems), a development split (technique
+// and parameter selection), a test split (final evaluation), and a
+// TREC-like side collection (query learning for CQS sampling).
+type Splits struct {
+	Train, Dev, Test, TRECLike                 *corpus.Collection
+	TruthTrain, TruthDev, TruthTest, TruthTREC *GroundTruth
+}
+
+// SplitSizes configures the number of documents per split.
+type SplitSizes struct {
+	Train, Dev, Test, TRECLike int
+}
+
+// ScaleTest is the tiny scale used by unit and integration tests.
+func ScaleTest() SplitSizes { return SplitSizes{Train: 250, Dev: 700, Test: 1000, TRECLike: 500} }
+
+// ScaleBench is the scale used by the benchmark harness; it preserves the
+// paper's 5%/35%/60% train/dev/test proportions at laptop-feasible size.
+func ScaleBench() SplitSizes { return SplitSizes{Train: 1000, Dev: 8000, Test: 12000, TRECLike: 2500} }
+
+// GenerateSplits generates the four collections with seeds derived from
+// seed, using cfg as the per-split template (its Seed and NumDocs fields
+// are overridden per split).
+func GenerateSplits(seed int64, sizes SplitSizes, cfg Config) *Splits {
+	gen := func(offset int64, n int) (*corpus.Collection, *GroundTruth) {
+		c := cfg
+		c.Seed = seed + offset
+		c.NumDocs = n
+		return Generate(c)
+	}
+	s := &Splits{}
+	s.Train, s.TruthTrain = gen(1, sizes.Train)
+	s.Dev, s.TruthDev = gen(2, sizes.Dev)
+	s.Test, s.TruthTest = gen(3, sizes.Test)
+	// The TREC-like collection is distributionally shifted: sub-topics
+	// common there are rare in dev/test (see Config.SubTopicShift).
+	trecCfg := cfg
+	trecCfg.Seed = seed + 4
+	trecCfg.NumDocs = sizes.TRECLike
+	trecCfg.SubTopicReverse = true
+	s.TRECLike, s.TruthTREC = Generate(trecCfg)
+	return s
+}

@@ -1,0 +1,243 @@
+package textgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"adaptiverank/internal/relation"
+)
+
+// relationSentence produces one relation-bearing sentence for r under
+// sub-topic st, plus the tuple it expresses. Easy sentences use the trigger
+// constructions the corresponding extractor was trained on; hard sentences
+// express the relation in ways outside the extractor's competence (the
+// extractor, a black box, will miss them — mirroring real recall limits).
+func (g *generator) relationSentence(r relation.Relation, st SubTopic, hard bool) (string, relation.Tuple) {
+	switch r {
+	case relation.ND:
+		return g.disasterSentence(relation.ND, st, hard)
+	case relation.MD:
+		return g.disasterSentence(relation.MD, st, hard)
+	case relation.DO:
+		return g.diseaseSentence(hard)
+	case relation.PH:
+		return g.chargeSentence(hard)
+	case relation.EW:
+		return g.electionSentence(hard)
+	case relation.PO:
+		return g.affiliationSentence(hard)
+	case relation.PC:
+		return g.careerSentence(hard)
+	}
+	panic(fmt.Sprintf("textgen: no sentence template for relation %v", r))
+}
+
+// NDTriggers are the verbs the ND/MD kernel exemplars are built around.
+var NDTriggers = []string{"struck", "hit", "devastated", "swept", "ravaged",
+	"battered", "rocked", "pounded", "flattened", "lashed", "scarred"}
+
+// MDTriggers are the man-made disaster trigger verbs. They are disjoint
+// from NDTriggers so the two disaster extraction systems do not fire on
+// each other's sentences.
+var MDTriggers = []string{"destroyed", "leveled", "engulfed", "crippled",
+	"demolished", "wrecked", "gutted", "shattered", "mangled", "charred"}
+
+func (g *generator) disasterSentence(r relation.Relation, st SubTopic, hard bool) (string, relation.Tuple) {
+	mention := g.pick(st.Mentions)
+	loc := g.pick(Locations)
+	tuple := relation.Tuple{Rel: r, Arg1: mention, Arg2: loc}
+	triggers := NDTriggers
+	if r == relation.MD {
+		triggers = MDTriggers
+	}
+	if hard {
+		switch g.rng.Intn(3) {
+		case 0:
+			return fmt.Sprintf("Residents of %s remembered the %s from years past.", loc, mention), tuple
+		case 1:
+			return fmt.Sprintf("%s has endured more than one %s over the decades.", loc, mention), tuple
+		default:
+			return fmt.Sprintf("A memorial in %s honors victims of the %s.", loc, mention), tuple
+		}
+	}
+	trig := g.pick(triggers)
+	switch g.rng.Intn(4) {
+	case 0:
+		return fmt.Sprintf("A %s %s %s on %s.", mention, trig, loc, g.pick(weekdays)), tuple
+	case 1:
+		return fmt.Sprintf("The %s %s parts of %s overnight.", mention, trig, loc), tuple
+	case 2:
+		return fmt.Sprintf("A powerful %s %s %s early yesterday.", mention, trig, loc), tuple
+	default:
+		return fmt.Sprintf("A %s %s the coast of %s.", mention, trig, loc), tuple
+	}
+}
+
+func (g *generator) diseaseSentence(hard bool) (string, relation.Tuple) {
+	disease := g.pick(Diseases)
+	when := g.temporal()
+	tuple := relation.Tuple{Rel: relation.DO, Arg1: disease, Arg2: when}
+	if hard {
+		// The temporal expression sits far from the disease mention, so
+		// the distance-based relation predictor does not link them.
+		return fmt.Sprintf(
+			"Doctors have studied %s for decades, and clinics across the region reported steady improvements in testing capacity %s.",
+			disease, when), tuple
+	}
+	return fmt.Sprintf(g.pick(DOTemplates), disease, when), tuple
+}
+
+func (g *generator) chargeSentence(hard bool) (string, relation.Tuple) {
+	person := g.person()
+	charge := g.pick(Charges)
+	tuple := relation.Tuple{Rel: relation.PH, Arg1: person, Arg2: charge}
+	if hard {
+		switch g.rng.Intn(2) {
+		case 0:
+			return fmt.Sprintf("%s denied any role in the %s scandal.", person, charge), tuple
+		default:
+			return fmt.Sprintf("Rumors about %s and the alleged %s circulated widely.", person, charge), tuple
+		}
+	}
+	c := PHConstructions[g.rng.Intn(len(PHConstructions))]
+	return fmt.Sprintf(c.Format, person, charge), tuple
+}
+
+func (g *generator) electionSentence(hard bool) (string, relation.Tuple) {
+	person := g.person()
+	election := g.pick(ElectionKinds)
+	tuple := relation.Tuple{Rel: relation.EW, Arg1: election, Arg2: person}
+	if hard {
+		switch g.rng.Intn(2) {
+		case 0:
+			return fmt.Sprintf("%s conceded defeat in the %s.", person, election), tuple
+		default:
+			return fmt.Sprintf("%s campaigned tirelessly before the %s.", person, election), tuple
+		}
+	}
+	c := EWConstructions[g.rng.Intn(len(EWConstructions))]
+	return fmt.Sprintf(c.Format, person, election), tuple
+}
+
+func (g *generator) affiliationSentence(hard bool) (string, relation.Tuple) {
+	person := g.person()
+	org := g.org()
+	tuple := relation.Tuple{Rel: relation.PO, Arg1: person, Arg2: org}
+	if hard {
+		switch g.rng.Intn(2) {
+		case 0:
+			return fmt.Sprintf("%s criticized %s at the hearing.", person, org), tuple
+		default:
+			return fmt.Sprintf("%s toured the offices of %s on %s.", person, org, g.pick(weekdays)), tuple
+		}
+	}
+	c := POPositive[g.rng.Intn(len(POPositive))]
+	return fmt.Sprintf(c.Format, person, org), tuple
+}
+
+func (g *generator) careerSentence(hard bool) (string, relation.Tuple) {
+	person := g.person()
+	career := g.pick(Careers)
+	tuple := relation.Tuple{Rel: relation.PC, Arg1: person, Arg2: career}
+	if hard {
+		switch g.rng.Intn(2) {
+		case 0:
+			return fmt.Sprintf("%s once dreamed of becoming a %s.", person, career), tuple
+		default:
+			return fmt.Sprintf("Friends say %s admired every %s in town.", person, career), tuple
+		}
+	}
+	c := PCConstructions[g.rng.Intn(len(PCConstructions))]
+	return fmt.Sprintf(c.Format, person, career), tuple
+}
+
+// distractorSentence produces a sentence that contains trigger or domain
+// vocabulary of relation r in a context the extraction system (correctly)
+// rejects — no extractable entity pair. These sentences are what makes
+// plain keyword retrieval imprecise for extraction: a query like [accused]
+// or [fraud] matches them although they yield no tuples, reproducing the
+// precision limitation of query-based document selection the paper
+// describes for QXtract/FactCrawl.
+func (g *generator) distractorSentence(r relation.Relation) string {
+	trigger, domain := g.distractorVocab(r)
+	// Generic non-entity frames: the trigger verb (or domain noun) in a
+	// sentence with no recognizable entity pair. Every trigger and domain
+	// word of every relation flows through here, so no single word is a
+	// clean marker of usefulness.
+	switch g.rng.Intn(5) {
+	case 0:
+		return fmt.Sprintf("The committee %s the proposal over the %s debate.", trigger, domain)
+	case 1:
+		return fmt.Sprintf("Commentators said the panel %s nothing despite the %s coverage.", trigger, domain)
+	case 2:
+		return fmt.Sprintf("A seminar on %s history drew crowds before the vote was %s.", domain, trigger)
+	case 3:
+		return fmt.Sprintf("The editorial %s that the %s figures were misleading.", trigger, domain)
+	default:
+		return fmt.Sprintf("Reviews %s the %s exhibit within days.", trigger, domain)
+	}
+}
+
+// distractorVocab samples a trigger word and a domain word for relation r,
+// covering the full trigger set and argument gazetteer of each extraction
+// system.
+func (g *generator) distractorVocab(r relation.Relation) (trigger, domain string) {
+	switch r {
+	case relation.ND:
+		st := NDSubTopics[g.rng.Intn(len(NDSubTopics))]
+		// Half the time the domain word is a disaster mention itself
+		// (metaphorical or historical use), so mention words are not
+		// clean usefulness markers either.
+		if g.rng.Intn(2) == 0 {
+			return g.pick(NDTriggers), g.pick(st.Mentions)
+		}
+		return g.pick(NDTriggers), g.pick(st.Words)
+	case relation.MD:
+		st := MDSubTopics[g.rng.Intn(len(MDSubTopics))]
+		if g.rng.Intn(2) == 0 {
+			return g.pick(MDTriggers), g.pick(st.Mentions)
+		}
+		return g.pick(MDTriggers), g.pick(st.Words)
+	case relation.DO:
+		return g.pick([]string{"outbreak", "cases", "epidemic", "infections",
+			"reported", "confirmed", "surged", "erupted", "traced"}), g.pick(Diseases)
+	case relation.PH:
+		return g.pick(GateWords(PHConstructions)), g.pick(Charges)
+	case relation.EW:
+		return g.pick(GateWords(EWConstructions)), g.pick([]string{
+			"ballots", "margin", "voters", "presidential", "mayoral",
+			"senate", "gubernatorial", "parliamentary", "runoff"})
+	case relation.PO:
+		return g.pick(GateWords(POPositive)), g.pick([]string{
+			"director", "manager", "offices", "staff", "executives", "downtown"})
+	case relation.PC:
+		return g.pick(GateWords(PCConstructions)), g.pick(Careers)
+	}
+	panic(fmt.Sprintf("textgen: no distractor vocabulary for relation %v", r))
+}
+
+// syntheticVocabulary builds n unique pronounceable pseudo-words that form
+// the shared Zipf-distributed background vocabulary.
+func syntheticVocabulary(n int, rng *rand.Rand) []string {
+	onsets := []string{"b", "d", "f", "g", "k", "l", "m", "n", "p", "r",
+		"s", "t", "v", "z", "br", "st", "tr", "kl", "pr", "gr", "dr", "sk"}
+	vowels := []string{"a", "e", "i", "o", "u", "ai", "ou", "ea"}
+	codas := []string{"", "n", "r", "s", "l", "t", "m", "x"}
+	seen := make(map[string]bool, n)
+	out := make([]string, 0, n)
+	syllable := func() string {
+		return onsets[rng.Intn(len(onsets))] + vowels[rng.Intn(len(vowels))]
+	}
+	for len(out) < n {
+		w := syllable() + syllable() + codas[rng.Intn(len(codas))]
+		if rng.Intn(3) == 0 {
+			w = syllable() + w
+		}
+		if len(w) < 4 || seen[w] {
+			continue
+		}
+		seen[w] = true
+		out = append(out, w)
+	}
+	return out
+}

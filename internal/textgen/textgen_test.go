@@ -1,0 +1,201 @@
+package textgen
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"adaptiverank/internal/relation"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultConfig(42, 200)
+	a, _ := Generate(cfg)
+	b, _ := Generate(cfg)
+	if a.Len() != b.Len() {
+		t.Fatalf("lengths differ: %d vs %d", a.Len(), b.Len())
+	}
+	for i := 0; i < a.Len(); i++ {
+		if a.Docs()[i].Text != b.Docs()[i].Text {
+			t.Fatalf("document %d differs between identical configs", i)
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a, _ := Generate(DefaultConfig(1, 50))
+	b, _ := Generate(DefaultConfig(2, 50))
+	same := 0
+	for i := 0; i < 50; i++ {
+		if a.Docs()[i].Text == b.Docs()[i].Text {
+			same++
+		}
+	}
+	if same == 50 {
+		t.Error("different seeds produced identical corpora")
+	}
+}
+
+func TestPlantedDensitiesTrackTargets(t *testing.T) {
+	cfg := DefaultConfig(7, 8000)
+	_, gt := Generate(cfg)
+	for _, r := range relation.All() {
+		want := r.Density() * cfg.PlantBoost
+		if o, ok := cfg.DensityOverride[r]; ok {
+			want = o * cfg.PlantBoost
+		}
+		got := float64(len(gt.Planted[r])) / 8000
+		// Allow 3.5 standard deviations of binomial noise.
+		sd := math.Sqrt(want * (1 - want) / 8000)
+		if math.Abs(got-want) > 3.5*sd+1e-9 {
+			t.Errorf("%s planted density = %.4f, want %.4f ± %.4f", r.Code(), got, want, 3.5*sd)
+		}
+	}
+}
+
+func TestGroundTruthConsistency(t *testing.T) {
+	_, gt := Generate(DefaultConfig(3, 2000))
+	for _, r := range relation.All() {
+		seen := map[int32]bool{}
+		for _, id := range gt.Planted[r] {
+			if seen[int32(id)] {
+				t.Errorf("%s: document %d planted twice", r.Code(), id)
+			}
+			seen[int32(id)] = true
+			if gt.SubTopics[r][id] == "" {
+				t.Errorf("%s: planted document %d has no sub-topic", r.Code(), id)
+			}
+		}
+		for id := range gt.EasyPlanted[r] {
+			if !seen[int32(id)] {
+				t.Errorf("%s: easy-planted document %d not in Planted", r.Code(), id)
+			}
+		}
+	}
+}
+
+func TestPlantedTuplesAppearInText(t *testing.T) {
+	coll, gt := Generate(DefaultConfig(5, 1500))
+	checked := 0
+	for id, tuples := range gt.Tuples {
+		text := strings.ToLower(coll.Doc(id).Text)
+		for _, tu := range tuples {
+			checked++
+			if !strings.Contains(text, strings.ToLower(tu.Arg1)) {
+				t.Errorf("doc %d: planted arg1 %q not in text", id, tu.Arg1)
+			}
+			if !strings.Contains(text, strings.ToLower(tu.Arg2)) {
+				t.Errorf("doc %d: planted arg2 %q not in text", id, tu.Arg2)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no planted tuples generated")
+	}
+}
+
+func TestSubTopicSkewAndReversal(t *testing.T) {
+	count := func(reverse bool) map[string]int {
+		cfg := DefaultConfig(11, 12000)
+		cfg.SubTopicReverse = reverse
+		// Boost ND so the histogram has mass.
+		cfg.DensityOverride = map[relation.Relation]float64{relation.ND: 0.2}
+		_, gt := Generate(cfg)
+		hist := map[string]int{}
+		for _, st := range gt.SubTopics[relation.ND] {
+			hist[st]++
+		}
+		return hist
+	}
+	fwd := count(false)
+	rev := count(true)
+	first := NDSubTopics[0].Name
+	last := NDSubTopics[len(NDSubTopics)-1].Name
+	if fwd[first] <= fwd[last] {
+		t.Errorf("forward skew: %s=%d should dominate %s=%d", first, fwd[first], last, fwd[last])
+	}
+	if rev[last] <= rev[first] {
+		t.Errorf("reversed skew: %s=%d should dominate %s=%d", last, rev[last], first, rev[first])
+	}
+}
+
+func TestGenerateSplitsShapes(t *testing.T) {
+	sizes := SplitSizes{Train: 50, Dev: 60, Test: 70, TRECLike: 80}
+	s := GenerateSplits(1, sizes, DefaultConfig(0, 0))
+	if s.Train.Len() != 50 || s.Dev.Len() != 60 || s.Test.Len() != 70 || s.TRECLike.Len() != 80 {
+		t.Errorf("split sizes = %d/%d/%d/%d", s.Train.Len(), s.Dev.Len(), s.Test.Len(), s.TRECLike.Len())
+	}
+	// Splits must differ from each other (different derived seeds).
+	if s.Train.Doc(0).Text == s.Dev.Doc(0).Text {
+		t.Error("train and dev splits appear identical")
+	}
+}
+
+func TestSyntheticVocabularyUnique(t *testing.T) {
+	coll, _ := Generate(DefaultConfig(1, 10))
+	_ = coll
+	// Directly exercise the vocabulary builder.
+	words := syntheticVocabulary(500, newTestRand())
+	seen := map[string]bool{}
+	for _, w := range words {
+		if seen[w] {
+			t.Fatalf("duplicate synthetic word %q", w)
+		}
+		if len(w) < 4 {
+			t.Fatalf("synthetic word %q too short", w)
+		}
+		seen[w] = true
+	}
+}
+
+func TestDistractorSentencesCoverAllRelations(t *testing.T) {
+	g := &generator{cfg: DefaultConfig(1, 1), rng: newTestRand()}
+	for _, r := range relation.All() {
+		s := g.distractorSentence(r)
+		if len(s) < 10 || !strings.HasSuffix(s, ".") {
+			t.Errorf("%s distractor %q malformed", r.Code(), s)
+		}
+	}
+}
+
+func TestRelationSentenceProducesTuple(t *testing.T) {
+	g := &generator{cfg: DefaultConfig(2, 1), rng: newTestRand()}
+	for _, r := range relation.All() {
+		sts := relationSubTopics(r)
+		sent, tuple := g.relationSentence(r, sts[0], false)
+		if tuple.Rel != r {
+			t.Errorf("%s: tuple relation = %v", r.Code(), tuple.Rel)
+		}
+		low := strings.ToLower(sent)
+		if !strings.Contains(low, strings.ToLower(tuple.Arg1)) {
+			t.Errorf("%s: sentence %q lacks arg1 %q", r.Code(), sent, tuple.Arg1)
+		}
+	}
+}
+
+func TestGatewordsDeduplicated(t *testing.T) {
+	gates := GateWords(PHConstructions)
+	seen := map[string]bool{}
+	for _, g := range gates {
+		if seen[g] {
+			t.Errorf("duplicate gate %q", g)
+		}
+		seen[g] = true
+	}
+	if len(gates) < 5 {
+		t.Errorf("PH gates = %v, want >= 5 distinct triggers", gates)
+	}
+}
+
+func TestGenerateZeroDocsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for NumDocs=0")
+		}
+	}()
+	Generate(Config{NumDocs: 0})
+}
+
+// newTestRand returns a deterministic rng for generator-internals tests.
+func newTestRand() *rand.Rand { return rand.New(rand.NewSource(99)) }

@@ -1,0 +1,62 @@
+package tokenize
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestWordsUnicode(t *testing.T) {
+	got := Words("Simões visited São Paulo")
+	want := []string{"simões", "visited", "são", "paulo"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Words = %v, want %v", got, want)
+	}
+}
+
+func TestWordsEmptyAndPunctuationOnly(t *testing.T) {
+	if got := Words(""); len(got) != 0 {
+		t.Errorf("Words(\"\") = %v", got)
+	}
+	if got := Words("... --- !!!"); len(got) != 0 {
+		t.Errorf("Words(punct) = %v", got)
+	}
+}
+
+func TestSentencesMultiplePunct(t *testing.T) {
+	got := Sentences("Really?! Yes. Done")
+	// "?!" — the '?' ends a sentence only when followed by space/EOT;
+	// '!' then also terminates. Accept any split that keeps the words.
+	var joined string
+	for _, s := range got {
+		joined += s + " "
+	}
+	for _, w := range []string{"Really", "Yes", "Done"} {
+		if !contains(joined, w) {
+			t.Errorf("lost %q in %v", w, got)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestContentWordsDropsSingleChars(t *testing.T) {
+	got := ContentWords("a b earthquake c")
+	if len(got) != 1 || got[0] != "earthquake" {
+		t.Errorf("ContentWords = %v", got)
+	}
+}
+
+func TestWordsCasedPreservesCase(t *testing.T) {
+	got := WordsCased("James SMITH arrived")
+	want := []string{"James", "SMITH", "arrived"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("WordsCased = %v, want %v", got, want)
+	}
+}

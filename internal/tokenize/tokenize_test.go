@@ -1,0 +1,164 @@
+package tokenize
+
+import (
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestWordsBasic(t *testing.T) {
+	got := Words("A tsunami swept the coast of Hawaii.")
+	want := []string{"a", "tsunami", "swept", "the", "coast", "of", "hawaii"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Words = %v, want %v", got, want)
+	}
+}
+
+func TestWordsApostropheAndHyphen(t *testing.T) {
+	got := Words("O'Brien's man-made plan")
+	want := []string{"o'brien's", "man-made", "plan"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Words = %v, want %v", got, want)
+	}
+}
+
+func TestWordsTrimsDanglingPunctuation(t *testing.T) {
+	got := Words("well- 'quoted'")
+	for _, w := range got {
+		if strings.HasPrefix(w, "'") || strings.HasSuffix(w, "-") || w == "" {
+			t.Errorf("token %q not trimmed", w)
+		}
+	}
+}
+
+func TestWordsKeepsNumbers(t *testing.T) {
+	got := Words("magnitude 7.8 quake in 1989")
+	joined := strings.Join(got, " ")
+	if !strings.Contains(joined, "7") || !strings.Contains(joined, "1989") {
+		t.Errorf("numbers lost: %v", got)
+	}
+}
+
+func TestWordsCasedMatchesWordsLowered(t *testing.T) {
+	f := func(s string) bool {
+		cased := WordsCased(s)
+		lowered := Words(s)
+		if len(cased) != len(lowered) {
+			return false
+		}
+		for i := range cased {
+			if strings.ToLower(cased[i]) != lowered[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSentences(t *testing.T) {
+	got := Sentences("First one. Second here! Third? Last")
+	want := []string{"First one.", "Second here!", "Third?", "Last"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Sentences = %v, want %v", got, want)
+	}
+}
+
+func TestSentencesKeepsInitials(t *testing.T) {
+	got := Sentences("Mr. J. Smith arrived. He left.")
+	// "J." must not end a sentence; "Mr." is a single-capital-preceded
+	// period under our heuristic? "Mr." ends with lowercase r, so it does
+	// split — accept either 2 or 3 sentences but never a split after "J."
+	for _, s := range got {
+		if s == "J." {
+			t.Errorf("split after initial: %v", got)
+		}
+	}
+}
+
+func TestSentencesNewline(t *testing.T) {
+	got := Sentences("line one\nline two")
+	if len(got) != 2 {
+		t.Errorf("Sentences = %v, want 2 sentences", got)
+	}
+}
+
+func TestSentencesEmpty(t *testing.T) {
+	if got := Sentences("   "); len(got) != 0 {
+		t.Errorf("Sentences(blank) = %v, want none", got)
+	}
+}
+
+func TestContentWordsDropsStopwords(t *testing.T) {
+	got := ContentWords("The quake and the tsunami")
+	want := []string{"quake", "tsunami"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ContentWords = %v, want %v", got, want)
+	}
+}
+
+func TestIsStopword(t *testing.T) {
+	if !IsStopword("the") {
+		t.Error("'the' must be a stopword")
+	}
+	if IsStopword("earthquake") {
+		t.Error("'earthquake' must not be a stopword")
+	}
+}
+
+func TestBigrams(t *testing.T) {
+	got := Bigrams([]string{"a", "b", "c"})
+	want := []string{"a_b", "b_c"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Bigrams = %v, want %v", got, want)
+	}
+	if Bigrams([]string{"solo"}) != nil {
+		t.Error("Bigrams of one token must be nil")
+	}
+}
+
+func TestVocabAssignsStableIDs(t *testing.T) {
+	v := NewVocab()
+	a := v.ID("alpha")
+	b := v.ID("beta")
+	if a == b {
+		t.Fatal("distinct features must get distinct ids")
+	}
+	if v.ID("alpha") != a {
+		t.Error("repeated ID lookup must be stable")
+	}
+	if v.Name(a) != "alpha" || v.Name(b) != "beta" {
+		t.Error("Name must invert ID")
+	}
+	if v.Len() != 2 {
+		t.Errorf("Len = %d, want 2", v.Len())
+	}
+	if _, ok := v.Lookup("gamma"); ok {
+		t.Error("Lookup must not intern")
+	}
+	if id, ok := v.Lookup("alpha"); !ok || id != a {
+		t.Error("Lookup must find interned features")
+	}
+}
+
+func TestVocabConcurrent(t *testing.T) {
+	v := NewVocab()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				v.ID("tok" + string(rune('a'+i%26)))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if v.Len() != 26 {
+		t.Errorf("Len = %d, want 26 distinct tokens", v.Len())
+	}
+}

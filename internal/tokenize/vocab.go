@@ -1,0 +1,60 @@
+package tokenize
+
+import "sync"
+
+// Vocab interns feature strings to dense int32 ids. It is safe for
+// concurrent use; ids are assigned in first-seen order, so a Vocab shared
+// by deterministic single-goroutine code assigns deterministic ids.
+type Vocab struct {
+	mu    sync.RWMutex
+	ids   map[string]int32
+	names []string
+}
+
+// NewVocab returns an empty vocabulary.
+func NewVocab() *Vocab {
+	return &Vocab{ids: make(map[string]int32)}
+}
+
+// ID returns the id for feature s, assigning the next free id when s is new.
+func (v *Vocab) ID(s string) int32 {
+	v.mu.RLock()
+	id, ok := v.ids[s]
+	v.mu.RUnlock()
+	if ok {
+		return id
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if id, ok = v.ids[s]; ok {
+		return id
+	}
+	id = int32(len(v.names))
+	v.ids[s] = id
+	v.names = append(v.names, s)
+	return id
+}
+
+// Lookup returns the id for s without assigning one; ok is false if s has
+// never been interned.
+func (v *Vocab) Lookup(s string) (id int32, ok bool) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	id, ok = v.ids[s]
+	return id, ok
+}
+
+// Name returns the feature string for an id; it panics on out-of-range ids,
+// which always indicate a bug (ids only come from the same Vocab).
+func (v *Vocab) Name(id int32) string {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.names[id]
+}
+
+// Len reports how many distinct features have been interned.
+func (v *Vocab) Len() int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return len(v.names)
+}

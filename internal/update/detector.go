@@ -1,0 +1,49 @@
+// Package update implements the update-detection techniques of Section 3.2
+// — Top-K and Mod-C — plus the Wind-F and Feat-S baselines of Section 4.
+// A detector watches the stream of processed, freshly-labelled documents
+// and decides when updating the ranking model (and re-ranking the pending
+// documents) is likely to pay off.
+package update
+
+import "adaptiverank/internal/vector"
+
+// Detector decides when the ranking model should be updated.
+type Detector interface {
+	// Name identifies the technique ("Top-K", "Mod-C", ...).
+	Name() string
+	// Observe is called once per processed document, with the document's
+	// feature vector and its extraction outcome; it returns true when a
+	// model update should be triggered now.
+	Observe(x vector.Sparse, useful bool) bool
+	// Reset is called right after the pipeline performs a model update,
+	// so the detector can re-baseline against the refreshed model.
+	Reset()
+}
+
+// WindF is the naive fixed-window baseline: it triggers an update every
+// Window processed documents, regardless of content.
+type WindF struct {
+	Window int
+	seen   int
+}
+
+// NewWindF returns a fixed-window detector. The paper's configuration
+// updates 50 times over the collection, i.e. Window = len(collection)/50.
+func NewWindF(window int) *WindF {
+	if window < 1 {
+		window = 1
+	}
+	return &WindF{Window: window}
+}
+
+// Name implements Detector.
+func (w *WindF) Name() string { return "Wind-F" }
+
+// Observe implements Detector.
+func (w *WindF) Observe(vector.Sparse, bool) bool {
+	w.seen++
+	return w.seen >= w.Window
+}
+
+// Reset implements Detector.
+func (w *WindF) Reset() { w.seen = 0 }

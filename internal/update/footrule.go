@@ -1,0 +1,75 @@
+package update
+
+import (
+	"math"
+
+	"adaptiverank/internal/vector"
+)
+
+// Footrule computes the weighted generalized Spearman's Footrule of the
+// paper's footnote 7 between two ranked, weighted feature lists:
+//
+//	F(A,B) = sum_i w_i * | sum_{j: rankA(j) <= rankA(i)} w_j
+//	                     - sum_{j: rankB(j) <= rankB(i)} w_j |
+//
+// Lists are ranked by decreasing |weight|; the per-feature weight w_i is
+// the mean absolute weight of the feature across the two lists (0 for a
+// list where it is absent). A feature absent from a list is treated as
+// ranked past the end of that list, so its prefix sum there is the list's
+// total weight — heavily weighted features entering or leaving the top-K
+// therefore move the metric most, as intended.
+// Both the per-feature weights and the prefix positions are normalized by
+// the lists' total weight, so the distance lies in [0,1] and the threshold
+// tau is scale-free (the raw SVM weight magnitudes drift as training
+// progresses, which would otherwise change what a fixed tau means).
+func Footrule(a, b []vector.WeightedFeature) float64 {
+	posA, totalA := prefixPositions(a)
+	posB, totalB := prefixPositions(b)
+	if totalA == 0 && totalB == 0 {
+		return 0
+	}
+
+	universe := make(map[int32]float64)
+	var wTotal float64
+	for _, f := range a {
+		universe[f.Index] += math.Abs(f.Weight) / 2
+		wTotal += math.Abs(f.Weight) / 2
+	}
+	for _, f := range b {
+		universe[f.Index] += math.Abs(f.Weight) / 2
+		wTotal += math.Abs(f.Weight) / 2
+	}
+	if wTotal == 0 {
+		return 0
+	}
+
+	var d float64
+	for idx, w := range universe {
+		pa, pb := 1.0, 1.0
+		if totalA > 0 {
+			if p, ok := posA[idx]; ok {
+				pa = p / totalA
+			}
+		}
+		if totalB > 0 {
+			if p, ok := posB[idx]; ok {
+				pb = p / totalB
+			}
+		}
+		d += (w / wTotal) * math.Abs(pa-pb)
+	}
+	return d
+}
+
+// prefixPositions maps each feature to the cumulative |weight| of all
+// features ranked at or before it (lists arrive sorted by decreasing
+// |weight| from vector.Weights.TopK), and returns the total weight.
+func prefixPositions(list []vector.WeightedFeature) (map[int32]float64, float64) {
+	pos := make(map[int32]float64, len(list))
+	var cum float64
+	for _, f := range list {
+		cum += math.Abs(f.Weight)
+		pos[f.Index] = cum
+	}
+	return pos, cum
+}

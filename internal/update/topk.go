@@ -1,0 +1,119 @@
+package update
+
+import (
+	"adaptiverank/internal/learn"
+	"adaptiverank/internal/vector"
+)
+
+// TopK is the first update-detection technique of Section 3.2: it
+// maintains its own SVM-based linear classifier over the same features as
+// the ranking model, and triggers an update when the weighted generalized
+// Spearman's Footrule between the top-K feature list at the last update
+// and the current top-K feature list exceeds tau.
+type TopK struct {
+	// K is the number of most influential features compared (200 in the
+	// paper's configuration).
+	K int
+	// Tau is the footrule trigger threshold. The paper uses tau=0.5 with
+	// its unnormalized footrule; our footrule normalizes weights and
+	// positions into [0,1] (see Footrule), for which dev-set calibration
+	// gives tau=0.2.
+	Tau float64
+
+	side *learn.OnlineSVM
+	ref  []vector.WeightedFeature
+	// Label-balancing holdback queues: the raw document stream is
+	// heavily skewed toward useless documents, under which an
+	// L1-regularized classifier collapses to the empty model. The side
+	// classifier therefore consumes one positive and one negative at a
+	// time, like a BAgg-IE committee member.
+	qPos, qNeg []vector.Sparse
+
+	// LastDistance exposes the most recent footrule value for
+	// diagnostics, threshold calibration, and tests.
+	LastDistance float64
+}
+
+// TopKOptions configures the detector; zero fields take Section 4 defaults.
+type TopKOptions struct {
+	K   int
+	Tau float64
+	// LambdaAll/LambdaL2 regularize the side classifier; defaults match
+	// the BAgg-IE member setting.
+	LambdaAll, LambdaL2 float64
+}
+
+// NewTopK builds the detector with its independent side classifier.
+func NewTopK(opts TopKOptions) *TopK {
+	if opts.K == 0 {
+		opts.K = 200
+	}
+	if opts.Tau == 0 {
+		opts.Tau = 0.2
+	}
+	if opts.LambdaAll == 0 {
+		opts.LambdaAll = 0.5
+	}
+	if opts.LambdaL2 == 0 {
+		opts.LambdaL2 = 0.99
+	}
+	return &TopK{
+		K:    opts.K,
+		Tau:  opts.Tau,
+		side: learn.NewOnlineSVM(learn.ElasticNet{LambdaAll: opts.LambdaAll, LambdaL2: opts.LambdaL2}, true),
+	}
+}
+
+// Name implements Detector.
+func (t *TopK) Name() string { return "Top-K" }
+
+// Prime trains the side classifier on the initial labelled sample, then
+// baselines the reference feature list.
+func (t *TopK) Prime(xs []vector.Sparse, useful []bool) {
+	for i, x := range xs {
+		t.feed(x, useful[i])
+	}
+	t.Reset()
+}
+
+const topkQueueCap = 2000
+
+// feed enqueues the example and trains the side classifier on balanced
+// positive/negative pairs.
+func (t *TopK) feed(x vector.Sparse, useful bool) {
+	if useful {
+		t.qPos = append(t.qPos, x)
+		if len(t.qPos) > topkQueueCap {
+			t.qPos = t.qPos[1:]
+		}
+	} else {
+		t.qNeg = append(t.qNeg, x)
+		if len(t.qNeg) > topkQueueCap {
+			t.qNeg = t.qNeg[1:]
+		}
+	}
+	for len(t.qPos) > 0 && len(t.qNeg) > 0 {
+		t.side.Step(t.qPos[0], 1)
+		t.side.Step(t.qNeg[0], -1)
+		t.qPos = t.qPos[1:]
+		t.qNeg = t.qNeg[1:]
+	}
+}
+
+// Observe implements Detector: update the side classifier with the new
+// document and compare top-K feature lists.
+func (t *TopK) Observe(x vector.Sparse, useful bool) bool {
+	t.feed(x, useful)
+	cur := t.side.Weights().TopK(t.K)
+	t.LastDistance = Footrule(t.ref, cur)
+	return t.LastDistance > t.Tau
+}
+
+// Reset implements Detector: re-baseline the reference list.
+func (t *TopK) Reset() {
+	t.ref = t.side.Weights().TopK(t.K)
+}
+
+// SideModel exposes the side classifier (used by the search-interface
+// scenario diagnostics and tests).
+func (t *TopK) SideModel() *learn.OnlineSVM { return t.side }

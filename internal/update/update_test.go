@@ -1,0 +1,271 @@
+package update
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"adaptiverank/internal/ranking"
+	"adaptiverank/internal/vector"
+)
+
+func feats(pairs ...interface{}) vector.Sparse {
+	m := make(map[int32]float64)
+	for i := 0; i+1 < len(pairs); i += 2 {
+		m[int32(pairs[i].(int))] = float64(pairs[i+1].(int))
+	}
+	return vector.FromCounts(m).Normalize()
+}
+
+func wf(idx int, w float64) vector.WeightedFeature {
+	return vector.WeightedFeature{Index: int32(idx), Weight: w}
+}
+
+func TestFootruleIdentityIsZero(t *testing.T) {
+	a := []vector.WeightedFeature{wf(1, 3), wf(2, 2), wf(3, 1)}
+	if d := Footrule(a, a); d != 0 {
+		t.Errorf("Footrule(a,a) = %g, want 0", d)
+	}
+}
+
+func TestFootruleSymmetric(t *testing.T) {
+	a := []vector.WeightedFeature{wf(1, 3), wf(2, 2)}
+	b := []vector.WeightedFeature{wf(2, 4), wf(5, 1)}
+	if math.Abs(Footrule(a, b)-Footrule(b, a)) > 1e-12 {
+		t.Error("Footrule must be symmetric")
+	}
+}
+
+func TestFootruleDisjointListsLarge(t *testing.T) {
+	a := []vector.WeightedFeature{wf(1, 1), wf(2, 1)}
+	b := []vector.WeightedFeature{wf(8, 1), wf(9, 1)}
+	same := Footrule(a, []vector.WeightedFeature{wf(1, 1), wf(2, 1)})
+	if d := Footrule(a, b); d <= same {
+		t.Errorf("disjoint distance %g must exceed identical distance %g", d, same)
+	}
+}
+
+func TestFootruleSwapSmallerThanReplacement(t *testing.T) {
+	base := []vector.WeightedFeature{wf(1, 5), wf(2, 4), wf(3, 3)}
+	swapped := []vector.WeightedFeature{wf(2, 5), wf(1, 4), wf(3, 3)}
+	replaced := []vector.WeightedFeature{wf(9, 5), wf(8, 4), wf(7, 3)}
+	if Footrule(base, swapped) >= Footrule(base, replaced) {
+		t.Error("swapping two features must move the metric less than replacing all of them")
+	}
+}
+
+func TestFootruleEmptyLists(t *testing.T) {
+	if d := Footrule(nil, nil); d != 0 {
+		t.Errorf("Footrule(nil,nil) = %g, want 0", d)
+	}
+}
+
+func TestQuickFootruleBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		gen := func() []vector.WeightedFeature {
+			n := r.Intn(8)
+			out := make([]vector.WeightedFeature, 0, n)
+			w := vector.NewWeights()
+			for i := 0; i < n; i++ {
+				w.Set(int32(r.Intn(20)), float64(1+r.Intn(9)))
+			}
+			out = append(out, w.TopK(n)...)
+			return out
+		}
+		d := Footrule(gen(), gen())
+		return d >= 0 && d <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWindFTriggersOnSchedule(t *testing.T) {
+	w := NewWindF(3)
+	x := feats(0, 1)
+	triggers := 0
+	for i := 0; i < 9; i++ {
+		if w.Observe(x, false) {
+			triggers++
+			w.Reset()
+		}
+	}
+	if triggers != 3 {
+		t.Errorf("triggers = %d over 9 docs with window 3, want 3", triggers)
+	}
+}
+
+func TestWindFMinimumWindow(t *testing.T) {
+	w := NewWindF(0)
+	if w.Window != 1 {
+		t.Errorf("window = %d, want clamped to 1", w.Window)
+	}
+}
+
+func TestTopKTriggersOnDistributionShift(t *testing.T) {
+	tk := NewTopK(TopKOptions{K: 50, Tau: 0.2})
+	r := rand.New(rand.NewSource(1))
+	mk := func(base int) vector.Sparse {
+		return feats(base+r.Intn(3), 1, base+3+r.Intn(3), 1)
+	}
+	// Prime on distribution A.
+	var xs []vector.Sparse
+	var ys []bool
+	for i := 0; i < 200; i++ {
+		xs = append(xs, mk(0))
+		ys = append(ys, i%2 == 0)
+	}
+	tk.Prime(xs, ys)
+	// Stream from a different distribution: useful docs now carry
+	// different features, so the top-K list must shift.
+	triggered := false
+	for i := 0; i < 400 && !triggered; i++ {
+		triggered = tk.Observe(mk(100), i%2 == 0)
+	}
+	if !triggered {
+		t.Errorf("Top-K never triggered on a feature shift (last distance %.3f)", tk.LastDistance)
+	}
+}
+
+func TestTopKStableStreamNoImmediateTrigger(t *testing.T) {
+	tk := NewTopK(TopKOptions{K: 50, Tau: 0.5})
+	r := rand.New(rand.NewSource(2))
+	mk := func() vector.Sparse { return feats(r.Intn(3), 1, 3+r.Intn(3), 1) }
+	var xs []vector.Sparse
+	var ys []bool
+	for i := 0; i < 300; i++ {
+		xs = append(xs, mk())
+		ys = append(ys, i%2 == 0)
+	}
+	tk.Prime(xs, ys)
+	if tk.Observe(mk(), true) {
+		t.Errorf("stationary stream triggered immediately (distance %.3f)", tk.LastDistance)
+	}
+}
+
+func TestModCTriggersWhenShadowDiverges(t *testing.T) {
+	live := ranking.NewRSVMIE(ranking.RSVMOptions{Seed: 3})
+	// Give the live model some initial shape.
+	for i := 0; i < 40; i++ {
+		live.Learn(feats(0, 1, 1, 1), true)
+		live.Learn(feats(5, 1, 6, 1), false)
+	}
+	m := NewModC(live, 1.0, 5, 4) // rho=1: every doc trains the shadow
+	triggered := false
+	for i := 0; i < 300 && !triggered; i++ {
+		// New evidence flips the sign of the informative features.
+		triggered = m.Observe(feats(5, 1, 6, 1), true)
+		if !triggered {
+			triggered = m.Observe(feats(0, 1, 1, 1), false)
+		}
+	}
+	if !triggered {
+		t.Errorf("Mod-C never triggered on contradictory evidence (angle %.2f)", m.Angle())
+	}
+}
+
+func TestModCEmptyLiveModelTriggersOnEvidence(t *testing.T) {
+	live := ranking.NewRSVMIE(ranking.RSVMOptions{Seed: 5})
+	m := NewModC(live, 1.0, 5, 6)
+	triggered := false
+	for i := 0; i < 50 && !triggered; i++ {
+		m.Observe(feats(1, 1), false)
+		triggered = m.Observe(feats(0, 1, 1, 1), true)
+	}
+	if !triggered {
+		t.Error("Mod-C with an empty live model must trigger once the shadow learns")
+	}
+}
+
+func TestModCResetClearsAngle(t *testing.T) {
+	live := ranking.NewRSVMIE(ranking.RSVMOptions{Seed: 7})
+	for i := 0; i < 20; i++ {
+		live.Learn(feats(0, 1), true)
+		live.Learn(feats(5, 1), false)
+	}
+	m := NewModC(live, 1.0, 5, 8)
+	for i := 0; i < 50; i++ {
+		m.Observe(feats(5, 1), true)
+	}
+	m.Reset()
+	if a := m.Angle(); a != 0 {
+		t.Errorf("angle after Reset = %.2f, want 0 (shadow == live)", a)
+	}
+}
+
+func TestFeatSCadence(t *testing.T) {
+	f := NewFeatS(FeatSOptions{CheckEvery: 10, Tau: 0.01})
+	// Prime on one region, then stream from another: after 10 docs the
+	// check fires and the outside fraction exceeds tau.
+	var xs []vector.Sparse
+	for i := 0; i < 50; i++ {
+		xs = append(xs, feats(0, 1, 1, 1))
+	}
+	f.Prime(xs)
+	trigAt := -1
+	for i := 0; i < 30; i++ {
+		if f.Observe(feats(40+i%3, 1), false) {
+			trigAt = i
+			break
+		}
+	}
+	if trigAt == -1 {
+		t.Fatal("Feat-S never triggered on a shifted stream")
+	}
+	if trigAt < 9 {
+		t.Errorf("Feat-S triggered at doc %d, before the %d-doc cadence", trigAt, 10)
+	}
+}
+
+func TestDetectorNames(t *testing.T) {
+	live := ranking.NewRSVMIE(ranking.RSVMOptions{})
+	for name, d := range map[string]Detector{
+		"Wind-F": NewWindF(5),
+		"Top-K":  NewTopK(TopKOptions{}),
+		"Mod-C":  NewModC(live, 0.1, 5, 1),
+		"Feat-S": NewFeatS(FeatSOptions{}),
+	} {
+		if d.Name() != name {
+			t.Errorf("Name = %q, want %q", d.Name(), name)
+		}
+	}
+}
+
+func TestTopKDefaults(t *testing.T) {
+	tk := NewTopK(TopKOptions{})
+	if tk.K != 200 || tk.Tau != 0.2 {
+		t.Errorf("defaults = {K:%d, Tau:%g}, want {200, 0.2}", tk.K, tk.Tau)
+	}
+}
+
+func TestTopKQueuesBounded(t *testing.T) {
+	tk := NewTopK(TopKOptions{K: 10})
+	x := feats(0, 1)
+	// A one-sided stream must not grow the holdback queue without bound.
+	for i := 0; i < topkQueueCap+500; i++ {
+		tk.Observe(x, false)
+	}
+	if len(tk.qNeg) > topkQueueCap {
+		t.Errorf("negative queue grew to %d, cap is %d", len(tk.qNeg), topkQueueCap)
+	}
+	if len(tk.qPos) != 0 {
+		t.Errorf("positive queue has %d entries with no positives", len(tk.qPos))
+	}
+}
+
+func TestModCRhoZeroDefaultsApplied(t *testing.T) {
+	live := ranking.NewRSVMIE(ranking.RSVMOptions{Seed: 20})
+	m := NewModC(live, 0, 0, 21)
+	if m.Rho != 0.1 || m.AlphaDeg != 5 {
+		t.Errorf("defaults = {Rho:%g, Alpha:%g}, want {0.1, 5}", m.Rho, m.AlphaDeg)
+	}
+}
+
+func TestFeatSDefaults(t *testing.T) {
+	f := NewFeatS(FeatSOptions{})
+	if f.Tau != 0.15 || f.CheckEvery != 700 {
+		t.Errorf("defaults = {Tau:%g, CheckEvery:%d}", f.Tau, f.CheckEvery)
+	}
+}

@@ -1,0 +1,234 @@
+// Package vector provides the sparse linear algebra used by the online
+// learners and ranking models: immutable sorted sparse vectors for document
+// feature representations, and a mutable map-backed vector for model
+// weights whose feature space grows during extraction.
+package vector
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Sparse is an immutable sparse vector stored as parallel slices sorted by
+// feature index. It is the representation of a featurized document.
+type Sparse struct {
+	idx []int32
+	val []float64
+}
+
+// NewSparse builds a Sparse vector from unordered (index, value) pairs.
+// Duplicate indices are summed; zero values are dropped.
+func NewSparse(idx []int32, val []float64) Sparse {
+	if len(idx) != len(val) {
+		panic(fmt.Sprintf("vector: NewSparse length mismatch: %d indices, %d values", len(idx), len(val)))
+	}
+	type pair struct {
+		i int32
+		v float64
+	}
+	pairs := make([]pair, 0, len(idx))
+	for k := range idx {
+		pairs = append(pairs, pair{idx[k], val[k]})
+	}
+	sort.Slice(pairs, func(a, b int) bool { return pairs[a].i < pairs[b].i })
+	outIdx := make([]int32, 0, len(pairs))
+	outVal := make([]float64, 0, len(pairs))
+	for _, p := range pairs {
+		n := len(outIdx)
+		if n > 0 && outIdx[n-1] == p.i {
+			outVal[n-1] += p.v
+			continue
+		}
+		outIdx = append(outIdx, p.i)
+		outVal = append(outVal, p.v)
+	}
+	// Drop exact zeros (possibly created by cancellation).
+	w := 0
+	for k := range outIdx {
+		if outVal[k] != 0 {
+			outIdx[w], outVal[w] = outIdx[k], outVal[k]
+			w++
+		}
+	}
+	return Sparse{idx: outIdx[:w], val: outVal[:w]}
+}
+
+// FromCounts builds a Sparse vector from a feature-count map.
+func FromCounts(counts map[int32]float64) Sparse {
+	idx := make([]int32, 0, len(counts))
+	for i := range counts {
+		idx = append(idx, i)
+	}
+	sort.Slice(idx, func(a, b int) bool { return idx[a] < idx[b] })
+	val := make([]float64, 0, len(idx))
+	outIdx := make([]int32, 0, len(idx))
+	for _, i := range idx {
+		if v := counts[i]; v != 0 {
+			outIdx = append(outIdx, i)
+			val = append(val, v)
+		}
+	}
+	return Sparse{idx: outIdx, val: val}
+}
+
+// NNZ reports the number of stored (non-zero) entries.
+func (s Sparse) NNZ() int { return len(s.idx) }
+
+// MaxIndex returns the largest feature index, or -1 for an empty vector.
+func (s Sparse) MaxIndex() int32 {
+	if len(s.idx) == 0 {
+		return -1
+	}
+	return s.idx[len(s.idx)-1]
+}
+
+// At returns the value at feature index i (0 when absent).
+func (s Sparse) At(i int32) float64 {
+	k := sort.Search(len(s.idx), func(k int) bool { return s.idx[k] >= i })
+	if k < len(s.idx) && s.idx[k] == i {
+		return s.val[k]
+	}
+	return 0
+}
+
+// Range calls f for every stored (index, value) pair in index order.
+func (s Sparse) Range(f func(i int32, v float64)) {
+	for k := range s.idx {
+		f(s.idx[k], s.val[k])
+	}
+}
+
+// L1 returns the L1 norm.
+func (s Sparse) L1() float64 {
+	var sum float64
+	for _, v := range s.val {
+		sum += math.Abs(v)
+	}
+	return sum
+}
+
+// L2 returns the Euclidean norm.
+func (s Sparse) L2() float64 {
+	var sum float64
+	for _, v := range s.val {
+		sum += v * v
+	}
+	return math.Sqrt(sum)
+}
+
+// Scale returns a copy of s with every value multiplied by a.
+func (s Sparse) Scale(a float64) Sparse {
+	if a == 0 {
+		return Sparse{}
+	}
+	idx := make([]int32, len(s.idx))
+	val := make([]float64, len(s.val))
+	copy(idx, s.idx)
+	for k, v := range s.val {
+		val[k] = v * a
+	}
+	return Sparse{idx: idx, val: val}
+}
+
+// Sub returns s - t as a new sparse vector.
+func (s Sparse) Sub(t Sparse) Sparse {
+	idx := make([]int32, 0, len(s.idx)+len(t.idx))
+	val := make([]float64, 0, len(s.idx)+len(t.idx))
+	i, j := 0, 0
+	for i < len(s.idx) && j < len(t.idx) {
+		switch {
+		case s.idx[i] < t.idx[j]:
+			idx = append(idx, s.idx[i])
+			val = append(val, s.val[i])
+			i++
+		case s.idx[i] > t.idx[j]:
+			idx = append(idx, t.idx[j])
+			val = append(val, -t.val[j])
+			j++
+		default:
+			if d := s.val[i] - t.val[j]; d != 0 {
+				idx = append(idx, s.idx[i])
+				val = append(val, d)
+			}
+			i++
+			j++
+		}
+	}
+	for ; i < len(s.idx); i++ {
+		idx = append(idx, s.idx[i])
+		val = append(val, s.val[i])
+	}
+	for ; j < len(t.idx); j++ {
+		idx = append(idx, t.idx[j])
+		val = append(val, -t.val[j])
+	}
+	return Sparse{idx: idx, val: val}
+}
+
+// Dot returns the inner product of two sparse vectors.
+func (s Sparse) Dot(t Sparse) float64 {
+	var sum float64
+	i, j := 0, 0
+	for i < len(s.idx) && j < len(t.idx) {
+		switch {
+		case s.idx[i] < t.idx[j]:
+			i++
+		case s.idx[i] > t.idx[j]:
+			j++
+		default:
+			sum += s.val[i] * t.val[j]
+			i++
+			j++
+		}
+	}
+	return sum
+}
+
+// Cosine returns the cosine similarity of two sparse vectors, and 0 when
+// either is a zero vector.
+func (s Sparse) Cosine(t Sparse) float64 {
+	ns, nt := s.L2(), t.L2()
+	if ns == 0 || nt == 0 {
+		return 0
+	}
+	return s.Dot(t) / (ns * nt)
+}
+
+// String renders the vector as {i:v, ...} for debugging.
+func (s Sparse) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for k := range s.idx {
+		if k > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%d:%g", s.idx[k], s.val[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Normalize returns s scaled to unit L2 norm (zero vectors are returned
+// unchanged).
+func (s Sparse) Normalize() Sparse {
+	n := s.L2()
+	if n == 0 {
+		return s
+	}
+	return s.Scale(1 / n)
+}
+
+// Equal reports whether two sparse vectors have identical stored entries.
+func (s Sparse) Equal(t Sparse) bool {
+	if len(s.idx) != len(t.idx) {
+		return false
+	}
+	for k := range s.idx {
+		if s.idx[k] != t.idx[k] || s.val[k] != t.val[k] {
+			return false
+		}
+	}
+	return true
+}

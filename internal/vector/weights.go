@@ -1,0 +1,156 @@
+package vector
+
+import (
+	"math"
+	"sort"
+)
+
+// Weights is a mutable sparse weight vector backed by a map. It is the
+// representation of linear-model parameters whose feature space grows as
+// the extraction process observes new documents.
+type Weights struct {
+	w map[int32]float64
+}
+
+// NewWeights returns an empty weight vector.
+func NewWeights() *Weights { return &Weights{w: make(map[int32]float64)} }
+
+// Clone returns a deep copy of w.
+func (w *Weights) Clone() *Weights {
+	c := &Weights{w: make(map[int32]float64, len(w.w))}
+	for i, v := range w.w {
+		c.w[i] = v
+	}
+	return c
+}
+
+// At returns the weight of feature i (0 when absent).
+func (w *Weights) At(i int32) float64 { return w.w[i] }
+
+// Set assigns the weight of feature i; setting 0 removes the entry so that
+// the model stays sparse (the basis of in-training feature selection).
+func (w *Weights) Set(i int32, v float64) {
+	if v == 0 {
+		delete(w.w, i)
+		return
+	}
+	w.w[i] = v
+}
+
+// Add accumulates v into feature i.
+func (w *Weights) Add(i int32, v float64) { w.Set(i, w.w[i]+v) }
+
+// NNZ reports the number of features with non-zero weight.
+func (w *Weights) NNZ() int { return len(w.w) }
+
+// Scale multiplies every weight by a. Scaling by 0 clears the vector.
+func (w *Weights) Scale(a float64) {
+	if a == 1 {
+		return
+	}
+	if a == 0 {
+		w.w = make(map[int32]float64)
+		return
+	}
+	for i, v := range w.w {
+		w.w[i] = v * a
+	}
+}
+
+// AddSparse accumulates a*x into w.
+func (w *Weights) AddSparse(a float64, x Sparse) {
+	if a == 0 {
+		return
+	}
+	x.Range(func(i int32, v float64) {
+		w.Add(i, a*v)
+	})
+}
+
+// Dot returns the inner product of w with a sparse vector.
+func (w *Weights) Dot(x Sparse) float64 {
+	var sum float64
+	x.Range(func(i int32, v float64) {
+		if wi, ok := w.w[i]; ok {
+			sum += wi * v
+		}
+	})
+	return sum
+}
+
+// L2 returns the Euclidean norm of the weight vector.
+func (w *Weights) L2() float64 {
+	var sum float64
+	for _, v := range w.w {
+		sum += v * v
+	}
+	return math.Sqrt(sum)
+}
+
+// L1 returns the L1 norm of the weight vector.
+func (w *Weights) L1() float64 {
+	var sum float64
+	for _, v := range w.w {
+		sum += math.Abs(v)
+	}
+	return sum
+}
+
+// Cosine returns the cosine similarity between two weight vectors, and 0
+// when either is a zero vector.
+func (w *Weights) Cosine(o *Weights) float64 {
+	nw, no := w.L2(), o.L2()
+	if nw == 0 || no == 0 {
+		return 0
+	}
+	var dot float64
+	// Iterate over the smaller map.
+	a, b := w, o
+	if len(b.w) < len(a.w) {
+		a, b = b, a
+	}
+	for i, v := range a.w {
+		if u, ok := b.w[i]; ok {
+			dot += v * u
+		}
+	}
+	return dot / (nw * no)
+}
+
+// Range calls f for every stored (index, weight) pair in unspecified order.
+func (w *Weights) Range(f func(i int32, v float64)) {
+	for i, v := range w.w {
+		f(i, v)
+	}
+}
+
+// ToSparse snapshots the weight vector as an immutable sparse vector.
+func (w *Weights) ToSparse() Sparse {
+	return FromCounts(w.w)
+}
+
+// WeightedFeature pairs a feature index with a weight for ranking reports.
+type WeightedFeature struct {
+	Index  int32
+	Weight float64
+}
+
+// TopK returns the k features with largest absolute weight, ordered by
+// decreasing |weight| with index as tiebreaker for determinism.
+func (w *Weights) TopK(k int) []WeightedFeature {
+	all := make([]WeightedFeature, 0, len(w.w))
+	for i, v := range w.w {
+		all = append(all, WeightedFeature{Index: i, Weight: v})
+	}
+	sort.Slice(all, func(a, b int) bool {
+		av, bv := math.Abs(all[a].Weight), math.Abs(all[b].Weight)
+		if av != bv {
+			return av > bv
+		}
+		return all[a].Index < all[b].Index
+	})
+	if k < len(all) {
+		all = all[:k]
+	}
+	return all
+}
