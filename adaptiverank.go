@@ -24,11 +24,13 @@ package adaptiverank
 
 import (
 	"fmt"
+	"io"
 	"runtime"
 	"time"
 
 	"adaptiverank/internal/corpus"
 	"adaptiverank/internal/extract"
+	"adaptiverank/internal/obs"
 	"adaptiverank/internal/pipeline"
 	"adaptiverank/internal/ranking"
 	"adaptiverank/internal/relation"
@@ -66,6 +68,41 @@ const (
 // Extractor is the black-box information extraction system interface: any
 // already-trained system that maps a document to tuples can be plugged in.
 type Extractor = extract.Extractor
+
+// Observability aliases: the library's observability subsystem lives in
+// internal/obs; these aliases expose it through the public API so callers
+// can collect metrics and traces without importing internal packages.
+
+// Recorder receives a run's structured event trace (see Options.Recorder).
+type Recorder = obs.Recorder
+
+// TraceEvent is one structured trace record; see the internal/obs
+// documentation for the event vocabulary.
+type TraceEvent = obs.Event
+
+// JSONLRecorder writes trace events as JSON lines; remember to call
+// Flush when the run finishes.
+type JSONLRecorder = obs.JSONLRecorder
+
+// Metrics is a named registry of atomic counters, gauges, and
+// fixed-bucket latency histograms (see Options.Metrics).
+type Metrics = obs.Registry
+
+// NewMetrics returns an empty metrics registry to pass in Options.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// NewTraceRecorder returns a Recorder that streams JSONL trace events to w.
+func NewTraceRecorder(w io.Writer) *JSONLRecorder { return obs.NewJSONLRecorder(w) }
+
+// ReadTrace parses a JSONL trace back into events.
+func ReadTrace(r io.Reader) ([]TraceEvent, error) { return obs.ReadEvents(r) }
+
+// TracePhaseTotals folds a trace's per-event durations into the paper's
+// CPU-time accounts ("extraction", "ranking", "detection", "training",
+// plus "total").
+func TracePhaseTotals(events []TraceEvent) map[string]time.Duration {
+	return obs.PhaseTotals(events)
+}
 
 // BuiltinExtractor returns the trained built-in extraction system for one
 // of the seven Table 1 relations.
@@ -157,6 +194,12 @@ type Options struct {
 	// documents during (re-)ranking; 0 uses GOMAXPROCS. The resulting
 	// ranking is identical to a sequential run.
 	Workers int
+	// Metrics, when non-nil, receives the run's counters, gauges, and
+	// latency histograms; inspect it with Dump after Run returns.
+	Metrics *Metrics
+	// Recorder, when non-nil, receives the run's structured event trace
+	// (e.g. NewTraceRecorder). nil disables tracing at zero cost.
+	Recorder Recorder
 }
 
 // Result reports an extraction run.
@@ -280,6 +323,9 @@ func Run(coll *Collection, ex Extractor, opts Options) (*Result, error) {
 		Detector:       det,
 		Featurizer:     feat,
 		MaxDocs:        opts.MaxDocs,
+		Workers:        workers(opts.Workers),
+		Metrics:        opts.Metrics,
+		Recorder:       opts.Recorder,
 	})
 	if err != nil {
 		return nil, err

@@ -6,6 +6,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 
 	"adaptiverank"
@@ -21,8 +23,19 @@ func main() {
 		detector = flag.String("detector", "modc", "update detector: modc, topk, windf, feats, none")
 		sample   = flag.Int("sample", 0, "initial sample size (0 = auto)")
 		maxDocs  = flag.Int("max", 0, "stop after processing this many ranked documents (0 = all)")
+		trace    = flag.String("trace", "", "write a JSONL event trace of the run to this file")
+		metrics  = flag.Bool("metrics", false, "dump collected metrics (expvar-style text) to stderr on exit")
+		pprof    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	if *pprof != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprof, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "pprof:", err)
+			}
+		}()
+	}
 
 	rel, err := relation.Parse(*relCode)
 	if err != nil {
@@ -57,6 +70,21 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *metrics {
+		opts.Metrics = adaptiverank.NewMetrics()
+	}
+	var traceRec *adaptiverank.JSONLRecorder
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		traceRec = adaptiverank.NewTraceRecorder(f)
+		opts.Recorder = traceRec
+	}
+
 	fmt.Printf("generating %d documents (seed %d)...\n", *docs, *seed)
 	coll, err := adaptiverank.GenerateCorpus(*seed, *docs)
 	if err != nil {
@@ -70,6 +98,19 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if traceRec != nil {
+		if err := traceRec.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, "trace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace written to %s\n", *trace)
+	}
+	if opts.Metrics != nil {
+		fmt.Fprintln(os.Stderr, "--- metrics ---")
+		if err := opts.Metrics.Dump(os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, "metrics:", err)
+		}
 	}
 
 	fmt.Printf("\nprocessed %d documents, %d useful, %d distinct tuples, %d model updates\n",

@@ -8,6 +8,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 
 	"adaptiverank/internal/corpus"
@@ -21,8 +23,17 @@ func main() {
 		seed  = flag.Int64("seed", 1, "generator seed")
 		out   = flag.String("o", "", "output path (default: stdout)")
 		truth = flag.Bool("truth", false, "print a planted-relation summary to stderr")
+		pprof = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	if *pprof != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprof, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "pprof:", err)
+			}
+		}()
+	}
 
 	coll, gt := textgen.Generate(textgen.DefaultConfig(*seed, *docs))
 

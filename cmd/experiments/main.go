@@ -7,22 +7,36 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
 	"time"
 
 	"adaptiverank/internal/experiments"
+	"adaptiverank/internal/obs"
 )
 
 func main() {
 	var (
-		scale = flag.String("scale", "bench", "experiment scale: bench (paper-shape) or test (fast smoke)")
-		run   = flag.String("run", "", "comma-separated experiment ids (default: all)")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
-		runs  = flag.Int("runs", 0, "override repetitions per configuration")
-		seed  = flag.Int64("seed", 0, "override corpus seed")
+		scale   = flag.String("scale", "bench", "experiment scale: bench (paper-shape) or test (fast smoke)")
+		run     = flag.String("run", "", "comma-separated experiment ids (default: all)")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		runs    = flag.Int("runs", 0, "override repetitions per configuration")
+		seed    = flag.Int64("seed", 0, "override corpus seed")
+		trace   = flag.String("trace", "", "write a JSONL event trace of every pipeline run to this file")
+		metrics = flag.Bool("metrics", false, "dump metrics aggregated across all runs (expvar-style text) to stderr on exit")
+		pprof   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	if *pprof != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprof, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "pprof:", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, item := range experiments.Suite() {
@@ -47,6 +61,20 @@ func main() {
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}
+	if *metrics {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	var traceRec *obs.JSONLRecorder
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		traceRec = obs.NewJSONLRecorder(f)
+		cfg.Recorder = traceRec
+	}
 
 	var ids []string
 	if *run != "" {
@@ -58,6 +86,18 @@ func main() {
 	if err := experiments.RunSuite(env, os.Stdout, ids...); err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
+	}
+	if traceRec != nil {
+		if err := traceRec.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, "trace:", err)
+			os.Exit(1)
+		}
+	}
+	if cfg.Metrics != nil {
+		fmt.Fprintln(os.Stderr, "--- metrics ---")
+		if err := cfg.Metrics.Dump(os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, "metrics:", err)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "completed in %v\n", time.Since(start).Round(time.Second))
 }

@@ -7,6 +7,7 @@ package corpus
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"adaptiverank/internal/tokenize"
 )
@@ -14,21 +15,30 @@ import (
 // DocID identifies a document within one Collection.
 type DocID int32
 
-// Document is a single news-style text document. Tokens caches the
-// lowercase word tokenization of Text (titles are part of Text).
+// Document is a single news-style text document. The lowercase word
+// tokenization of Text (titles are part of Text) is computed lazily and
+// cached; see Tokenize.
 type Document struct {
-	ID     DocID
-	Title  string
-	Text   string
-	Tokens []string
+	ID    DocID
+	Title string
+	Text  string
+
+	tokens atomic.Pointer[[]string]
 }
 
-// Tokenize fills the Tokens cache if it is empty and returns it.
+// Tokenize returns the cached tokenization, computing it on first use.
+// Collections are shared between concurrent pipeline runs, so the cache
+// fill races benignly: the first stored slice wins and every caller gets
+// the same backing array.
 func (d *Document) Tokenize() []string {
-	if d.Tokens == nil {
-		d.Tokens = tokenize.Words(d.Text)
+	if p := d.tokens.Load(); p != nil {
+		return *p
 	}
-	return d.Tokens
+	toks := tokenize.Words(d.Text)
+	if d.tokens.CompareAndSwap(nil, &toks) {
+		return toks
+	}
+	return *d.tokens.Load()
 }
 
 // Collection is an ordered set of documents with O(1) lookup by id.

@@ -1,0 +1,74 @@
+package corpus
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadJSONL asserts ReadJSONL never panics on arbitrary input —
+// malformed JSON, truncated objects, binary garbage — and that accepted
+// input satisfies the collection invariants and round-trips through
+// WriteJSONL. Seed inputs live in testdata/fuzz/FuzzReadJSONL.
+func FuzzReadJSONL(f *testing.F) {
+	f.Add([]byte(`{"title":"a","text":"alpha beta"}` + "\n" + `{"text":"gamma"}` + "\n"))
+	f.Add([]byte(`{"text":"solo line no trailing newline"}`))
+	f.Add([]byte("\n\n" + `{"text":"blank lines around"}` + "\n\n"))
+	f.Add([]byte(`{"title":"missing text field"}` + "\n"))
+	f.Add([]byte(`{"text": 42}` + "\n"))
+	f.Add([]byte(`{"text":"truncated`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte{0xff, 0xfe, 0x00, '{', '}'})
+	f.Add([]byte(`{"text":"` + strings.Repeat("x", 4096) + `"}` + "\n"))
+	f.Add([]byte(`{"title":"dup","text":"one"}` + "\r\n" + `{"title":"dup","text":"two"}` + "\r\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		coll, err := ReadJSONL(bytes.NewReader(data))
+		if err != nil {
+			if coll != nil {
+				t.Fatal("non-nil collection alongside error")
+			}
+			return
+		}
+		for i, d := range coll.Docs() {
+			if d.Text == "" {
+				t.Fatalf("doc %d accepted with empty text", i)
+			}
+			if d.ID != DocID(i) {
+				t.Fatalf("doc %d has id %d, want sequential", i, d.ID)
+			}
+			if coll.Doc(d.ID) != d {
+				t.Fatalf("doc %d not retrievable by id", i)
+			}
+		}
+
+		// Round trip: what we write back must parse to the same documents.
+		var buf bytes.Buffer
+		if err := WriteJSONL(&buf, coll); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		again, err := ReadJSONL(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if again.Len() != coll.Len() {
+			t.Fatalf("round trip changed length: %d -> %d", coll.Len(), again.Len())
+		}
+		for i, d := range coll.Docs() {
+			r := again.Doc(DocID(i))
+			if r.Title != d.Title || r.Text != d.Text {
+				t.Fatalf("round trip changed doc %d", i)
+			}
+		}
+	})
+}
+
+// TestReadJSONLTooLongLine feeds a single line beyond the scanner's 16MB
+// cap: the reader must return an error, not panic or truncate silently.
+func TestReadJSONLTooLongLine(t *testing.T) {
+	huge := `{"text":"` + strings.Repeat("y", 17*1024*1024) + `"}`
+	coll, err := ReadJSONL(strings.NewReader(huge))
+	if err == nil {
+		t.Fatalf("want error for %d-byte line, got collection of %d docs", len(huge), coll.Len())
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"adaptiverank/internal/corpus"
 	"adaptiverank/internal/factcrawl"
 	"adaptiverank/internal/index"
+	"adaptiverank/internal/obs"
 	"adaptiverank/internal/pipeline"
 	"adaptiverank/internal/ranking"
 	"adaptiverank/internal/relation"
@@ -36,6 +37,12 @@ type Config struct {
 	SampleSize int
 	// QueriesPerList is the number of QXtract-learned queries per list.
 	QueriesPerList int
+	// Metrics, when non-nil, aggregates counters/gauges/histograms
+	// across every pipeline run of the suite (see internal/obs).
+	Metrics *obs.Registry
+	// Recorder, when non-nil, receives the concatenated event traces of
+	// every pipeline run of the suite.
+	Recorder obs.Recorder
 }
 
 // DefaultConfig is the bench-scale configuration.
@@ -296,6 +303,8 @@ func (e *Env) runOne(spec Spec, r int) (*pipeline.Result, error) {
 		Detector:   det,
 		Featurizer: feat,
 		MaxDocs:    spec.MaxDocs,
+		Metrics:    e.Cfg.Metrics,
+		Recorder:   e.Cfg.Recorder,
 	}
 	if spec.SearchIface {
 		opts.SearchIface = &pipeline.SearchIfaceOptions{

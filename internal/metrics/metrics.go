@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"math"
 	"time"
+
+	"adaptiverank/internal/obs"
 )
 
 // RecallCurve computes recall after each prefix of the processing order,
@@ -168,6 +170,17 @@ func (t *TimeAccount) Add(o TimeAccount) {
 	t.Ranking += o.Ranking
 	t.Detection += o.Detection
 	t.Training += o.Training
+}
+
+// Record publishes the account as gauges in an observability registry
+// (nil-safe, like all registry accessors), one gauge per component plus
+// the total — the Section 4 time-accounting breakdown as live metrics.
+func (t TimeAccount) Record(reg *obs.Registry) {
+	reg.Gauge("time.extraction_seconds").Set(t.Extraction.Seconds())
+	reg.Gauge("time.ranking_seconds").Set(t.Ranking.Seconds())
+	reg.Gauge("time.detection_seconds").Set(t.Detection.Seconds())
+	reg.Gauge("time.training_seconds").Set(t.Training.Seconds())
+	reg.Gauge("time.total_seconds").Set(t.Total().Seconds())
 }
 
 // Minutes renders a duration in the paper's CPU-minute unit.

@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Kind names one structured trace event type.
+type Kind string
+
+// The event vocabulary of one pipeline run. Per-phase durations are
+// carried on the events themselves (Dur); PhaseTotals maps them back to
+// the four CPU-time accounts of metrics.TimeAccount.
+const (
+	// KindRunStarted opens a run (Name = strategy, N = collection size).
+	KindRunStarted Kind = "run-started"
+	// KindRunFinished closes a run (N = ranked docs, Dur = total CPU time).
+	KindRunFinished Kind = "run-finished"
+	// KindSampleLabelled reports one labelled initial-sample document
+	// (Doc, Useful, Dur = simulated extraction cost).
+	KindSampleLabelled Kind = "sample-labelled"
+	// KindRankStarted opens one (re-)ranking of the pending pool (N = pool).
+	KindRankStarted Kind = "rank-started"
+	// KindRankFinished closes it (N = pool, Dur = measured scoring+sorting).
+	KindRankFinished Kind = "rank-finished"
+	// KindDocExtracted reports one ranked-phase document (Doc, Useful,
+	// Dur = simulated extraction cost).
+	KindDocExtracted Kind = "doc-extracted"
+	// KindDetectorDecision is emitted by the update detectors themselves:
+	// Name = detector, Val = its decision statistic (Mod-C cosine angle in
+	// degrees, Top-K weighted footrule, Feat-S shift fraction), Fired =
+	// whether the statistic crossed the trigger threshold.
+	KindDetectorDecision Kind = "detector-decision"
+	// KindDetectorFired reports a pipeline-level update trigger
+	// (N = buffered documents folded into the model).
+	KindDetectorFired Kind = "detector-fired"
+	// KindModelUpdated reports one model update (N = buffered docs,
+	// Dur = measured training time, Added/Removed = feature churn,
+	// Val = model support size after the update).
+	KindModelUpdated Kind = "model-updated"
+	// KindPhase carries a named aggregate duration ("init-train",
+	// "detector-prime", "detection", "strategy-observe").
+	KindPhase Kind = "phase"
+)
+
+// Event is one structured trace record. Unused fields are omitted from
+// the JSONL encoding; Seq and T are assigned by the recorder.
+type Event struct {
+	// Seq is the 1-based record sequence number within the trace.
+	Seq int64 `json:"seq,omitempty"`
+	// T is the wall-clock record time in Unix nanoseconds.
+	T int64 `json:"t,omitempty"`
+	// Kind is the event type.
+	Kind Kind `json:"kind"`
+	// Name qualifies the event (strategy, detector, or phase name).
+	Name string `json:"name,omitempty"`
+	// Doc is the document id for per-document events.
+	Doc int64 `json:"doc,omitempty"`
+	// N is an event-specific count (pool size, buffered docs, ...).
+	N int `json:"n,omitempty"`
+	// Useful is the extraction outcome of per-document events.
+	Useful bool `json:"useful,omitempty"`
+	// Fired reports whether a detector decision crossed its threshold.
+	Fired bool `json:"fired,omitempty"`
+	// Val is an event-specific statistic (angle, footrule, support size).
+	Val float64 `json:"val,omitempty"`
+	// Dur is the event's duration in nanoseconds (simulated for
+	// extraction events, measured for everything else).
+	Dur time.Duration `json:"dur_ns,omitempty"`
+	// Added/Removed are the feature-churn counts of model updates.
+	Added   int `json:"added,omitempty"`
+	Removed int `json:"removed,omitempty"`
+}
+
+// Recorder receives the structured event trace of a run. Implementations
+// must be safe for concurrent use. Hot paths should guard event
+// construction with Enabled() so a disabled recorder costs nothing.
+type Recorder interface {
+	// Enabled reports whether Record does anything; call sites use it to
+	// skip building events on the disabled path.
+	Enabled() bool
+	// Record appends one event to the trace.
+	Record(Event)
+}
+
+type nopRecorder struct{}
+
+func (nopRecorder) Enabled() bool { return false }
+func (nopRecorder) Record(Event)  {}
+
+// Nop returns the shared no-op recorder (the default when tracing is
+// disabled).
+func Nop() Recorder { return nopRecorder{} }
+
+// JSONLRecorder writes one JSON object per event to an io.Writer. Writes
+// are buffered; call Flush before reading the output. The first write
+// error is retained (and reported by Flush); later events are dropped.
+type JSONLRecorder struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	enc *json.Encoder
+	seq int64
+	err error
+}
+
+// NewJSONLRecorder wraps w.
+func NewJSONLRecorder(w io.Writer) *JSONLRecorder {
+	bw := bufio.NewWriter(w)
+	return &JSONLRecorder{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Enabled implements Recorder.
+func (r *JSONLRecorder) Enabled() bool { return true }
+
+// Record implements Recorder.
+func (r *JSONLRecorder) Record(e Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.err != nil {
+		return
+	}
+	r.seq++
+	e.Seq = r.seq
+	e.T = time.Now().UnixNano()
+	r.err = r.enc.Encode(e)
+}
+
+// Flush drains the buffer and returns the first error seen.
+func (r *JSONLRecorder) Flush() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.err != nil {
+		return r.err
+	}
+	return r.bw.Flush()
+}
+
+// MemRecorder retains events in memory; tests and in-process consumers
+// use it instead of parsing JSONL output.
+type MemRecorder struct {
+	mu     sync.Mutex
+	seq    int64
+	events []Event
+}
+
+// Enabled implements Recorder.
+func (r *MemRecorder) Enabled() bool { return true }
+
+// Record implements Recorder.
+func (r *MemRecorder) Record(e Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	e.Seq = r.seq
+	e.T = time.Now().UnixNano()
+	r.events = append(r.events, e)
+}
+
+// Events returns a snapshot of the recorded events.
+func (r *MemRecorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// ReadEvents parses a JSONL trace back into events.
+func ReadEvents(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	var out []Event
+	for {
+		var e Event
+		if err := dec.Decode(&e); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("obs: trace record %d: %w", len(out)+1, err)
+		}
+		if e.Kind == "" {
+			return nil, fmt.Errorf("obs: trace record %d: missing kind", len(out)+1)
+		}
+		out = append(out, e)
+	}
+}
+
+// PhaseTotals folds a trace's per-event durations into the four CPU-time
+// accounts of metrics.TimeAccount — "extraction", "ranking",
+// "detection", "training" — plus their sum under "total". Run-finished
+// events are excluded (their Dur is already the whole-run total).
+func PhaseTotals(events []Event) map[string]time.Duration {
+	totals := map[string]time.Duration{
+		"extraction": 0, "ranking": 0, "detection": 0, "training": 0,
+	}
+	for _, e := range events {
+		switch e.Kind {
+		case KindSampleLabelled, KindDocExtracted:
+			totals["extraction"] += e.Dur
+		case KindRankFinished:
+			totals["ranking"] += e.Dur
+		case KindModelUpdated:
+			totals["training"] += e.Dur
+		case KindPhase:
+			switch e.Name {
+			case "init-train":
+				totals["training"] += e.Dur
+			case "detector-prime", "detection":
+				totals["detection"] += e.Dur
+			case "strategy-observe":
+				totals["ranking"] += e.Dur
+			}
+		}
+	}
+	totals["total"] = totals["extraction"] + totals["ranking"] +
+		totals["detection"] + totals["training"]
+	return totals
+}
+
+// Instrumentable is implemented by components (rankers, update
+// detectors) that can attach themselves to a registry and a recorder.
+// The pipeline instruments its strategy and detector when observation is
+// requested; un-instrumented components pay nothing.
+type Instrumentable interface {
+	Instrument(reg *Registry, rec Recorder)
+}

@@ -1,0 +1,184 @@
+package obs_test
+
+// Acceptance test for the trace/time-account identity: a pipeline run
+// traced through a JSONLRecorder must produce a parseable trace whose
+// per-phase durations (PhaseTotals) sum to within 5% of the run's
+// Result.Time. Lives in package obs_test because internal/pipeline
+// imports internal/obs.
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+
+	"adaptiverank/internal/extract"
+	"adaptiverank/internal/obs"
+	"adaptiverank/internal/pipeline"
+	"adaptiverank/internal/ranking"
+	"adaptiverank/internal/relation"
+	"adaptiverank/internal/sampling"
+	"adaptiverank/internal/textgen"
+	"adaptiverank/internal/update"
+)
+
+func tracedRun(t *testing.T, seed int64) (*pipeline.Result, []obs.Event, *obs.Registry) {
+	t.Helper()
+	cfg := textgen.DefaultConfig(seed, 1200)
+	cfg.DensityOverride = map[relation.Relation]float64{relation.PH: 0.05}
+	coll, _ := textgen.Generate(cfg)
+	labels := pipeline.ComputeLabels(extract.Get(relation.PH), coll)
+	if labels.NumUseful() < 10 {
+		t.Fatalf("test corpus too sparse: %d useful", labels.NumUseful())
+	}
+
+	var buf bytes.Buffer
+	rec := obs.NewJSONLRecorder(&buf)
+	reg := obs.NewRegistry()
+	feat := ranking.NewFeaturizer()
+	r := ranking.NewRSVMIE(ranking.RSVMOptions{Seed: seed})
+	res, err := pipeline.Run(pipeline.Options{
+		Rel: relation.PH, Coll: coll, Labels: labels,
+		Sample:   sampling.SRS(coll, 150, seed),
+		Strategy: pipeline.NewLearned(r, feat),
+		Detector: update.NewWindF(100), Featurizer: feat,
+		Metrics: reg, Recorder: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := obs.ReadEvents(&buf)
+	if err != nil {
+		t.Fatalf("trace does not parse: %v", err)
+	}
+	return res, events, reg
+}
+
+// within5 fails the test unless got is within 5% of want (the ISSUE
+// acceptance tolerance; in practice the identity is exact because the
+// pipeline reuses the same measured durations for both sides).
+func within5(t *testing.T, phase string, got, want time.Duration) {
+	t.Helper()
+	if want == 0 {
+		if got != 0 {
+			t.Errorf("%s: trace total %v, Result.Time 0", phase, got)
+		}
+		return
+	}
+	if rel := math.Abs(float64(got-want)) / float64(want); rel > 0.05 {
+		t.Errorf("%s: trace total %v vs Result.Time %v (off by %.1f%%)",
+			phase, got, want, 100*rel)
+	}
+}
+
+func TestTracePhaseTotalsMatchResultTime(t *testing.T) {
+	res, events, _ := tracedRun(t, 21)
+	totals := obs.PhaseTotals(events)
+	within5(t, "extraction", totals["extraction"], res.Time.Extraction)
+	within5(t, "ranking", totals["ranking"], res.Time.Ranking)
+	within5(t, "detection", totals["detection"], res.Time.Detection)
+	within5(t, "training", totals["training"], res.Time.Training)
+	within5(t, "total", totals["total"], res.Time.Total())
+	if totals["total"] == 0 {
+		t.Fatal("trace accounted zero CPU time")
+	}
+}
+
+func TestTraceEventStreamShape(t *testing.T) {
+	res, events, reg := tracedRun(t, 22)
+	if events[0].Kind != obs.KindRunStarted {
+		t.Errorf("first event = %s, want run-started", events[0].Kind)
+	}
+	if last := events[len(events)-1]; last.Kind != obs.KindRunFinished {
+		t.Errorf("last event = %s, want run-finished", last.Kind)
+	} else if last.Dur != res.Time.Total() {
+		t.Errorf("run-finished Dur = %v, want %v", last.Dur, res.Time.Total())
+	}
+	var prev int64
+	counts := map[obs.Kind]int{}
+	for i, e := range events {
+		if e.Seq <= prev {
+			t.Fatalf("event %d: seq %d not increasing (prev %d)", i, e.Seq, prev)
+		}
+		prev = e.Seq
+		counts[e.Kind]++
+	}
+	if counts[obs.KindSampleLabelled] != res.SampleSize {
+		t.Errorf("sample-labelled events = %d, want %d",
+			counts[obs.KindSampleLabelled], res.SampleSize)
+	}
+	if counts[obs.KindDocExtracted] != len(res.Order) {
+		t.Errorf("doc-extracted events = %d, want %d",
+			counts[obs.KindDocExtracted], len(res.Order))
+	}
+	if counts[obs.KindModelUpdated] != len(res.UpdatePositions) {
+		t.Errorf("model-updated events = %d, want %d",
+			counts[obs.KindModelUpdated], len(res.UpdatePositions))
+	}
+	if counts[obs.KindDetectorFired] != len(res.UpdatePositions) {
+		t.Errorf("detector-fired events = %d, want %d",
+			counts[obs.KindDetectorFired], len(res.UpdatePositions))
+	}
+	if counts[obs.KindRankStarted] != counts[obs.KindRankFinished] {
+		t.Errorf("rank-started (%d) != rank-finished (%d)",
+			counts[obs.KindRankStarted], counts[obs.KindRankFinished])
+	}
+	// Wind-F triggers several updates on a 1200-doc corpus, so the trace
+	// must show re-ranks beyond the initial one.
+	if counts[obs.KindRankFinished] < 2 {
+		t.Errorf("rank-finished events = %d, want >= 2", counts[obs.KindRankFinished])
+	}
+
+	// The registry's counters must agree with the result and the trace.
+	checks := map[string]int64{
+		"pipeline.sample_docs":    int64(res.SampleSize),
+		"pipeline.docs_processed": int64(len(res.Order)),
+		"pipeline.updates":        int64(len(res.UpdatePositions)),
+		"pipeline.detector_fired": int64(len(res.UpdatePositions)),
+		"pipeline.reranks":        int64(counts[obs.KindRankFinished]),
+	}
+	for name, want := range checks {
+		if got := reg.CounterValue(name); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if got := reg.CounterValue("pipeline.detector_fired") +
+		reg.CounterValue("pipeline.detector_suppressed"); got != int64(res.DetectorObservations) {
+		t.Errorf("fired+suppressed = %d, want %d observations", got, res.DetectorObservations)
+	}
+}
+
+func TestNopRecorderRunMatchesTracedRun(t *testing.T) {
+	// The same seeds must yield the same processing order with and
+	// without observability attached — instrumentation must not affect
+	// behaviour.
+	res1, events, _ := tracedRun(t, 23)
+	_ = events
+
+	cfg := textgen.DefaultConfig(23, 1200)
+	cfg.DensityOverride = map[relation.Relation]float64{relation.PH: 0.05}
+	coll, _ := textgen.Generate(cfg)
+	labels := pipeline.ComputeLabels(extract.Get(relation.PH), coll)
+	feat := ranking.NewFeaturizer()
+	r := ranking.NewRSVMIE(ranking.RSVMOptions{Seed: 23})
+	res2, err := pipeline.Run(pipeline.Options{
+		Rel: relation.PH, Coll: coll, Labels: labels,
+		Sample:   sampling.SRS(coll, 150, 23),
+		Strategy: pipeline.NewLearned(r, feat),
+		Detector: update.NewWindF(100), Featurizer: feat,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res1.Order) != len(res2.Order) {
+		t.Fatalf("order lengths differ: %d vs %d", len(res1.Order), len(res2.Order))
+	}
+	for i := range res1.Order {
+		if res1.Order[i] != res2.Order[i] {
+			t.Fatalf("instrumented run diverged from plain run at position %d", i)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package pipeline
+
+// Race-focused tests: these are the primary targets of the CI
+// `go test -race ./internal/pipeline/...` job. They exercise the
+// parallel scoring path against the sequential one and shared
+// observability state across concurrent runs.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"sync"
+	"testing"
+
+	"adaptiverank/internal/corpus"
+	"adaptiverank/internal/obs"
+	"adaptiverank/internal/ranking"
+	"adaptiverank/internal/relation"
+	"adaptiverank/internal/update"
+)
+
+// orderBytes serializes a processing order so runs can be compared
+// byte-for-byte.
+func orderBytes(t *testing.T, order []corpus.DocID) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, id := range order {
+		if err := binary.Write(&buf, binary.LittleEndian, int64(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestWorkersByteIdenticalOrder runs the same configuration with 1 and 8
+// scoring workers — with observability attached, since instrument writes
+// from worker goroutines are exactly what -race should see — and asserts
+// the serialized processing orders are byte-identical.
+func TestWorkersByteIdenticalOrder(t *testing.T) {
+	env := newTestEnv(t, 31)
+	mk := func(workers int) *Result {
+		feat := ranking.NewFeaturizer()
+		r := ranking.NewRSVMIE(ranking.RSVMOptions{Seed: 31})
+		res, err := Run(Options{
+			Rel: relation.PH, Coll: env.coll, Labels: env.labels, Sample: env.sample,
+			Strategy: NewLearned(r, feat), Detector: update.NewWindF(150),
+			Featurizer: feat, Workers: workers,
+			Metrics: obs.NewRegistry(), Recorder: &obs.MemRecorder{},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	seq := mk(1)
+	par := mk(8)
+	if !bytes.Equal(orderBytes(t, seq.Order), orderBytes(t, par.Order)) {
+		t.Fatal("parallel scoring produced a different processing order than sequential")
+	}
+	if seq.AP != par.AP || seq.AUC != par.AUC {
+		t.Errorf("quality metrics diverged: AP %g vs %g, AUC %g vs %g",
+			seq.AP, par.AP, seq.AUC, par.AUC)
+	}
+}
+
+// TestConcurrentRunsSharedObservability runs several pipelines
+// concurrently against one shared registry and recorder, then checks the
+// aggregate counters equal the per-run sums. Under -race this doubles as
+// a data-race check on obs.Registry, obs.MemRecorder, and the
+// per-collection label cache.
+func TestConcurrentRunsSharedObservability(t *testing.T) {
+	env := newTestEnv(t, 32)
+	reg := obs.NewRegistry()
+	rec := &obs.MemRecorder{}
+
+	const runs = 4
+	results := make([]*Result, runs)
+	var wg sync.WaitGroup
+	for i := 0; i < runs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			feat := ranking.NewFeaturizer()
+			r := ranking.NewRSVMIE(ranking.RSVMOptions{Seed: int64(32 + i)})
+			res, err := Run(Options{
+				Rel: relation.PH, Coll: env.coll, Labels: env.labels, Sample: env.sample,
+				Strategy: NewLearned(r, feat), Detector: update.NewWindF(200),
+				Featurizer: feat, Workers: 4,
+				Metrics: reg, Recorder: rec,
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+
+	var wantDocs, wantSample, wantUpdates int64
+	for _, res := range results {
+		if res == nil {
+			t.Fatal("a concurrent run failed")
+		}
+		wantDocs += int64(len(res.Order))
+		wantSample += int64(res.SampleSize)
+		wantUpdates += int64(len(res.UpdatePositions))
+	}
+	if got := reg.CounterValue("pipeline.docs_processed"); got != wantDocs {
+		t.Errorf("docs_processed = %d, want %d", got, wantDocs)
+	}
+	if got := reg.CounterValue("pipeline.sample_docs"); got != wantSample {
+		t.Errorf("sample_docs = %d, want %d", got, wantSample)
+	}
+	if got := reg.CounterValue("pipeline.updates"); got != wantUpdates {
+		t.Errorf("updates = %d, want %d", got, wantUpdates)
+	}
+
+	// The shared recorder interleaves events from all runs but must keep
+	// its sequence numbers strictly increasing and complete.
+	events := rec.Events()
+	var starts, finishes int
+	for i, e := range events {
+		if e.Seq != int64(i+1) {
+			t.Fatalf("event %d has seq %d", i, e.Seq)
+		}
+		switch e.Kind {
+		case obs.KindRunStarted:
+			starts++
+		case obs.KindRunFinished:
+			finishes++
+		}
+	}
+	if starts != runs || finishes != runs {
+		t.Errorf("run-started=%d run-finished=%d, want %d each", starts, finishes, runs)
+	}
+}

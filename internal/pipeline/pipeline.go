@@ -10,6 +10,7 @@ import (
 	"adaptiverank/internal/corpus"
 	"adaptiverank/internal/index"
 	"adaptiverank/internal/metrics"
+	"adaptiverank/internal/obs"
 	"adaptiverank/internal/ranking"
 	"adaptiverank/internal/relation"
 	"adaptiverank/internal/update"
@@ -81,6 +82,14 @@ type Options struct {
 	// to the sequential one; each pending document is scored by exactly
 	// one worker, which keeps the per-document caches race-free.
 	Workers int
+	// Metrics, when non-nil, receives the run's counters, gauges, and
+	// latency histograms (see internal/obs). A nil registry costs the hot
+	// path nothing beyond writes to shared no-op instruments.
+	Metrics *obs.Registry
+	// Recorder, when non-nil and enabled, receives the run's structured
+	// event trace. The default is the no-op recorder, which keeps the
+	// per-document path allocation-free.
+	Recorder obs.Recorder
 }
 
 // ChurnRecord reports the feature turnover of one model update.
@@ -156,6 +165,41 @@ func Run(opts Options) (*Result, error) {
 		opts.ExtractionCost = opts.Rel.ExtractionCost()
 	}
 
+	// --- Observability setup -----------------------------------------
+	// A nil registry hands out shared no-op instruments and the no-op
+	// recorder reports Enabled() == false, so the un-instrumented path
+	// stays allocation-free.
+	reg := opts.Metrics
+	rec := opts.Recorder
+	if rec == nil {
+		rec = obs.Nop()
+	}
+	if reg != nil || rec.Enabled() {
+		if in, ok := opts.Strategy.(obs.Instrumentable); ok {
+			in.Instrument(reg, rec)
+		}
+		if in, ok := opts.Detector.(obs.Instrumentable); ok {
+			in.Instrument(reg, rec)
+		}
+	}
+	var (
+		cSample     = reg.Counter("pipeline.sample_docs")
+		cDocs       = reg.Counter("pipeline.docs_processed")
+		cUseful     = reg.Counter("pipeline.docs_useful")
+		cReranks    = reg.Counter("pipeline.reranks")
+		cUpdates    = reg.Counter("pipeline.updates")
+		cFired      = reg.Counter("pipeline.detector_fired")
+		cSuppressed = reg.Counter("pipeline.detector_suppressed")
+		hRank       = reg.Histogram("pipeline.rank_seconds", nil)
+		hUpdate     = reg.Histogram("pipeline.update_seconds", nil)
+		hDetect     = reg.Histogram("pipeline.detect_seconds", nil)
+	)
+	// Per-document strategy-observation and detection times are flushed
+	// as aggregate phase events at the end of the run, keeping the trace
+	// compact while preserving the phase-sum identity with Result.Time.
+	var accObserve, accDetect time.Duration
+	rec.Record(obs.Event{Kind: obs.KindRunStarted, Name: opts.Strategy.Name(), N: opts.Coll.Len()})
+
 	// --- Initial sampling & labelling -------------------------------
 	sample := make([]LabeledDoc, 0, len(opts.Sample))
 	processed := make(map[corpus.DocID]bool, opts.Coll.Len())
@@ -172,12 +216,19 @@ func Run(opts Options) (*Result, error) {
 			res.SampleUseful++
 		}
 		res.Time.Extraction += opts.ExtractionCost
+		cSample.Inc()
+		if rec.Enabled() {
+			rec.Record(obs.Event{Kind: obs.KindSampleLabelled, Doc: int64(d.ID),
+				Useful: ld.Useful, Dur: opts.ExtractionCost})
+		}
 	}
 
 	// --- Ranking generation ------------------------------------------
 	t0 := time.Now()
 	opts.Strategy.Init(sample)
-	res.Time.Training += time.Since(t0)
+	initDur := time.Since(t0)
+	res.Time.Training += initDur
+	rec.Record(obs.Event{Kind: obs.KindPhase, Name: "init-train", N: len(sample), Dur: initDur})
 
 	feats := func(d *corpus.Document) vector.Sparse {
 		if opts.Featurizer == nil {
@@ -203,7 +254,9 @@ func Run(opts Options) (*Result, error) {
 			}
 			p.Prime(xs)
 		}
-		res.Time.Detection += time.Since(t0)
+		primeDur := time.Since(t0)
+		res.Time.Detection += primeDur
+		rec.Record(obs.Event{Kind: obs.KindPhase, Name: "detector-prime", N: len(sample), Dur: primeDur})
 	}
 
 	// --- Build the pending pool --------------------------------------
@@ -240,6 +293,9 @@ func Run(opts Options) (*Result, error) {
 		workers = 1
 	}
 	rank := func() {
+		if rec.Enabled() {
+			rec.Record(obs.Event{Kind: obs.KindRankStarted, N: len(pending)})
+		}
 		t := time.Now()
 		if workers == 1 || len(pending) < 256 {
 			for _, d := range pending {
@@ -278,7 +334,13 @@ func Run(opts Options) (*Result, error) {
 			}
 			return pending[i].ID < pending[j].ID
 		})
-		res.Time.Ranking += time.Since(t)
+		dt := time.Since(t)
+		res.Time.Ranking += dt
+		cReranks.Inc()
+		hRank.ObserveDuration(dt)
+		if rec.Enabled() {
+			rec.Record(obs.Event{Kind: obs.KindRankFinished, N: len(pending), Dur: dt})
+		}
 	}
 	rank()
 
@@ -315,11 +377,21 @@ func Run(opts Options) (*Result, error) {
 		res.OrderLabels = append(res.OrderLabels, ld.Useful)
 		res.Time.Extraction += opts.ExtractionCost
 		buffer = append(buffer, ld)
+		cDocs.Inc()
+		if ld.Useful {
+			cUseful.Inc()
+		}
+		if rec.Enabled() {
+			rec.Record(obs.Event{Kind: obs.KindDocExtracted, Doc: int64(d.ID),
+				Useful: ld.Useful, Dur: opts.ExtractionCost})
+		}
 
 		// Strategy self-observation (A-FC re-ranks continuously).
 		t := time.Now()
 		selfRerank := opts.Strategy.Observe(ld)
-		res.Time.Ranking += time.Since(t)
+		od := time.Since(t)
+		res.Time.Ranking += od
+		accObserve += od
 
 		// Update detection.
 		trigger := false
@@ -330,21 +402,38 @@ func Run(opts Options) (*Result, error) {
 			res.Time.Detection += dt
 			res.DetectorTime += dt
 			res.DetectorObservations++
+			accDetect += dt
+			hDetect.ObserveDuration(dt)
+			if trigger {
+				cFired.Inc()
+			} else {
+				cSuppressed.Inc()
+			}
 		}
 
 		if trigger {
 			// Model update: fold the buffered documents in (online —
 			// no retraining from scratch).
+			bufN := len(buffer)
+			if rec.Enabled() {
+				rec.Record(obs.Event{Kind: obs.KindDetectorFired,
+					Name: opts.Detector.Name(), N: bufN})
+			}
 			t = time.Now()
 			opts.Strategy.Update(buffer)
-			res.Time.Training += time.Since(t)
+			updateDur := time.Since(t)
+			res.Time.Training += updateDur
+			cUpdates.Inc()
+			hUpdate.ObserveDuration(updateDur)
 			buffer = buffer[:0]
 			res.UpdatePositions = append(res.UpdatePositions, len(res.Order))
 			opts.Detector.Reset()
 
 			// Feature churn bookkeeping.
+			var added, removed, size int
+			haveChurn := false
 			if cur := modelSupport(); cur != nil {
-				added, removed := 0, 0
+				haveChurn = true
 				for f := range cur {
 					if !prevSupport[f] {
 						added++
@@ -355,10 +444,21 @@ func Run(opts Options) (*Result, error) {
 						removed++
 					}
 				}
+				size = len(cur)
 				res.Churn = append(res.Churn, ChurnRecord{
-					Position: len(res.Order), Added: added, Removed: removed, Size: len(cur),
+					Position: len(res.Order), Added: added, Removed: removed, Size: size,
 				})
 				prevSupport = cur
+				reg.Gauge("pipeline.model_support").Set(float64(size))
+				reg.Counter("pipeline.features_added").Add(int64(added))
+				reg.Counter("pipeline.features_removed").Add(int64(removed))
+			}
+			if rec.Enabled() {
+				ev := obs.Event{Kind: obs.KindModelUpdated, N: bufN, Dur: updateDur}
+				if haveChurn {
+					ev.Added, ev.Removed, ev.Val = added, removed, float64(size)
+				}
+				rec.Record(ev)
 			}
 
 			// Search-interface scenario: issue the top model features as
@@ -376,24 +476,37 @@ func Run(opts Options) (*Result, error) {
 	}
 
 	res.PoolSize = len(res.Order) + (len(pending) - cursor)
-	total, known := opts.Labels.TotalUseful()
-	if !known {
-		return res, nil
-	}
-	denom := total - res.SampleUseful
-	if denom <= 0 {
-		// Degenerate corner: the sample already covered every useful
-		// document; any order of the (useless) rest is perfect.
-		res.Curve = make([]float64, 101)
-		for i := range res.Curve {
-			res.Curve[i] = 1
+	if total, known := opts.Labels.TotalUseful(); known {
+		if denom := total - res.SampleUseful; denom <= 0 {
+			// Degenerate corner: the sample already covered every useful
+			// document; any order of the (useless) rest is perfect.
+			res.Curve = make([]float64, 101)
+			for i := range res.Curve {
+				res.Curve[i] = 1
+			}
+			res.AP, res.AUC = 1, 0.5
+		} else {
+			res.Curve = metrics.RecallCurve(res.OrderLabels, denom)
+			res.AP = metrics.AveragePrecision(res.OrderLabels)
+			res.AUC = metrics.AUC(res.OrderLabels)
 		}
-		res.AP, res.AUC = 1, 0.5
-		return res, nil
 	}
-	res.Curve = metrics.RecallCurve(res.OrderLabels, denom)
-	res.AP = metrics.AveragePrecision(res.OrderLabels)
-	res.AUC = metrics.AUC(res.OrderLabels)
+
+	// Observability epilogue: flush the per-document accumulators as
+	// aggregate phase events (so the trace's per-phase durations sum to
+	// Result.Time exactly), publish the final time account, and close
+	// the trace.
+	reg.Gauge("pipeline.pool_size").Set(float64(res.PoolSize))
+	res.Time.Record(reg)
+	if rec.Enabled() {
+		if accObserve > 0 {
+			rec.Record(obs.Event{Kind: obs.KindPhase, Name: "strategy-observe", Dur: accObserve})
+		}
+		if accDetect > 0 {
+			rec.Record(obs.Event{Kind: obs.KindPhase, Name: "detection", Dur: accDetect})
+		}
+		rec.Record(obs.Event{Kind: obs.KindRunFinished, N: len(res.Order), Dur: res.Time.Total()})
+	}
 	return res, nil
 }
 

@@ -3,6 +3,7 @@ package pipeline
 import (
 	"adaptiverank/internal/corpus"
 	"adaptiverank/internal/factcrawl"
+	"adaptiverank/internal/obs"
 	"adaptiverank/internal/ranking"
 	"adaptiverank/internal/relation"
 	"adaptiverank/internal/vector"
@@ -98,6 +99,14 @@ func (s *Learned) Update(buffered []LabeledDoc) {
 
 // Model implements Modeler.
 func (s *Learned) Model() *vector.Weights { return s.R.Model() }
+
+// Instrument implements obs.Instrumentable by forwarding to the wrapped
+// ranker when it is itself instrumentable.
+func (s *Learned) Instrument(reg *obs.Registry, rec obs.Recorder) {
+	if in, ok := s.R.(obs.Instrumentable); ok {
+		in.Instrument(reg, rec)
+	}
+}
 
 // Perfect is the perfect-ordering reference: it scores documents by their
 // oracle usefulness.

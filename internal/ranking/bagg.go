@@ -1,7 +1,10 @@
 package ranking
 
 import (
+	"time"
+
 	"adaptiverank/internal/learn"
+	"adaptiverank/internal/obs"
 	"adaptiverank/internal/vector"
 )
 
@@ -17,6 +20,10 @@ type BAggIE struct {
 	qNeg    [][]vector.Sparse
 	next    int
 	qCap    int
+
+	// Observability instruments, nil until Instrument is called.
+	obsLearn *obs.Histogram
+	obsSteps *obs.Counter
 }
 
 // BAggOptions configures BAgg-IE; zero fields take the paper's defaults.
@@ -66,9 +73,36 @@ func NewBAggIE(opts BAggOptions) *BAggIE {
 // Name implements Ranker.
 func (b *BAggIE) Name() string { return "BAgg-IE" }
 
+// Instrument implements obs.Instrumentable: Learn calls are timed and
+// the committee's combined Pegasos steps counted. Clones are never
+// instrumented (see RSVMIE.Instrument).
+func (b *BAggIE) Instrument(reg *obs.Registry, _ obs.Recorder) {
+	b.obsLearn = reg.Histogram("ranking.bagg.learn_seconds", nil)
+	b.obsSteps = reg.Counter("ranking.bagg.steps")
+}
+
 // Learn deals the example to the next committee member and drains that
 // member's balanced queue.
 func (b *BAggIE) Learn(x vector.Sparse, useful bool) {
+	if b.obsLearn == nil {
+		b.learn(x, useful)
+		return
+	}
+	t := time.Now()
+	s0 := 0
+	for _, m := range b.members {
+		s0 += m.Steps()
+	}
+	b.learn(x, useful)
+	s1 := 0
+	for _, m := range b.members {
+		s1 += m.Steps()
+	}
+	b.obsLearn.ObserveDuration(time.Since(t))
+	b.obsSteps.Add(int64(s1 - s0))
+}
+
+func (b *BAggIE) learn(x vector.Sparse, useful bool) {
 	m := b.next
 	b.next = (b.next + 1) % len(b.members)
 	if useful {

@@ -1,0 +1,142 @@
+package ranking_test
+
+// Golden parity tests: the production RSVM-IE and BAgg-IE learners are
+// trained next to the from-the-formulas reference oracles in
+// reference.go on a fixed 200-document corpus, and every document's
+// score must agree within tolerance. A divergence means the optimized
+// implementation no longer computes the paper's update rule. Lives in an
+// external test package because building the corpus labels pulls in
+// internal/pipeline, which imports ranking.
+
+import (
+	"math"
+	"testing"
+
+	"adaptiverank/internal/extract"
+	"adaptiverank/internal/obs"
+	"adaptiverank/internal/pipeline"
+	"adaptiverank/internal/ranking"
+	"adaptiverank/internal/relation"
+	"adaptiverank/internal/textgen"
+	"adaptiverank/internal/vector"
+)
+
+func instrumentRanker(t *testing.T, r obs.Instrumentable) {
+	t.Helper()
+	r.Instrument(obs.NewRegistry(), obs.Nop())
+}
+
+// parityTolerance bounds |production - reference| per score. The
+// reference replicates the production arithmetic order, so in practice
+// the scores are bitwise equal; the tolerance only absorbs benign
+// compiler-level reassociation.
+const parityTolerance = 1e-9
+
+// parityCorpus builds the fixed corpus: 200 documents, seed 99, with the
+// PH relation boosted so the label stream contains both classes.
+func parityCorpus(t *testing.T) (xs []vector.Sparse, ys []bool) {
+	t.Helper()
+	cfg := textgen.DefaultConfig(99, 200)
+	cfg.DensityOverride = map[relation.Relation]float64{relation.PH: 0.2}
+	coll, _ := textgen.Generate(cfg)
+	labels := pipeline.ComputeLabels(extract.Get(relation.PH), coll)
+	feat := ranking.NewFeaturizer()
+	useful := 0
+	for _, d := range coll.Docs() {
+		xs = append(xs, feat.Features(d))
+		u := labels.Useful(d.ID)
+		ys = append(ys, u)
+		if u {
+			useful++
+		}
+	}
+	if useful < 10 || useful > len(xs)-10 {
+		t.Fatalf("degenerate label balance: %d/%d useful", useful, len(xs))
+	}
+	return xs, ys
+}
+
+func maxScoreDelta(xs []vector.Sparse, score, ref func(vector.Sparse) float64) (float64, int) {
+	worst, at := 0.0, -1
+	for i, x := range xs {
+		if d := math.Abs(score(x) - ref(x)); d > worst {
+			worst, at = d, i
+		}
+	}
+	return worst, at
+}
+
+func TestRSVMIEMatchesReference(t *testing.T) {
+	xs, ys := parityCorpus(t)
+	prod := ranking.NewRSVMIE(ranking.RSVMOptions{Seed: 99})
+	ref := ranking.NewReferenceRSVMIE(99)
+	for i, x := range xs {
+		prod.Learn(x, ys[i])
+		ref.Learn(x, ys[i])
+	}
+	if prod.Steps() == 0 {
+		t.Fatal("production learner took no gradient steps")
+	}
+	if d, at := maxScoreDelta(xs, prod.Score, ref.Score); d > parityTolerance {
+		t.Errorf("RSVM-IE diverged from reference: |Δ| = %g at doc %d (prod %g, ref %g)",
+			d, at, prod.Score(xs[at]), ref.Score(xs[at]))
+	}
+	// The trained model must actually separate something — a parity pass
+	// between two all-zero models would be vacuous.
+	nonzero := false
+	for _, x := range xs {
+		if prod.Score(x) != 0 {
+			nonzero = true
+			break
+		}
+	}
+	if !nonzero {
+		t.Fatal("trained RSVM-IE scores are all zero")
+	}
+}
+
+func TestBAggIEMatchesReference(t *testing.T) {
+	xs, ys := parityCorpus(t)
+	prod := ranking.NewBAggIE(ranking.BAggOptions{})
+	ref := ranking.NewReferenceBAggIE()
+	for i, x := range xs {
+		prod.Learn(x, ys[i])
+		ref.Learn(x, ys[i])
+	}
+	if d, at := maxScoreDelta(xs, prod.Score, ref.Score); d > parityTolerance {
+		t.Errorf("BAgg-IE diverged from reference: |Δ| = %g at doc %d (prod %g, ref %g)",
+			d, at, prod.Score(xs[at]), ref.Score(xs[at]))
+	}
+	// An untrained committee scores 3*sigmoid(0) = 1.5 everywhere; the
+	// trained one must have moved off that point.
+	moved := false
+	for _, x := range xs {
+		if math.Abs(prod.Score(x)-1.5) > 1e-6 {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Fatal("trained BAgg-IE never moved off the untrained score")
+	}
+}
+
+// TestReferenceParityUnderInstrumentation re-runs the RSVM parity with
+// observability attached to the production learner: instrumentation must
+// not change a single score bit.
+func TestReferenceParityUnderInstrumentation(t *testing.T) {
+	xs, ys := parityCorpus(t)
+	prod := ranking.NewRSVMIE(ranking.RSVMOptions{Seed: 99})
+	plain := ranking.NewRSVMIE(ranking.RSVMOptions{Seed: 99})
+	instrumentRanker(t, prod)
+	for i, x := range xs {
+		prod.Learn(x, ys[i])
+		plain.Learn(x, ys[i])
+	}
+	for i, x := range xs {
+		if prod.Score(x) != plain.Score(x) {
+			t.Fatalf("instrumented score differs at doc %d: %g vs %g",
+				i, prod.Score(x), plain.Score(x))
+		}
+	}
+}

@@ -2,8 +2,10 @@ package ranking
 
 import (
 	"math/rand"
+	"time"
 
 	"adaptiverank/internal/learn"
+	"adaptiverank/internal/obs"
 	"adaptiverank/internal/vector"
 )
 
@@ -16,6 +18,12 @@ type RSVMIE struct {
 	useless *reservoir
 	pairs   int
 	rng     *rand.Rand
+
+	// Observability instruments, nil until Instrument is called. Learn
+	// times the Pegasos pair steps only when attached.
+	obsLearn   *obs.Histogram
+	obsSteps   *obs.Counter
+	obsSupport *obs.Gauge
 }
 
 // RSVMOptions configures RSVM-IE; zero fields take the paper's Section 4
@@ -63,9 +71,32 @@ func NewRSVMIE(opts RSVMOptions) *RSVMIE {
 // Name implements Ranker.
 func (r *RSVMIE) Name() string { return "RSVM-IE" }
 
+// Instrument implements obs.Instrumentable: Learn calls are timed into a
+// latency histogram, Pegasos gradient steps are counted, and the model's
+// non-zero support is tracked as a gauge. Clones (the Mod-C shadow model)
+// are never instrumented, so the metrics describe the live model only.
+func (r *RSVMIE) Instrument(reg *obs.Registry, _ obs.Recorder) {
+	r.obsLearn = reg.Histogram("ranking.rsvm.learn_seconds", nil)
+	r.obsSteps = reg.Counter("ranking.rsvm.steps")
+	r.obsSupport = reg.Gauge("ranking.rsvm.support")
+}
+
 // Learn forms stochastic pairs between the incoming document and sampled
 // opposite-label documents and performs pairwise hinge updates.
 func (r *RSVMIE) Learn(x vector.Sparse, useful bool) {
+	if r.obsLearn == nil {
+		r.learn(x, useful)
+		return
+	}
+	t := time.Now()
+	s0 := r.model.Steps()
+	r.learn(x, useful)
+	r.obsLearn.ObserveDuration(time.Since(t))
+	r.obsSteps.Add(int64(r.model.Steps() - s0))
+	r.obsSupport.Set(float64(r.model.Weights().NNZ()))
+}
+
+func (r *RSVMIE) learn(x vector.Sparse, useful bool) {
 	if useful {
 		r.useful.add(x)
 		for i := 0; i < r.pairs; i++ {

@@ -2,6 +2,7 @@ package update
 
 import (
 	"adaptiverank/internal/learn"
+	"adaptiverank/internal/obs"
 	"adaptiverank/internal/vector"
 )
 
@@ -24,6 +25,10 @@ type FeatS struct {
 	model     *learn.OneClassSVM
 	window    []bool // inside/outside outcomes since the last check
 	sinceLast int
+
+	// Observability hooks, nil/disabled until Instrument is called.
+	obsShift *obs.Histogram
+	rec      obs.Recorder
 }
 
 // FeatSOptions configures the detector; zero fields take Section 4
@@ -60,6 +65,15 @@ func NewFeatS(opts FeatSOptions) *FeatS {
 // Name implements Detector.
 func (f *FeatS) Name() string { return "Feat-S" }
 
+// Instrument implements obs.Instrumentable: each periodic check records
+// the geometrical-difference fraction F = 1 - S into a histogram and,
+// when tracing, emits a detector-decision event. Between checks the
+// detector makes no decision, so nothing is recorded.
+func (f *FeatS) Instrument(reg *obs.Registry, rec obs.Recorder) {
+	f.obsShift = reg.Histogram("update.feats.shift", []float64{0.01, 0.02, 0.05, 0.1, 0.15, 0.2, 0.3, 0.5, 1})
+	f.rec = rec
+}
+
 // Prime trains the one-class model on the initial sample.
 func (f *FeatS) Prime(xs []vector.Sparse) {
 	for _, x := range xs {
@@ -85,7 +99,16 @@ func (f *FeatS) Observe(x vector.Sparse, _ bool) bool {
 	s := float64(insideCount) / float64(len(f.window))
 	f.window = f.window[:0]
 	f.sinceLast = 0
-	return 1-s > f.Tau
+	shift := 1 - s
+	fired := shift > f.Tau
+	if f.obsShift != nil {
+		f.obsShift.Observe(shift)
+	}
+	if f.rec != nil && f.rec.Enabled() {
+		f.rec.Record(obs.Event{Kind: obs.KindDetectorDecision, Name: f.Name(),
+			Val: shift, Fired: fired})
+	}
+	return fired
 }
 
 // Reset implements Detector: the one-class model keeps learning across

@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 
+	"adaptiverank/internal/obs"
 	"adaptiverank/internal/ranking"
 	"adaptiverank/internal/vector"
 )
@@ -31,6 +32,10 @@ type ModC struct {
 	angle     float64
 	dirty     bool
 	snapDirty bool
+
+	// Observability hooks, nil/disabled until Instrument is called.
+	obsAngle *obs.Histogram
+	rec      obs.Recorder
 }
 
 // NewModC builds the detector around the live ranker. The live ranker is
@@ -56,6 +61,20 @@ func NewModC(live ranking.Ranker, rho, alphaDeg float64, seed int64) *ModC {
 
 // Name implements Detector.
 func (m *ModC) Name() string { return "Mod-C" }
+
+// AngleBuckets are the histogram bounds for live/shadow angles, in
+// degrees: fine-grained below the usual 5° trigger, coarse above.
+func AngleBuckets() []float64 {
+	return []float64{0.5, 1, 2, 3, 5, 7.5, 10, 15, 20, 30, 45, 60, 90}
+}
+
+// Instrument implements obs.Instrumentable: every decision records the
+// live/shadow cosine angle into a histogram and, when tracing, emits a
+// detector-decision event carrying the angle and the trigger outcome.
+func (m *ModC) Instrument(reg *obs.Registry, rec obs.Recorder) {
+	m.obsAngle = reg.Histogram("update.modc.angle_degrees", AngleBuckets())
+	m.rec = rec
+}
 
 // Angle returns the current angle between live and shadow models, in
 // degrees (0 when either model is still empty).
@@ -99,7 +118,16 @@ func (m *ModC) Observe(x vector.Sparse, useful bool) bool {
 		m.shadow.Learn(x, useful)
 		m.dirty = true
 	}
-	return m.Angle() > m.AlphaDeg
+	angle := m.Angle()
+	fired := angle > m.AlphaDeg
+	if m.obsAngle != nil {
+		m.obsAngle.Observe(angle)
+	}
+	if m.rec != nil && m.rec.Enabled() {
+		m.rec.Record(obs.Event{Kind: obs.KindDetectorDecision, Name: m.Name(),
+			Val: angle, Fired: fired})
+	}
+	return fired
 }
 
 // Reset implements Detector: re-clone the (freshly updated) live model.

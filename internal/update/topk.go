@@ -2,6 +2,7 @@ package update
 
 import (
 	"adaptiverank/internal/learn"
+	"adaptiverank/internal/obs"
 	"adaptiverank/internal/vector"
 )
 
@@ -32,6 +33,16 @@ type TopK struct {
 	// LastDistance exposes the most recent footrule value for
 	// diagnostics, threshold calibration, and tests.
 	LastDistance float64
+
+	// Observability hooks, nil/disabled until Instrument is called.
+	obsDist *obs.Histogram
+	rec     obs.Recorder
+}
+
+// FootruleBuckets are the histogram bounds for the normalized weighted
+// footrule, which lives in [0,1].
+func FootruleBuckets() []float64 {
+	return []float64{0.01, 0.02, 0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5, 0.75, 1}
 }
 
 // TopKOptions configures the detector; zero fields take Section 4 defaults.
@@ -66,6 +77,14 @@ func NewTopK(opts TopKOptions) *TopK {
 
 // Name implements Detector.
 func (t *TopK) Name() string { return "Top-K" }
+
+// Instrument implements obs.Instrumentable: every decision records the
+// weighted footrule distance into a histogram and, when tracing, emits a
+// detector-decision event carrying the distance and the trigger outcome.
+func (t *TopK) Instrument(reg *obs.Registry, rec obs.Recorder) {
+	t.obsDist = reg.Histogram("update.topk.footrule", FootruleBuckets())
+	t.rec = rec
+}
 
 // Prime trains the side classifier on the initial labelled sample, then
 // baselines the reference feature list.
@@ -106,7 +125,15 @@ func (t *TopK) Observe(x vector.Sparse, useful bool) bool {
 	t.feed(x, useful)
 	cur := t.side.Weights().TopK(t.K)
 	t.LastDistance = Footrule(t.ref, cur)
-	return t.LastDistance > t.Tau
+	fired := t.LastDistance > t.Tau
+	if t.obsDist != nil {
+		t.obsDist.Observe(t.LastDistance)
+	}
+	if t.rec != nil && t.rec.Enabled() {
+		t.rec.Record(obs.Event{Kind: obs.KindDetectorDecision, Name: t.Name(),
+			Val: t.LastDistance, Fired: fired})
+	}
+	return fired
 }
 
 // Reset implements Detector: re-baseline the reference list.
