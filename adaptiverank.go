@@ -94,6 +94,21 @@ func NewMetrics() *Metrics { return obs.NewRegistry() }
 // NewTraceRecorder returns a Recorder that streams JSONL trace events to w.
 func NewTraceRecorder(w io.Writer) *JSONLRecorder { return obs.NewJSONLRecorder(w) }
 
+// MetricsSnapshot is a typed, name-sorted, point-in-time view of a
+// metrics registry (see Metrics.Snapshot): the shared read path behind
+// both the text dump and the Prometheus exposition.
+type MetricsSnapshot = obs.Snapshot
+
+// WritePrometheus emits a metrics snapshot in the Prometheus text
+// exposition format version 0.0.4 (counters, gauges, and histograms
+// with cumulative le-labelled buckets).
+func WritePrometheus(w io.Writer, s MetricsSnapshot) error { return obs.WritePrometheus(w, s) }
+
+// TeeRecorder fans every trace event out to all the given recorders
+// with one shared sequence numbering (e.g. a JSONL trace file plus an
+// in-memory consumer observing the same run).
+func TeeRecorder(sinks ...Recorder) Recorder { return obs.Tee(sinks...) }
+
 // ReadTrace parses a JSONL trace back into events.
 func ReadTrace(r io.Reader) ([]TraceEvent, error) { return obs.ReadEvents(r) }
 

@@ -11,10 +11,18 @@ import (
 	"os"
 
 	"adaptiverank"
+	"adaptiverank/internal/obs"
 	"adaptiverank/internal/relation"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run is the real main; it returns the process exit code so that
+// deferred cleanup (trace flush + close) executes on every exit path,
+// including pipeline errors — os.Exit in main would skip it.
+func run() (code int) {
 	var (
 		relCode  = flag.String("relation", "ND", "relation code: PO DO PC ND MD PH EW")
 		docs     = flag.Int("docs", 8000, "corpus size to generate")
@@ -25,7 +33,8 @@ func main() {
 		maxDocs  = flag.Int("max", 0, "stop after processing this many ranked documents (0 = all)")
 		trace    = flag.String("trace", "", "write a JSONL event trace of the run to this file")
 		metrics  = flag.Bool("metrics", false, "dump collected metrics (expvar-style text) to stderr on exit")
-		pprof    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		serve    = flag.String("serve", "", "serve /metrics (Prometheus), /events (SSE), /runs, /healthz and /debug/pprof on this address during the run (e.g. localhost:6060)")
+		pprof    = flag.String("pprof", "", "serve net/http/pprof alone on this address (subsumed by -serve)")
 	)
 	flag.Parse()
 
@@ -40,7 +49,7 @@ func main() {
 	rel, err := relation.Parse(*relCode)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
 	}
 	opts := adaptiverank.Options{Seed: *seed, SampleSize: *sample, MaxDocs: *maxDocs}
 	switch *strategy {
@@ -52,7 +61,7 @@ func main() {
 		opts.Strategy = adaptiverank.RandomOrder
 	default:
 		fmt.Fprintf(os.Stderr, "unknown -strategy %q\n", *strategy)
-		os.Exit(2)
+		return 2
 	}
 	switch *detector {
 	case "modc":
@@ -67,29 +76,60 @@ func main() {
 		opts.Detector = adaptiverank.NoDetector
 	default:
 		fmt.Fprintf(os.Stderr, "unknown -detector %q\n", *detector)
-		os.Exit(2)
+		return 2
 	}
 
-	if *metrics {
-		opts.Metrics = adaptiverank.NewMetrics()
+	var reg *obs.Registry
+	if *metrics || *serve != "" {
+		reg = obs.NewRegistry()
+		opts.Metrics = reg
 	}
-	var traceRec *adaptiverank.JSONLRecorder
+
+	// Every recorder sink feeds one Tee so the trace file, the live
+	// event stream, and the run tracker see identical events.
+	var sinks []obs.Recorder
 	if *trace != "" {
-		f, err := os.Create(*trace)
+		ft, err := obs.CreateTrace(*trace)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
-		defer f.Close()
-		traceRec = adaptiverank.NewTraceRecorder(f)
-		opts.Recorder = traceRec
+		// Flush and close on every exit path; a trace write error makes
+		// the process exit non-zero even when the run itself succeeded.
+		defer func() {
+			if err := ft.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "trace:", err)
+				if code == 0 {
+					code = 1
+				}
+			} else if code == 0 {
+				fmt.Printf("trace written to %s\n", *trace)
+			}
+		}()
+		sinks = append(sinks, ft)
+	}
+	if *serve != "" {
+		stream := obs.NewStreamRecorder(0)
+		runs := &obs.RunTracker{}
+		sinks = append(sinks, stream, runs)
+		srv := obs.NewServer(obs.ServerOptions{Registry: reg, Stream: stream, Runs: runs})
+		addr, err := srv.Start(*serve)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer srv.Close()
+		fmt.Printf("observability server on http://%s (/metrics /events /runs /healthz /debug/pprof)\n", addr)
+	}
+	if len(sinks) > 0 {
+		opts.Recorder = obs.Tee(sinks...)
 	}
 
 	fmt.Printf("generating %d documents (seed %d)...\n", *docs, *seed)
 	coll, err := adaptiverank.GenerateCorpus(*seed, *docs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 	ex := adaptiverank.BuiltinExtractor(rel)
 	fmt.Printf("extracting %s with %s + %s...\n", rel.Name(), *strategy, *detector)
@@ -97,18 +137,11 @@ func main() {
 	res, err := adaptiverank.Run(coll, ex, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
-	if traceRec != nil {
-		if err := traceRec.Flush(); err != nil {
-			fmt.Fprintln(os.Stderr, "trace:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("trace written to %s\n", *trace)
-	}
-	if opts.Metrics != nil {
+	if *metrics {
 		fmt.Fprintln(os.Stderr, "--- metrics ---")
-		if err := opts.Metrics.Dump(os.Stderr); err != nil {
+		if err := reg.Dump(os.Stderr); err != nil {
 			fmt.Fprintln(os.Stderr, "metrics:", err)
 		}
 	}
@@ -125,6 +158,7 @@ func main() {
 	for _, t := range res.Tuples[:n] {
 		fmt.Printf("  %v\n", t)
 	}
+	return 0
 }
 
 func max(a, b int) int {

@@ -18,15 +18,23 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run returns the process exit code so deferred cleanup (trace flush +
+// close, server shutdown) executes on every exit path, including suite
+// errors — os.Exit in main would skip it.
+func run() (code int) {
 	var (
 		scale   = flag.String("scale", "bench", "experiment scale: bench (paper-shape) or test (fast smoke)")
-		run     = flag.String("run", "", "comma-separated experiment ids (default: all)")
+		runSel  = flag.String("run", "", "comma-separated experiment ids (default: all)")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
 		runs    = flag.Int("runs", 0, "override repetitions per configuration")
 		seed    = flag.Int64("seed", 0, "override corpus seed")
 		trace   = flag.String("trace", "", "write a JSONL event trace of every pipeline run to this file")
 		metrics = flag.Bool("metrics", false, "dump metrics aggregated across all runs (expvar-style text) to stderr on exit")
-		pprof   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		serve   = flag.String("serve", "", "serve /metrics (Prometheus), /events (SSE), /runs, /healthz and /debug/pprof on this address during the suite (e.g. localhost:6060)")
+		pprof   = flag.String("pprof", "", "serve net/http/pprof alone on this address (subsumed by -serve)")
 	)
 	flag.Parse()
 
@@ -42,7 +50,7 @@ func main() {
 		for _, item := range experiments.Suite() {
 			fmt.Println(item.ID)
 		}
-		return
+		return 0
 	}
 
 	var cfg experiments.Config
@@ -53,7 +61,7 @@ func main() {
 		cfg = experiments.TestConfig()
 	default:
 		fmt.Fprintf(os.Stderr, "unknown -scale %q (want bench or test)\n", *scale)
-		os.Exit(2)
+		return 2
 	}
 	if *runs > 0 {
 		cfg.Runs = *runs
@@ -61,43 +69,63 @@ func main() {
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}
-	if *metrics {
+	if *metrics || *serve != "" {
 		cfg.Metrics = obs.NewRegistry()
 	}
-	var traceRec *obs.JSONLRecorder
+
+	var sinks []obs.Recorder
 	if *trace != "" {
-		f, err := os.Create(*trace)
+		ft, err := obs.CreateTrace(*trace)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
-		defer f.Close()
-		traceRec = obs.NewJSONLRecorder(f)
-		cfg.Recorder = traceRec
+		// Flush and close on every exit path; a trace write error makes
+		// the process exit non-zero even when the suite succeeded.
+		defer func() {
+			if err := ft.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "trace:", err)
+				if code == 0 {
+					code = 1
+				}
+			}
+		}()
+		sinks = append(sinks, ft)
+	}
+	if *serve != "" {
+		stream := obs.NewStreamRecorder(0)
+		runTracker := &obs.RunTracker{}
+		sinks = append(sinks, stream, runTracker)
+		srv := obs.NewServer(obs.ServerOptions{Registry: cfg.Metrics, Stream: stream, Runs: runTracker})
+		addr, err := srv.Start(*serve)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "observability server on http://%s (/metrics /events /runs /healthz /debug/pprof)\n", addr)
+	}
+	if len(sinks) > 0 {
+		cfg.Recorder = obs.Tee(sinks...)
 	}
 
 	var ids []string
-	if *run != "" {
-		ids = strings.Split(*run, ",")
+	if *runSel != "" {
+		ids = strings.Split(*runSel, ",")
 	}
 
 	start := time.Now()
 	env := experiments.NewEnv(cfg)
 	if err := experiments.RunSuite(env, os.Stdout, ids...); err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
-		os.Exit(1)
+		return 1
 	}
-	if traceRec != nil {
-		if err := traceRec.Flush(); err != nil {
-			fmt.Fprintln(os.Stderr, "trace:", err)
-			os.Exit(1)
-		}
-	}
-	if cfg.Metrics != nil {
+	if *metrics {
 		fmt.Fprintln(os.Stderr, "--- metrics ---")
 		if err := cfg.Metrics.Dump(os.Stderr); err != nil {
 			fmt.Fprintln(os.Stderr, "metrics:", err)
 		}
 	}
 	fmt.Fprintf(os.Stderr, "completed in %v\n", time.Since(start).Round(time.Second))
+	return 0
 }

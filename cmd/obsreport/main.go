@@ -1,0 +1,106 @@
+// Command obsreport analyzes JSONL event traces written by
+// cmd/adaptiverank and cmd/experiments (-trace): per-run recall curves,
+// detector decision timelines, model-update feature-churn summaries,
+// and per-phase CPU-time accounts, in text or JSON, plus side-by-side
+// A/B comparison of two traces.
+//
+// Usage:
+//
+//	obsreport [-json] [-run N] trace.jsonl
+//	obsreport [-json] [-run N] -compare other.jsonl trace.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"adaptiverank/internal/obs/report"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		jsonOut = flag.Bool("json", false, "emit JSON instead of text")
+		runIdx  = flag.Int("run", -1, "report only this run index (default: all; -compare defaults to 0)")
+		compare = flag.String("compare", "", "second trace: A/B-compare its selected run against the main trace's")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: obsreport [-json] [-run N] [-compare other.jsonl] trace.jsonl\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		return 2
+	}
+
+	rep, err := report.FromFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	if *compare != "" {
+		other, err := report.FromFile(*compare)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		idx := *runIdx
+		if idx < 0 {
+			idx = 0
+		}
+		a, err := selectRun(rep, idx, flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		b, err := selectRun(other, idx, *compare)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		c := report.Compare(a, b)
+		if *jsonOut {
+			err = c.WriteJSON(os.Stdout)
+		} else {
+			err = c.WriteText(os.Stdout)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		return 0
+	}
+
+	if *runIdx >= 0 {
+		r, err := selectRun(rep, *runIdx, flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		rep = &report.Report{Runs: []report.Run{*r}}
+	}
+	if *jsonOut {
+		err = rep.WriteJSON(os.Stdout)
+	} else {
+		err = rep.WriteText(os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	return 0
+}
+
+func selectRun(rep *report.Report, idx int, path string) (*report.Run, error) {
+	if idx < 0 || idx >= len(rep.Runs) {
+		return nil, fmt.Errorf("obsreport: %s has %d runs, no run %d", path, len(rep.Runs), idx)
+	}
+	return &rep.Runs[idx], nil
+}

@@ -13,8 +13,6 @@
 package obs
 
 import (
-	"fmt"
-	"io"
 	"math"
 	"sort"
 	"sync"
@@ -220,31 +218,6 @@ func (r *Registry) CounterValue(name string) int64 {
 	return 0
 }
 
-// Dump writes an expvar-style plain-text snapshot, one instrument per
-// line, sorted by name: counters as integers, gauges as floats, and
-// histograms as count/sum/quantile summaries.
-func (r *Registry) Dump(w io.Writer) error {
-	if r == nil {
-		return nil
-	}
-	r.mu.Lock()
-	lines := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.hists))
-	for name, c := range r.counters {
-		lines = append(lines, fmt.Sprintf("%s %d", name, c.Value()))
-	}
-	for name, g := range r.gauges {
-		lines = append(lines, fmt.Sprintf("%s %g", name, g.Value()))
-	}
-	for name, h := range r.hists {
-		lines = append(lines, fmt.Sprintf("%s count=%d sum=%g p50=%g p95=%g p99=%g",
-			name, h.Count(), h.Sum(), h.Quantile(0.5), h.Quantile(0.95), h.Quantile(0.99)))
-	}
-	r.mu.Unlock()
-	sort.Strings(lines)
-	for _, l := range lines {
-		if _, err := fmt.Fprintln(w, l); err != nil {
-			return err
-		}
-	}
-	return nil
-}
+// Dump and Snapshot live in snapshot.go: both the expvar-style text dump
+// and the Prometheus exposition (prometheus.go) format the same typed
+// Snapshot, so the two read paths cannot drift.

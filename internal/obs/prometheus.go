@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// SanitizeMetricName maps an arbitrary instrument name onto the
+// Prometheus metric-name alphabet [a-zA-Z_:][a-zA-Z0-9_:]*: every
+// invalid byte becomes '_', a leading digit gets a '_' prefix, and the
+// empty name becomes "_". The mapping is idempotent — sanitizing an
+// already-sanitized name returns it unchanged — so exposition names
+// survive round-trips through external systems that re-sanitize.
+func SanitizeMetricName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// formatFloat renders a float64 the way the Prometheus text format
+// expects: shortest round-trippable decimal, with the special values
+// spelled +Inf/-Inf/NaN.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus emits the snapshot in the Prometheus text exposition
+// format version 0.0.4: counters and gauges as single samples,
+// histograms as cumulative `le`-labelled buckets (always ending with
+// the implicit +Inf bucket, whose value equals `_count`) plus `_sum`
+// and `_count` samples. Instrument names are passed through
+// SanitizeMetricName; each family is preceded by HELP (carrying the
+// original registry name) and TYPE comment lines.
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	var b strings.Builder
+	family := func(orig, typ string) string {
+		name := SanitizeMetricName(orig)
+		b.WriteString("# HELP ")
+		b.WriteString(name)
+		b.WriteByte(' ')
+		b.WriteString(helpEscape(orig))
+		b.WriteByte('\n')
+		b.WriteString("# TYPE ")
+		b.WriteString(name)
+		b.WriteByte(' ')
+		b.WriteString(typ)
+		b.WriteByte('\n')
+		return name
+	}
+	for _, c := range s.Counters {
+		name := family(c.Name, "counter")
+		b.WriteString(name)
+		b.WriteByte(' ')
+		b.WriteString(strconv.FormatInt(c.Value, 10))
+		b.WriteByte('\n')
+	}
+	for _, g := range s.Gauges {
+		name := family(g.Name, "gauge")
+		b.WriteString(name)
+		b.WriteByte(' ')
+		b.WriteString(formatFloat(g.Value))
+		b.WriteByte('\n')
+	}
+	for _, h := range s.Histograms {
+		name := family(h.Name, "histogram")
+		var cum int64
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			b.WriteString(name)
+			b.WriteString(`_bucket{le="`)
+			b.WriteString(formatFloat(bound))
+			b.WriteString(`"} `)
+			b.WriteString(strconv.FormatInt(cum, 10))
+			b.WriteByte('\n')
+		}
+		// The overflow bucket closes the cumulative series at +Inf; by
+		// construction it equals Count (Snapshot sums the raw buckets).
+		cum += h.Counts[len(h.Counts)-1]
+		b.WriteString(name)
+		b.WriteString(`_bucket{le="+Inf"} `)
+		b.WriteString(strconv.FormatInt(cum, 10))
+		b.WriteByte('\n')
+		b.WriteString(name)
+		b.WriteString("_sum ")
+		b.WriteString(formatFloat(h.Sum))
+		b.WriteByte('\n')
+		b.WriteString(name)
+		b.WriteString("_count ")
+		b.WriteString(strconv.FormatInt(h.Count, 10))
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// helpEscape escapes a HELP docstring per the text format (backslash
+// and newline only).
+func helpEscape(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

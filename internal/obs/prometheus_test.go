@@ -1,0 +1,364 @@
+package obs
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// promSample is one parsed exposition sample.
+type promSample struct {
+	name  string // full sample name (including _bucket/_sum/_count)
+	le    string // le label value, "" when unlabelled
+	value float64
+}
+
+// promParse is a minimal parser of the Prometheus text exposition
+// format v0.0.4 covering what WritePrometheus emits: HELP/TYPE comment
+// lines and samples with at most an le label. It fails the test on any
+// line it cannot parse, so it doubles as a format validator.
+func promParse(t *testing.T, text string) (types map[string]string, samples []promSample) {
+	t.Helper()
+	types = make(map[string]string)
+	nameRe := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("line %d: malformed TYPE: %q", ln+1, line)
+			}
+			name, typ := parts[2], parts[3]
+			if !nameRe.MatchString(name) {
+				t.Fatalf("line %d: invalid family name %q", ln+1, name)
+			}
+			if typ != "counter" && typ != "gauge" && typ != "histogram" {
+				t.Fatalf("line %d: unknown type %q", ln+1, typ)
+			}
+			if _, dup := types[name]; dup {
+				t.Fatalf("line %d: duplicate TYPE for %q", ln+1, name)
+			}
+			types[name] = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("line %d: unexpected comment %q", ln+1, line)
+		}
+		var s promSample
+		rest := line
+		if i := strings.IndexByte(rest, '{'); i >= 0 {
+			s.name = rest[:i]
+			j := strings.IndexByte(rest, '}')
+			if j < i {
+				t.Fatalf("line %d: unterminated label set: %q", ln+1, line)
+			}
+			label := rest[i+1 : j]
+			if !strings.HasPrefix(label, `le="`) || !strings.HasSuffix(label, `"`) {
+				t.Fatalf("line %d: unexpected label %q", ln+1, label)
+			}
+			s.le = strings.TrimSuffix(strings.TrimPrefix(label, `le="`), `"`)
+			rest = strings.TrimSpace(rest[j+1:])
+		} else {
+			fields := strings.Fields(rest)
+			if len(fields) != 2 {
+				t.Fatalf("line %d: malformed sample %q", ln+1, line)
+			}
+			s.name, rest = fields[0], fields[1]
+		}
+		if !nameRe.MatchString(s.name) {
+			t.Fatalf("line %d: invalid sample name %q", ln+1, s.name)
+		}
+		v, err := parsePromValue(rest)
+		if err != nil {
+			t.Fatalf("line %d: bad value %q: %v", ln+1, rest, err)
+		}
+		s.value = v
+		samples = append(samples, s)
+	}
+	return types, samples
+}
+
+func parsePromValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// histFamily groups the parsed samples of one histogram family.
+type histFamily struct {
+	buckets []promSample // in exposition order
+	sum     float64
+	count   float64
+}
+
+func groupHistograms(t *testing.T, types map[string]string, samples []promSample) map[string]*histFamily {
+	t.Helper()
+	hists := make(map[string]*histFamily)
+	for name, typ := range types {
+		if typ == "histogram" {
+			hists[name] = &histFamily{}
+		}
+	}
+	for _, s := range samples {
+		switch {
+		case strings.HasSuffix(s.name, "_bucket"):
+			base := strings.TrimSuffix(s.name, "_bucket")
+			h, ok := hists[base]
+			if !ok {
+				t.Fatalf("bucket sample %q has no histogram TYPE", s.name)
+			}
+			h.buckets = append(h.buckets, s)
+		case strings.HasSuffix(s.name, "_sum") && hists[strings.TrimSuffix(s.name, "_sum")] != nil:
+			hists[strings.TrimSuffix(s.name, "_sum")].sum = s.value
+		case strings.HasSuffix(s.name, "_count") && hists[strings.TrimSuffix(s.name, "_count")] != nil:
+			hists[strings.TrimSuffix(s.name, "_count")].count = s.value
+		default:
+			if types[s.name] == "" {
+				t.Fatalf("sample %q has no TYPE declaration", s.name)
+			}
+		}
+	}
+	return hists
+}
+
+// expose writes the registry's snapshot and parses it back.
+func expose(t *testing.T, reg *Registry) (map[string]string, []promSample) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	return promParse(t, buf.String())
+}
+
+func TestPrometheusRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("pipeline.docs_processed").Add(1234)
+	reg.Counter("pipeline.updates").Add(7)
+	reg.Gauge("pipeline.pool_size").Set(987.5)
+	reg.Gauge("time.total_seconds").Set(0.25)
+	h := reg.Histogram("pipeline.rank_seconds", []float64{0.001, 0.01, 0.1, 1})
+	for _, v := range []float64{0.0005, 0.005, 0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+
+	types, samples := expose(t, reg)
+	want := map[string]float64{
+		"pipeline_docs_processed": 1234,
+		"pipeline_updates":        7,
+		"pipeline_pool_size":      987.5,
+		"time_total_seconds":      0.25,
+	}
+	got := map[string]float64{}
+	for _, s := range samples {
+		if s.le == "" && !strings.HasSuffix(s.name, "_sum") && !strings.HasSuffix(s.name, "_count") {
+			got[s.name] = s.value
+		}
+	}
+	for name, w := range want {
+		if got[name] != w {
+			t.Errorf("%s = %g, want %g", name, got[name], w)
+		}
+	}
+	if types["pipeline_docs_processed"] != "counter" || types["pipeline_pool_size"] != "gauge" ||
+		types["pipeline_rank_seconds"] != "histogram" {
+		t.Errorf("unexpected TYPE map: %v", types)
+	}
+
+	hists := groupHistograms(t, types, samples)
+	hf := hists["pipeline_rank_seconds"]
+	if hf == nil {
+		t.Fatal("histogram family missing")
+	}
+	if hf.count != 6 {
+		t.Errorf("_count = %g, want 6", hf.count)
+	}
+	if math.Abs(hf.sum-5.5605) > 1e-9 {
+		t.Errorf("_sum = %g, want 5.5605", hf.sum)
+	}
+	wantBuckets := []float64{1, 3, 4, 5, 6}
+	if len(hf.buckets) != len(wantBuckets) {
+		t.Fatalf("buckets = %d, want %d", len(hf.buckets), len(wantBuckets))
+	}
+	for i, b := range hf.buckets {
+		if b.value != wantBuckets[i] {
+			t.Errorf("bucket %d (le=%s) = %g, want %g", i, b.le, b.value, wantBuckets[i])
+		}
+	}
+}
+
+// TestPrometheusHistogramInvariants checks the exposition-level
+// invariants over randomized observations: cumulative buckets are
+// monotone non-decreasing, the series ends at le="+Inf", and the +Inf
+// bucket equals _count.
+func TestPrometheusHistogramInvariants(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("inv.hist", nil) // default latency buckets
+	for i := 0; i < 5000; i++ {
+		h.Observe(float64(i%97) * 3e-4)
+	}
+	empty := reg.Histogram("inv.empty", []float64{1, 2, 3})
+	_ = empty
+
+	types, samples := expose(t, reg)
+	hists := groupHistograms(t, types, samples)
+	if len(hists) != 2 {
+		t.Fatalf("histogram families = %d, want 2", len(hists))
+	}
+	for name, hf := range hists {
+		if len(hf.buckets) == 0 {
+			t.Fatalf("%s: no buckets", name)
+		}
+		prev := math.Inf(-1)
+		prevBound := math.Inf(-1)
+		for i, b := range hf.buckets {
+			if b.value < prev {
+				t.Errorf("%s bucket %d: cumulative count decreased (%g -> %g)", name, i, prev, b.value)
+			}
+			prev = b.value
+			bound, err := parsePromValue(b.le)
+			if err != nil {
+				t.Fatalf("%s bucket %d: bad le %q", name, i, b.le)
+			}
+			if bound <= prevBound {
+				t.Errorf("%s bucket %d: le bounds not increasing", name, i)
+			}
+			prevBound = bound
+		}
+		last := hf.buckets[len(hf.buckets)-1]
+		if last.le != "+Inf" {
+			t.Errorf("%s: last bucket le = %q, want +Inf", name, last.le)
+		}
+		if last.value != hf.count {
+			t.Errorf("%s: +Inf bucket %g != _count %g", name, last.value, hf.count)
+		}
+	}
+}
+
+func TestSanitizeMetricName(t *testing.T) {
+	cases := map[string]string{
+		"pipeline.rank_seconds": "pipeline_rank_seconds",
+		"already_valid:name":    "already_valid:name",
+		"9starts.with.digit":    "_9starts_with_digit",
+		"":                      "_",
+		"spaces and-dashes":     "spaces_and_dashes",
+		"ünïcode":               "__n__code",
+	}
+	valid := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	for in, want := range cases {
+		got := SanitizeMetricName(in)
+		if got != want {
+			t.Errorf("SanitizeMetricName(%q) = %q, want %q", in, got, want)
+		}
+		if !valid.MatchString(got) {
+			t.Errorf("SanitizeMetricName(%q) = %q is not a valid metric name", in, got)
+		}
+		// Round-trip: sanitizing a sanitized name is the identity.
+		if again := SanitizeMetricName(got); again != got {
+			t.Errorf("sanitization not idempotent: %q -> %q -> %q", in, got, again)
+		}
+	}
+}
+
+func TestSnapshotTypedAndSorted(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("z.last").Inc()
+	reg.Counter("a.first").Add(3)
+	reg.Gauge("m.gauge").Set(1.5)
+	reg.Histogram("h.one", []float64{1}).Observe(0.5)
+	reg.Histogram("a.hist", []float64{2}).Observe(3)
+
+	s := reg.Snapshot()
+	if len(s.Counters) != 2 || s.Counters[0].Name != "a.first" || s.Counters[1].Name != "z.last" {
+		t.Errorf("counters not sorted: %+v", s.Counters)
+	}
+	if s.Counters[0].Value != 3 {
+		t.Errorf("a.first = %d, want 3", s.Counters[0].Value)
+	}
+	if len(s.Histograms) != 2 || s.Histograms[0].Name != "a.hist" || s.Histograms[1].Name != "h.one" {
+		t.Errorf("histograms not sorted: %+v", s.Histograms)
+	}
+	// a.hist observed 3 with bounds [2]: overflow bucket.
+	ah := s.Histograms[0]
+	if ah.Count != 1 || ah.Counts[len(ah.Counts)-1] != 1 {
+		t.Errorf("overflow accounting wrong: %+v", ah)
+	}
+	if q := ah.Quantile(0.5); !math.IsInf(q, 1) {
+		t.Errorf("snapshot quantile = %g, want +Inf", q)
+	}
+
+	var nilReg *Registry
+	empty := nilReg.Snapshot()
+	if len(empty.Counters)+len(empty.Gauges)+len(empty.Histograms) != 0 {
+		t.Error("nil registry snapshot must be empty")
+	}
+}
+
+// TestDumpMatchesSnapshot pins Dump to the Snapshot read path: the
+// legacy text format must render exactly the snapshot's values.
+func TestDumpMatchesSnapshot(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c").Add(42)
+	reg.Gauge("g").Set(2.5)
+	reg.Histogram("h", []float64{1, 2}).Observe(1.5)
+	var buf bytes.Buffer
+	if err := reg.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "c 42\ng 2.5\nh count=1 sum=1.5 p50=2 p95=2 p99=2\n"
+	if buf.String() != want {
+		t.Errorf("Dump = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestWritePrometheusEmptySnapshot(t *testing.T) {
+	var buf bytes.Buffer
+	var nilReg *Registry
+	if err := WritePrometheus(&buf, nilReg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("empty snapshot must expose nothing, got %q", buf.String())
+	}
+}
+
+// BenchmarkHistogramObserve is the CI benchmark baseline for the
+// enabled hot-path instrument write (atomic ops, zero allocations).
+func BenchmarkHistogramObserve(b *testing.B) {
+	reg := NewRegistry()
+	h := reg.Histogram("bench.observe", nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%1000) * 1e-6)
+	}
+}
+
+// BenchmarkRecorderRecord is the CI benchmark baseline for the enabled
+// trace write (JSONL encoding to a discarded buffer).
+func BenchmarkRecorderRecord(b *testing.B) {
+	rec := NewJSONLRecorder(io.Discard)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.Record(Event{Kind: KindDocExtracted, Doc: int64(i), Useful: i%3 == 0, Dur: 1})
+	}
+	if err := rec.Flush(); err != nil {
+		b.Fatal(err)
+	}
+}

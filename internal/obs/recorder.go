@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"sync"
 	"time"
 )
@@ -16,7 +17,9 @@ type Kind string
 // carried on the events themselves (Dur); PhaseTotals maps them back to
 // the four CPU-time accounts of metrics.TimeAccount.
 const (
-	// KindRunStarted opens a run (Name = strategy, N = collection size).
+	// KindRunStarted opens a run (Name = strategy, N = collection size,
+	// Val = total useful documents when the labelling oracle knows it —
+	// the recall denominator post-hoc trace analysis needs).
 	KindRunStarted Kind = "run-started"
 	// KindRunFinished closes a run (N = ranked docs, Dur = total CPU time).
 	KindRunFinished Kind = "run-finished"
@@ -116,16 +119,25 @@ func NewJSONLRecorder(w io.Writer) *JSONLRecorder {
 // Enabled implements Recorder.
 func (r *JSONLRecorder) Enabled() bool { return true }
 
-// Record implements Recorder.
+// Record implements Recorder. Events arriving without a sequence number
+// are stamped with the recorder's own numbering; events already stamped
+// upstream (by a Tee fanning one run out to several sinks) keep their
+// Seq and T, so all sinks agree on the numbering.
 func (r *JSONLRecorder) Record(e Event) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.err != nil {
 		return
 	}
-	r.seq++
-	e.Seq = r.seq
-	e.T = time.Now().UnixNano()
+	if e.Seq == 0 {
+		r.seq++
+		e.Seq = r.seq
+	} else if e.Seq > r.seq {
+		r.seq = e.Seq
+	}
+	if e.T == 0 {
+		e.T = nowUnixNano()
+	}
 	r.err = r.enc.Encode(e)
 }
 
@@ -150,13 +162,20 @@ type MemRecorder struct {
 // Enabled implements Recorder.
 func (r *MemRecorder) Enabled() bool { return true }
 
-// Record implements Recorder.
+// Record implements Recorder. Like JSONLRecorder.Record, it preserves
+// Seq/T stamps assigned upstream by a Tee.
 func (r *MemRecorder) Record(e Event) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.seq++
-	e.Seq = r.seq
-	e.T = time.Now().UnixNano()
+	if e.Seq == 0 {
+		r.seq++
+		e.Seq = r.seq
+	} else if e.Seq > r.seq {
+		r.seq = e.Seq
+	}
+	if e.T == 0 {
+		e.T = nowUnixNano()
+	}
 	r.events = append(r.events, e)
 }
 
@@ -167,6 +186,43 @@ func (r *MemRecorder) Events() []Event {
 	out := make([]Event, len(r.events))
 	copy(out, r.events)
 	return out
+}
+
+// nowUnixNano is the single wall-clock read of the recorder layer.
+func nowUnixNano() int64 { return time.Now().UnixNano() }
+
+// FileRecorder is a JSONLRecorder bound to a file it owns: Close
+// flushes the trace and closes the file, returning the first error
+// seen, so CLIs get a single lifecycle call that is correct on every
+// exit path (success, pipeline error, or trace-write failure).
+type FileRecorder struct {
+	*JSONLRecorder
+	f      *os.File
+	closed bool
+}
+
+// CreateTrace creates (truncating) the trace file at path and returns a
+// recorder writing to it.
+func CreateTrace(path string) (*FileRecorder, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: create trace: %w", err)
+	}
+	return &FileRecorder{JSONLRecorder: NewJSONLRecorder(f), f: f}, nil
+}
+
+// Close flushes buffered events and closes the file. Repeated calls
+// are no-ops.
+func (r *FileRecorder) Close() error {
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	err := r.Flush()
+	if cerr := r.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // ReadEvents parses a JSONL trace back into events.

@@ -1,0 +1,153 @@
+package report_test
+
+// Acceptance test of ISSUE 2: a report built from a run's JSONL trace
+// must reproduce the run's final recall and Result.Time phase totals
+// EXACTLY — the trace carries the same measured durations and the same
+// labels the pipeline itself used, so no tolerance is needed.
+
+import (
+	"bytes"
+	"testing"
+
+	"adaptiverank/internal/extract"
+	"adaptiverank/internal/obs"
+	"adaptiverank/internal/obs/report"
+	"adaptiverank/internal/pipeline"
+	"adaptiverank/internal/ranking"
+	"adaptiverank/internal/relation"
+	"adaptiverank/internal/sampling"
+	"adaptiverank/internal/textgen"
+	"adaptiverank/internal/update"
+)
+
+func tracedRun(t *testing.T, seed int64) (*pipeline.Result, *report.Report, *obs.Registry) {
+	t.Helper()
+	cfg := textgen.DefaultConfig(seed, 1200)
+	cfg.DensityOverride = map[relation.Relation]float64{relation.PH: 0.05}
+	coll, _ := textgen.Generate(cfg)
+	labels := pipeline.ComputeLabels(extract.Get(relation.PH), coll)
+	if labels.NumUseful() < 10 {
+		t.Fatalf("test corpus too sparse: %d useful", labels.NumUseful())
+	}
+
+	var buf bytes.Buffer
+	rec := obs.NewJSONLRecorder(&buf)
+	reg := obs.NewRegistry()
+	feat := ranking.NewFeaturizer()
+	r := ranking.NewRSVMIE(ranking.RSVMOptions{Seed: seed})
+	res, err := pipeline.Run(pipeline.Options{
+		Rel: relation.PH, Coll: coll, Labels: labels,
+		Sample:   sampling.SRS(coll, 150, seed),
+		Strategy: pipeline.NewLearned(r, feat),
+		Detector: update.NewWindF(100), Featurizer: feat,
+		Metrics: reg, Recorder: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := report.FromReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, rep, reg
+}
+
+func TestReportReproducesRunExactly(t *testing.T) {
+	res, rep, reg := tracedRun(t, 31)
+	if len(rep.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(rep.Runs))
+	}
+	r := rep.Runs[0]
+
+	// Structure.
+	if !r.Complete {
+		t.Error("run must be complete")
+	}
+	if r.SampleDocs != res.SampleSize || r.SampleUseful != res.SampleUseful {
+		t.Errorf("sample: report %d/%d, pipeline %d/%d",
+			r.SampleDocs, r.SampleUseful, res.SampleSize, res.SampleUseful)
+	}
+	if r.Docs != len(res.Order) {
+		t.Errorf("docs: report %d, pipeline %d", r.Docs, len(res.Order))
+	}
+	if len(r.Updates) != len(res.UpdatePositions) {
+		t.Errorf("updates: report %d, pipeline %d", len(r.Updates), len(res.UpdatePositions))
+	}
+	for i, u := range r.Updates {
+		if u.Position != res.UpdatePositions[i] {
+			t.Errorf("update %d position: report %d, pipeline %d", i, u.Position, res.UpdatePositions[i])
+		}
+	}
+	for i, c := range res.Churn {
+		u := r.Updates[i]
+		if u.Added != c.Added || u.Removed != c.Removed || u.Size != c.Size {
+			t.Errorf("churn %d: report %+v, pipeline %+v", i, u, c)
+		}
+	}
+
+	// Final recall and the whole curve: EXACT equality.
+	if len(r.Curve) != len(res.Curve) {
+		t.Fatalf("curve lengths: report %d, pipeline %d", len(r.Curve), len(res.Curve))
+	}
+	for p := range res.Curve {
+		if r.Curve[p] != res.Curve[p] {
+			t.Fatalf("curve[%d]: report %v != pipeline %v", p, r.Curve[p], res.Curve[p])
+		}
+	}
+	if r.FinalRecall != res.Curve[100] {
+		t.Errorf("final recall: report %v != pipeline %v", r.FinalRecall, res.Curve[100])
+	}
+
+	// Phase totals: EXACT equality with Result.Time (the pipeline feeds
+	// the identical measured durations to both sides).
+	if r.Phases["extraction"] != res.Time.Extraction {
+		t.Errorf("extraction: report %v != pipeline %v", r.Phases["extraction"], res.Time.Extraction)
+	}
+	if r.Phases["ranking"] != res.Time.Ranking {
+		t.Errorf("ranking: report %v != pipeline %v", r.Phases["ranking"], res.Time.Ranking)
+	}
+	if r.Phases["detection"] != res.Time.Detection {
+		t.Errorf("detection: report %v != pipeline %v", r.Phases["detection"], res.Time.Detection)
+	}
+	if r.Phases["training"] != res.Time.Training {
+		t.Errorf("training: report %v != pipeline %v", r.Phases["training"], res.Time.Training)
+	}
+	if r.Phases["total"] != res.Time.Total() || r.TotalCPU != res.Time.Total() {
+		t.Errorf("total: report %v/%v != pipeline %v", r.Phases["total"], r.TotalCPU, res.Time.Total())
+	}
+
+	// And the registry's published gauges agree with the same account
+	// (the pipeline's own `metrics` output).
+	snap := reg.Snapshot()
+	gauges := map[string]float64{}
+	for _, g := range snap.Gauges {
+		gauges[g.Name] = g.Value
+	}
+	if got, want := gauges["time.total_seconds"], res.Time.Total().Seconds(); got != want {
+		t.Errorf("time.total_seconds gauge %v != %v", got, want)
+	}
+	if got, want := gauges["time.extraction_seconds"], res.Time.Extraction.Seconds(); got != want {
+		t.Errorf("time.extraction_seconds gauge %v != %v", got, want)
+	}
+}
+
+// TestReportTwoTraceComparison drives the A/B path end-to-end over two
+// real runs with different seeds.
+func TestReportTwoTraceComparison(t *testing.T) {
+	_, repA, _ := tracedRun(t, 41)
+	_, repB, _ := tracedRun(t, 42)
+	c := report.Compare(&repA.Runs[0], &repB.Runs[0])
+	if c.RecallDelta == nil {
+		t.Fatal("comparison of two labelled runs must include recall deltas")
+	}
+	var buf bytes.Buffer
+	if err := c.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Error("empty comparison rendering")
+	}
+}

@@ -1,0 +1,205 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// curveGlyphs are the recall-curve sparkline levels, lowest to highest.
+var curveGlyphs = []rune(" .:-=+*#%@")
+
+// sparkline renders a recall curve as a fixed-width strip, one glyph
+// per 2% of processed documents.
+func sparkline(curve []float64) string {
+	if len(curve) == 0 {
+		return "(no curve: trace carries no total-useful count)"
+	}
+	var b strings.Builder
+	for p := 2; p <= 100; p += 2 {
+		v := curve[p]
+		i := int(v * float64(len(curveGlyphs)-1))
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(curveGlyphs) {
+			i = len(curveGlyphs) - 1
+		}
+		b.WriteRune(curveGlyphs[i])
+	}
+	return "[" + b.String() + "]"
+}
+
+// timeline renders the detector decision sequence as a width-bucketed
+// strip: '!' marks a bucket with at least one fired decision, '.' one
+// with only suppressed decisions, ' ' no decisions.
+func timeline(decisions []Decision, docs, width int) string {
+	if width < 1 {
+		width = 60
+	}
+	if docs < 1 {
+		docs = 1
+	}
+	cells := make([]rune, width)
+	for i := range cells {
+		cells[i] = ' '
+	}
+	for _, d := range decisions {
+		i := (d.Position - 1) * width / docs
+		if i < 0 {
+			i = 0
+		}
+		if i >= width {
+			i = width - 1
+		}
+		if d.Fired {
+			cells[i] = '!'
+		} else if cells[i] == ' ' {
+			cells[i] = '.'
+		}
+	}
+	return "[" + string(cells) + "]"
+}
+
+func fdur(d time.Duration) string { return d.Round(time.Microsecond).String() }
+
+// WriteText renders every run of the report as human-readable text.
+func (rep *Report) WriteText(w io.Writer) error {
+	for i := range rep.Runs {
+		if i > 0 {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		if err := rep.Runs[i].WriteText(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteText renders one run.
+func (r *Run) WriteText(w io.Writer) error {
+	name := r.Strategy
+	if name == "" {
+		name = "(unnamed)"
+	}
+	status := ""
+	if !r.Complete {
+		status = "  [truncated trace]"
+	}
+	fmt.Fprintf(w, "run %d: %s over %d documents%s\n", r.Index, name, r.CollectionSize, status)
+	if r.TotalUseful > 0 {
+		fmt.Fprintf(w, "  useful in collection: %d\n", r.TotalUseful)
+	}
+	fmt.Fprintf(w, "  sample phase: %d docs, %d useful\n", r.SampleDocs, r.SampleUseful)
+	fmt.Fprintf(w, "  ranked phase: %d docs, %d useful, %d re-ranks, %d model updates\n",
+		r.Docs, r.Useful, r.Reranks, len(r.Updates))
+
+	if len(r.Curve) > 0 {
+		fmt.Fprintf(w, "  recall vs %%processed: %s final=%.4f\n", sparkline(r.Curve), r.FinalRecall)
+		fmt.Fprintf(w, "    checkpoints: 10%%=%.3f  25%%=%.3f  50%%=%.3f  75%%=%.3f  100%%=%.3f\n",
+			r.RecallAt(10), r.RecallAt(25), r.RecallAt(50), r.RecallAt(75), r.RecallAt(100))
+	} else {
+		fmt.Fprintf(w, "  recall: unavailable (trace carries no total-useful count)\n")
+	}
+
+	if len(r.Decisions) > 0 {
+		fmt.Fprintf(w, "  detector: %d decisions, %d fired  %s\n",
+			len(r.Decisions), r.FireCount(), timeline(r.Decisions, r.Docs, 50))
+		for _, d := range r.Decisions {
+			if d.Fired {
+				fmt.Fprintf(w, "    fired at doc %d: %s statistic=%.4f\n", d.Position, d.Detector, d.Value)
+			}
+		}
+	}
+
+	if len(r.Updates) > 0 {
+		fmt.Fprintf(w, "  model updates (feature churn):\n")
+		fmt.Fprintf(w, "    %8s %9s %12s %7s %7s %8s\n", "doc", "buffered", "train", "added", "removed", "support")
+		for _, u := range r.Updates {
+			fmt.Fprintf(w, "    %8d %9d %12s %7d %7d %8d\n",
+				u.Position, u.Buffered, fdur(u.Dur), u.Added, u.Removed, u.Size)
+		}
+	}
+
+	fmt.Fprintf(w, "  CPU time: extraction=%s ranking=%s detection=%s training=%s total=%s\n",
+		fdur(r.Phases["extraction"]), fdur(r.Phases["ranking"]),
+		fdur(r.Phases["detection"]), fdur(r.Phases["training"]), fdur(r.Phases["total"]))
+	if r.WallClock > 0 {
+		fmt.Fprintf(w, "  wall clock: %s\n", fdur(r.WallClock))
+	}
+	return nil
+}
+
+// WriteJSON renders the report as indented JSON.
+func (rep *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// Comparison is a side-by-side A/B view of two runs (e.g.
+// BAgg-IE+Mod-C vs RSVM-IE+Top-K on the same corpus).
+type Comparison struct {
+	A *Run `json:"a"`
+	B *Run `json:"b"`
+	// RecallDelta is B minus A at the 10/25/50/75/100% checkpoints
+	// (positive: B found useful documents earlier).
+	RecallDelta map[string]float64 `json:"recall_delta,omitempty"`
+}
+
+// Compare builds the A/B comparison of two runs.
+func Compare(a, b *Run) *Comparison {
+	c := &Comparison{A: a, B: b}
+	if len(a.Curve) > 0 && len(b.Curve) > 0 {
+		c.RecallDelta = map[string]float64{}
+		for _, pct := range []float64{10, 25, 50, 75, 100} {
+			c.RecallDelta[fmt.Sprintf("%g%%", pct)] = b.RecallAt(pct) - a.RecallAt(pct)
+		}
+	}
+	return c
+}
+
+// WriteText renders the comparison as an aligned two-column table.
+func (c *Comparison) WriteText(w io.Writer) error {
+	a, b := c.A, c.B
+	nameA, nameB := a.Strategy, b.Strategy
+	if nameA == "" {
+		nameA = "A"
+	}
+	if nameB == "" {
+		nameB = "B"
+	}
+	row := func(label, va, vb string) {
+		fmt.Fprintf(w, "  %-22s %18s %18s\n", label, va, vb)
+	}
+	fmt.Fprintf(w, "A/B comparison\n")
+	row("", nameA, nameB)
+	row("documents ranked", fmt.Sprintf("%d", a.Docs), fmt.Sprintf("%d", b.Docs))
+	row("useful found", fmt.Sprintf("%d", a.Useful), fmt.Sprintf("%d", b.Useful))
+	row("re-ranks", fmt.Sprintf("%d", a.Reranks), fmt.Sprintf("%d", b.Reranks))
+	row("model updates", fmt.Sprintf("%d", len(a.Updates)), fmt.Sprintf("%d", len(b.Updates)))
+	row("detector decisions", fmt.Sprintf("%d", len(a.Decisions)), fmt.Sprintf("%d", len(b.Decisions)))
+	row("detector fired", fmt.Sprintf("%d", a.FireCount()), fmt.Sprintf("%d", b.FireCount()))
+	if len(a.Curve) > 0 && len(b.Curve) > 0 {
+		for _, pct := range []float64{10, 25, 50, 75, 100} {
+			ra, rb := a.RecallAt(pct), b.RecallAt(pct)
+			label := fmt.Sprintf("recall@%g%%", pct)
+			row(label, fmt.Sprintf("%.4f", ra), fmt.Sprintf("%.4f (%+.4f)", rb, rb-ra))
+		}
+	}
+	for _, phase := range []string{"extraction", "ranking", "detection", "training", "total"} {
+		row("cpu "+phase, fdur(a.Phases[phase]), fdur(b.Phases[phase]))
+	}
+	return nil
+}
+
+// WriteJSON renders the comparison as indented JSON.
+func (c *Comparison) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c)
+}

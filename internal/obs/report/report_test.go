@@ -1,0 +1,288 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"adaptiverank/internal/obs"
+)
+
+// syntheticTrace builds a hand-written two-run trace with known totals.
+func syntheticTrace() []obs.Event {
+	return []obs.Event{
+		{Seq: 1, T: 100, Kind: obs.KindRunStarted, Name: "RSVM-IE", N: 10, Val: 4},
+		{Seq: 2, T: 110, Kind: obs.KindSampleLabelled, Doc: 1, Useful: true, Dur: time.Millisecond},
+		{Seq: 3, T: 120, Kind: obs.KindSampleLabelled, Doc: 2, Useful: false, Dur: time.Millisecond},
+		{Seq: 4, T: 130, Kind: obs.KindPhase, Name: "init-train", Dur: 2 * time.Millisecond},
+		{Seq: 5, T: 140, Kind: obs.KindRankStarted, N: 8},
+		{Seq: 6, T: 150, Kind: obs.KindRankFinished, N: 8, Dur: 3 * time.Millisecond},
+		{Seq: 7, T: 160, Kind: obs.KindDocExtracted, Doc: 3, Useful: true, Dur: time.Millisecond},
+		{Seq: 8, T: 170, Kind: obs.KindDetectorDecision, Name: "Mod-C", Val: 3.5, Fired: false},
+		{Seq: 9, T: 180, Kind: obs.KindDocExtracted, Doc: 4, Useful: true, Dur: time.Millisecond},
+		{Seq: 10, T: 190, Kind: obs.KindDetectorDecision, Name: "Mod-C", Val: 9.25, Fired: true},
+		{Seq: 11, T: 200, Kind: obs.KindDetectorFired, Name: "Mod-C", N: 2},
+		{Seq: 12, T: 210, Kind: obs.KindModelUpdated, N: 2, Dur: 4 * time.Millisecond, Added: 5, Removed: 2, Val: 40},
+		{Seq: 13, T: 220, Kind: obs.KindDocExtracted, Doc: 5, Useful: true, Dur: time.Millisecond},
+		{Seq: 14, T: 230, Kind: obs.KindDocExtracted, Doc: 6, Useful: false, Dur: time.Millisecond},
+		{Seq: 15, T: 240, Kind: obs.KindRunFinished, N: 4, Dur: 13 * time.Millisecond},
+		// Second run, no total-useful count (live oracle).
+		{Seq: 16, T: 300, Kind: obs.KindRunStarted, Name: "BAgg-IE", N: 10},
+		{Seq: 17, T: 310, Kind: obs.KindDocExtracted, Doc: 7, Useful: false, Dur: time.Millisecond},
+		{Seq: 18, T: 320, Kind: obs.KindRunFinished, N: 1, Dur: time.Millisecond},
+	}
+}
+
+func TestParseSplitsRuns(t *testing.T) {
+	rep, err := Parse(syntheticTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Runs) != 2 {
+		t.Fatalf("runs = %d, want 2", len(rep.Runs))
+	}
+	a, b := rep.Runs[0], rep.Runs[1]
+
+	if a.Strategy != "RSVM-IE" || a.CollectionSize != 10 || a.TotalUseful != 4 {
+		t.Errorf("run 0 header: %+v", a)
+	}
+	if a.SampleDocs != 2 || a.SampleUseful != 1 {
+		t.Errorf("run 0 sample: %+v", a)
+	}
+	if a.Docs != 4 || a.Useful != 3 || a.Reranks != 1 {
+		t.Errorf("run 0 ranked phase: docs=%d useful=%d reranks=%d", a.Docs, a.Useful, a.Reranks)
+	}
+	if !a.Complete || a.TotalCPU != 13*time.Millisecond {
+		t.Errorf("run 0 completion: %+v", a)
+	}
+	if a.WallClock != 140 { // T 240 - 100 nanoseconds
+		t.Errorf("run 0 wall clock = %d, want 140", a.WallClock)
+	}
+
+	// Decisions carry ranked-phase positions.
+	if len(a.Decisions) != 2 {
+		t.Fatalf("decisions = %d, want 2", len(a.Decisions))
+	}
+	if d := a.Decisions[0]; d.Position != 1 || d.Fired || d.Value != 3.5 || d.Detector != "Mod-C" {
+		t.Errorf("decision 0: %+v", d)
+	}
+	if d := a.Decisions[1]; d.Position != 2 || !d.Fired {
+		t.Errorf("decision 1: %+v", d)
+	}
+	if a.FireCount() != 1 {
+		t.Errorf("fire count = %d, want 1", a.FireCount())
+	}
+
+	if len(a.Updates) != 1 {
+		t.Fatalf("updates = %d, want 1", len(a.Updates))
+	}
+	if u := a.Updates[0]; u.Position != 2 || u.Buffered != 2 || u.Added != 5 || u.Removed != 2 || u.Size != 40 ||
+		u.Dur != 4*time.Millisecond {
+		t.Errorf("update: %+v", u)
+	}
+
+	// Recall: denom = 4 total - 1 sample = 3; labels T,T,T,F.
+	if a.FinalRecall != 1 {
+		t.Errorf("final recall = %g, want 1", a.FinalRecall)
+	}
+	if got := a.RecallAt(50); got != 2.0/3 {
+		t.Errorf("recall@50%% = %g, want %g", got, 2.0/3)
+	}
+
+	// Phase totals follow obs.PhaseTotals semantics.
+	wantPhases := map[string]time.Duration{
+		"extraction": 6 * time.Millisecond, // 2 sample + 4 ranked
+		"ranking":    3 * time.Millisecond,
+		"training":   6 * time.Millisecond, // init-train 2 + update 4
+		"detection":  0,
+		"total":      15 * time.Millisecond,
+	}
+	for k, w := range wantPhases {
+		if a.Phases[k] != w {
+			t.Errorf("phase %s = %v, want %v", k, a.Phases[k], w)
+		}
+	}
+
+	// Run 1: no total-useful → no curve, but counts still reconstruct.
+	if b.TotalUseful != 0 || b.Curve != nil || b.FinalRecall != 0 {
+		t.Errorf("run 1 must have no recall curve: %+v", b)
+	}
+	if b.Docs != 1 || b.Useful != 0 || !b.Complete {
+		t.Errorf("run 1 counts: %+v", b)
+	}
+}
+
+func TestParseTruncatedAndImplicitRuns(t *testing.T) {
+	// Trace cut off mid-run: no run-finished.
+	ev := syntheticTrace()[:9]
+	rep, err := Parse(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Runs) != 1 || rep.Runs[0].Complete {
+		t.Fatalf("truncated trace: %+v", rep.Runs)
+	}
+	if rep.Runs[0].Docs != 2 {
+		t.Errorf("truncated docs = %d, want 2", rep.Runs[0].Docs)
+	}
+
+	// Trace joined mid-run (no run-started): implicit run.
+	rep, err = Parse([]obs.Event{
+		{Seq: 5, T: 10, Kind: obs.KindDocExtracted, Doc: 1, Useful: true},
+		{Seq: 6, T: 20, Kind: obs.KindRunFinished, N: 1, Dur: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Runs) != 1 || rep.Runs[0].Strategy != "" || rep.Runs[0].Docs != 1 || !rep.Runs[0].Complete {
+		t.Fatalf("implicit run: %+v", rep.Runs)
+	}
+
+	if _, err := Parse(nil); err == nil {
+		t.Error("empty trace must error")
+	}
+}
+
+func TestParseDegenerateSampleCoversAllUseful(t *testing.T) {
+	rep, err := Parse([]obs.Event{
+		{Kind: obs.KindRunStarted, Name: "X", N: 3, Val: 1},
+		{Kind: obs.KindSampleLabelled, Doc: 1, Useful: true},
+		{Kind: obs.KindDocExtracted, Doc: 2, Useful: false},
+		{Kind: obs.KindRunFinished, N: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rep.Runs[0]
+	if r.FinalRecall != 1 {
+		t.Errorf("degenerate denom: final recall = %g, want 1", r.FinalRecall)
+	}
+	for p, v := range r.Curve {
+		if v != 1 {
+			t.Fatalf("degenerate curve[%d] = %g, want 1", p, v)
+		}
+	}
+}
+
+func TestFromReaderRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	rec := obs.NewJSONLRecorder(&buf)
+	for _, e := range syntheticTrace() {
+		rec.Record(e)
+	}
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := FromReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Runs) != 2 || rep.Runs[0].Docs != 4 {
+		t.Fatalf("JSONL round-trip lost structure: %+v", rep.Runs)
+	}
+}
+
+func TestTextRendering(t *testing.T) {
+	rep, err := Parse(syntheticTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"run 0: RSVM-IE over 10 documents",
+		"useful in collection: 4",
+		"sample phase: 2 docs, 1 useful",
+		"ranked phase: 4 docs, 3 useful, 1 re-ranks, 1 model updates",
+		"final=1.0000",
+		"2 decisions, 1 fired",
+		"fired at doc 2: Mod-C statistic=9.2500",
+		"model updates (feature churn):",
+		"CPU time:",
+		"run 1: BAgg-IE over 10 documents",
+		"recall: unavailable",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text report missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestJSONRendering(t *testing.T) {
+	rep, err := Parse(syntheticTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("JSON report does not parse: %v", err)
+	}
+	if len(back.Runs) != 2 || back.Runs[0].Strategy != "RSVM-IE" ||
+		back.Runs[0].FinalRecall != 1 || len(back.Runs[0].Updates) != 1 {
+		t.Errorf("JSON round-trip mismatch: %+v", back.Runs)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	rep, err := Parse(syntheticTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &rep.Runs[0]
+	c := Compare(a, a)
+	if c.RecallDelta["100%"] != 0 {
+		t.Errorf("self-comparison delta = %g, want 0", c.RecallDelta["100%"])
+	}
+	var buf bytes.Buffer
+	if err := c.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"A/B comparison", "recall@50%", "cpu total", "useful found"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("comparison missing %q in:\n%s", want, out)
+		}
+	}
+
+	// Comparing against the curve-less run drops recall deltas.
+	c2 := Compare(a, &rep.Runs[1])
+	if c2.RecallDelta != nil {
+		t.Error("comparison with curve-less run must omit recall deltas")
+	}
+	buf.Reset()
+	if err := c2.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSparklineAndTimelineBounds(t *testing.T) {
+	if s := sparkline(nil); !strings.Contains(s, "no curve") {
+		t.Errorf("nil curve sparkline = %q", s)
+	}
+	curve := make([]float64, 101)
+	for i := range curve {
+		curve[i] = float64(i) / 100
+	}
+	s := sparkline(curve)
+	if len([]rune(s)) != 52 { // 50 glyphs + brackets
+		t.Errorf("sparkline width = %d, want 52: %q", len([]rune(s)), s)
+	}
+	tl := timeline([]Decision{{Position: 1}, {Position: 100, Fired: true}}, 100, 10)
+	if len(tl) != 12 {
+		t.Errorf("timeline width = %d: %q", len(tl), tl)
+	}
+	if !strings.HasPrefix(tl, "[.") || !strings.HasSuffix(tl, "!]") {
+		t.Errorf("timeline markers wrong: %q", tl)
+	}
+	// Degenerate inputs must not panic or index out of range.
+	_ = timeline([]Decision{{Position: 0}}, 0, 0)
+}

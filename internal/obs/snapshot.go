@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// CounterSnapshot is one counter's point-in-time value.
+type CounterSnapshot struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugeSnapshot is one gauge's point-in-time value.
+type GaugeSnapshot struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// HistogramSnapshot is one histogram's point-in-time state: the raw
+// (non-cumulative) per-bucket counts alongside the bucket upper bounds.
+// Counts has len(Bounds)+1 entries; the last is the overflow bucket.
+// Count is the sum of Counts, so the cumulative-bucket identity
+// (the +Inf bucket equals the total count) holds exactly even when the
+// snapshot is taken while writers are running.
+type HistogramSnapshot struct {
+	Name   string    `json:"name"`
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+// Quantile returns the same upper-bound estimate as Histogram.Quantile,
+// computed over the snapshot.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(h.Count)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= target {
+			if i < len(h.Bounds) {
+				return h.Bounds[i]
+			}
+			return math.Inf(1)
+		}
+	}
+	return math.Inf(1)
+}
+
+// Snapshot is a consistent, typed, name-sorted view of a registry's
+// instruments, decoupled from the live atomics: both the text dump and
+// the Prometheus exposition are formatted from it, so the registry mutex
+// is never held during formatting or IO.
+type Snapshot struct {
+	Counters   []CounterSnapshot   `json:"counters"`
+	Gauges     []GaugeSnapshot     `json:"gauges"`
+	Histograms []HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures the registry's instruments, each slice sorted by
+// name. It is safe on a nil receiver (empty snapshot) and holds the
+// registry mutex only while collecting instrument pointers, not while
+// reading their values.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	type namedCounter struct {
+		name string
+		c    *Counter
+	}
+	type namedGauge struct {
+		name string
+		g    *Gauge
+	}
+	type namedHist struct {
+		name string
+		h    *Histogram
+	}
+	r.mu.Lock()
+	counters := make([]namedCounter, 0, len(r.counters))
+	for name, c := range r.counters {
+		counters = append(counters, namedCounter{name, c})
+	}
+	gauges := make([]namedGauge, 0, len(r.gauges))
+	for name, g := range r.gauges {
+		gauges = append(gauges, namedGauge{name, g})
+	}
+	hists := make([]namedHist, 0, len(r.hists))
+	for name, h := range r.hists {
+		hists = append(hists, namedHist{name, h})
+	}
+	r.mu.Unlock()
+
+	s.Counters = make([]CounterSnapshot, len(counters))
+	for i, nc := range counters {
+		s.Counters[i] = CounterSnapshot{Name: nc.name, Value: nc.c.Value()}
+	}
+	s.Gauges = make([]GaugeSnapshot, len(gauges))
+	for i, ng := range gauges {
+		s.Gauges[i] = GaugeSnapshot{Name: ng.name, Value: ng.g.Value()}
+	}
+	s.Histograms = make([]HistogramSnapshot, len(hists))
+	for i, nh := range hists {
+		hs := HistogramSnapshot{
+			Name:   nh.name,
+			Bounds: append([]float64(nil), nh.h.bounds...),
+			Counts: make([]int64, len(nh.h.counts)),
+			Sum:    nh.h.Sum(),
+		}
+		for j := range nh.h.counts {
+			c := nh.h.counts[j].Load()
+			hs.Counts[j] = c
+			hs.Count += c
+		}
+		s.Histograms[i] = hs
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}
+
+// Dump writes an expvar-style plain-text snapshot, one instrument per
+// line, sorted by name: counters as integers, gauges as floats, and
+// histograms as count/sum/quantile summaries. It formats a Snapshot, so
+// the registry mutex is not held during formatting or IO.
+func (r *Registry) Dump(w io.Writer) error {
+	snap := r.Snapshot()
+	lines := make([]string, 0, len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms))
+	for _, c := range snap.Counters {
+		lines = append(lines, fmt.Sprintf("%s %d", c.Name, c.Value))
+	}
+	for _, g := range snap.Gauges {
+		lines = append(lines, fmt.Sprintf("%s %g", g.Name, g.Value))
+	}
+	for _, h := range snap.Histograms {
+		lines = append(lines, fmt.Sprintf("%s count=%d sum=%g p50=%g p95=%g p99=%g",
+			h.Name, h.Count, h.Sum, h.Quantile(0.5), h.Quantile(0.95), h.Quantile(0.99)))
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		if _, err := fmt.Fprintln(w, l); err != nil {
+			return err
+		}
+	}
+	return nil
+}

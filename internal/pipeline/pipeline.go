@@ -198,7 +198,14 @@ func Run(opts Options) (*Result, error) {
 	// as aggregate phase events at the end of the run, keeping the trace
 	// compact while preserving the phase-sum identity with Result.Time.
 	var accObserve, accDetect time.Duration
-	rec.Record(obs.Event{Kind: obs.KindRunStarted, Name: opts.Strategy.Name(), N: opts.Coll.Len()})
+	// The run-started event carries the collection size and — when the
+	// oracle knows it — the total useful count (Val), so post-hoc trace
+	// analysis can reconstruct recall without the collection.
+	startEv := obs.Event{Kind: obs.KindRunStarted, Name: opts.Strategy.Name(), N: opts.Coll.Len()}
+	if total, known := opts.Labels.TotalUseful(); known {
+		startEv.Val = float64(total)
+	}
+	rec.Record(startEv)
 
 	// --- Initial sampling & labelling -------------------------------
 	sample := make([]LabeledDoc, 0, len(opts.Sample))
