@@ -58,6 +58,7 @@ func env() *experiments.Env {
 // logs the rendered output.
 func runExperiment(b *testing.B, id string) {
 	b.Helper()
+	recordBench(b)
 	for i := 0; i < b.N; i++ {
 		var buf bytes.Buffer
 		if err := experiments.RunSuite(env(), &buf, id); err != nil {
@@ -106,6 +107,7 @@ func benchDocs(n int) []vector.Sparse {
 }
 
 func BenchmarkRSVMIELearn(b *testing.B) {
+	recordBench(b)
 	docs := benchDocs(512)
 	rk := ranking.NewRSVMIE(ranking.RSVMOptions{Seed: 1})
 	b.ResetTimer()
@@ -115,6 +117,7 @@ func BenchmarkRSVMIELearn(b *testing.B) {
 }
 
 func BenchmarkRSVMIEScore(b *testing.B) {
+	recordBench(b)
 	docs := benchDocs(512)
 	rk := ranking.NewRSVMIE(ranking.RSVMOptions{Seed: 1})
 	for i := 0; i < 2000; i++ {
@@ -127,6 +130,7 @@ func BenchmarkRSVMIEScore(b *testing.B) {
 }
 
 func BenchmarkBAggIELearn(b *testing.B) {
+	recordBench(b)
 	docs := benchDocs(512)
 	rk := ranking.NewBAggIE(ranking.BAggOptions{})
 	b.ResetTimer()
@@ -136,6 +140,7 @@ func BenchmarkBAggIELearn(b *testing.B) {
 }
 
 func BenchmarkBAggIEScore(b *testing.B) {
+	recordBench(b)
 	docs := benchDocs(512)
 	rk := ranking.NewBAggIE(ranking.BAggOptions{})
 	for i := 0; i < 2000; i++ {
@@ -149,6 +154,8 @@ func BenchmarkBAggIEScore(b *testing.B) {
 
 // Per-detector Observe cost: the microscopic version of Table 3.
 func benchDetector(b *testing.B, mk func(live ranking.Ranker) update.Detector) {
+	b.Helper()
+	recordBench(b)
 	docs := benchDocs(512)
 	live := ranking.NewRSVMIE(ranking.RSVMOptions{Seed: 2})
 	for i := 0; i < 1000; i++ {
@@ -186,10 +193,12 @@ func BenchmarkDetectorFeatS(b *testing.B) {
 }
 
 func BenchmarkExtractionPerDocument(b *testing.B) {
+	recordBench(b)
 	coll, _ := textgen.Generate(textgen.DefaultConfig(5, 256))
 	for _, rel := range []relation.Relation{relation.ND, relation.PH, relation.PO} {
 		ex := extract.Get(rel)
 		b.Run(rel.Code(), func(b *testing.B) {
+			recordBench(b)
 			for i := 0; i < b.N; i++ {
 				ex.Extract(coll.Docs()[i%coll.Len()])
 			}
@@ -198,12 +207,14 @@ func BenchmarkExtractionPerDocument(b *testing.B) {
 }
 
 func BenchmarkCorpusGeneration(b *testing.B) {
+	recordBench(b)
 	for i := 0; i < b.N; i++ {
 		textgen.Generate(textgen.DefaultConfig(int64(i), 1000))
 	}
 }
 
 func BenchmarkSubseqKernel(b *testing.B) {
+	recordBench(b)
 	k := learn.NewSubseqKernel(3, 0.75)
 	s := []string{"<arg1>", "was", "charged", "with", "<arg2>", "yesterday"}
 	t := []string{"prosecutors", "accused", "<arg1>", "of", "<arg2>"}

@@ -1,0 +1,112 @@
+package adaptiverank_test
+
+// Machine-readable benchmark output: pass -bench-out FILE to write the
+// results of every benchmark that ran as JSON, so CI can archive a
+// perf trajectory across commits without scraping the benchmark log.
+//
+//	go test -bench=. -benchtime=1x -bench-out BENCH_smoke.json
+//
+// Each benchmark records its final (largest-N) timing via recordBench;
+// TestMain writes the file after the run. The flag only exists in this
+// root test package — don't pass it to ./internal/... test binaries.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+var benchOut = flag.String("bench-out", "", "write benchmark results as JSON to this file")
+
+// BenchResult is one benchmark's final timing.
+type BenchResult struct {
+	Name    string  `json:"name"`
+	N       int     `json:"n"`
+	NsPerOp float64 `json:"ns_per_op"`
+	// Elapsed is the total measured time of the final run, nanoseconds.
+	Elapsed int64 `json:"elapsed_ns"`
+}
+
+// BenchFile is the -bench-out document.
+type BenchFile struct {
+	Go      string        `json:"go"`
+	GOOS    string        `json:"goos"`
+	GOARCH  string        `json:"goarch"`
+	Scale   string        `json:"scale,omitempty"` // ADAPTIVERANK_BENCH
+	Results []BenchResult `json:"results"`
+}
+
+var (
+	benchMu      sync.Mutex
+	benchResults = map[string]BenchResult{}
+)
+
+// recordBench registers the benchmark with the -bench-out collector. The
+// benchmark framework re-invokes the function with growing b.N; Cleanup
+// runs after each invocation and the map keeps the last (largest-N)
+// measurement per name.
+func recordBench(b *testing.B) {
+	b.Helper()
+	b.Cleanup(func() {
+		n := b.N
+		if n < 1 {
+			n = 1
+		}
+		el := b.Elapsed()
+		benchMu.Lock()
+		defer benchMu.Unlock()
+		benchResults[b.Name()] = BenchResult{
+			Name:    b.Name(),
+			N:       b.N,
+			NsPerOp: float64(el.Nanoseconds()) / float64(n),
+			Elapsed: el.Nanoseconds(),
+		}
+	})
+}
+
+func writeBenchOut(path string) error {
+	benchMu.Lock()
+	defer benchMu.Unlock()
+	doc := BenchFile{
+		Go:     runtime.Version(),
+		GOOS:   runtime.GOOS,
+		GOARCH: runtime.GOARCH,
+		Scale:  os.Getenv("ADAPTIVERANK_BENCH"),
+	}
+	for _, r := range benchResults {
+		doc.Results = append(doc.Results, r)
+	}
+	sort.Slice(doc.Results, func(i, j int) bool { return doc.Results[i].Name < doc.Results[j].Name })
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if *benchOut != "" && code == 0 {
+		start := time.Now()
+		if err := writeBenchOut(*benchOut); err != nil {
+			fmt.Fprintln(os.Stderr, "bench-out:", err)
+			code = 1
+		} else {
+			fmt.Fprintf(os.Stderr, "bench-out: %d results written to %s in %v\n",
+				len(benchResults), *benchOut, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	os.Exit(code)
+}

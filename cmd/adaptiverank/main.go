@@ -31,10 +31,14 @@ func run() (code int) {
 		detector = flag.String("detector", "modc", "update detector: modc, topk, windf, feats, none")
 		sample   = flag.Int("sample", 0, "initial sample size (0 = auto)")
 		maxDocs  = flag.Int("max", 0, "stop after processing this many ranked documents (0 = all)")
-		trace    = flag.String("trace", "", "write a JSONL event trace of the run to this file")
+		trace    = flag.String("trace", "", "write a JSONL event trace of the run to this file (convert with obsreport -chrome for a Perfetto flame timeline)")
 		metrics  = flag.Bool("metrics", false, "dump collected metrics (expvar-style text) to stderr on exit")
-		serve    = flag.String("serve", "", "serve /metrics (Prometheus), /events (SSE), /runs, /healthz and /debug/pprof on this address during the run (e.g. localhost:6060)")
+		serve    = flag.String("serve", "", "serve /metrics (Prometheus), /events (SSE), /runs, /alerts, /healthz and /debug/pprof on this address during the run (e.g. localhost:6060)")
 		pprof    = flag.String("pprof", "", "serve net/http/pprof alone on this address (subsumed by -serve)")
+		sloSlope = flag.Float64("slo-min-recall-slope", 0, "SLO watchdog: alert when useful-docs-per-document over the trailing window falls below this floor (0 = rule off)")
+		sloFire  = flag.Float64("slo-max-fire-rate", 0, "SLO watchdog: alert when the detector fire rate over the trailing window exceeds this ceiling (0 = rule off)")
+		sloP99   = flag.Duration("slo-max-p99", 0, "SLO watchdog: alert when the p99 per-document step latency exceeds this bound (0 = rule off)")
+		sloWin   = flag.Int("slo-window", 0, "SLO watchdog: override the rules' trailing-window sizes (0 = per-rule defaults)")
 	)
 	flag.Parse()
 
@@ -108,21 +112,44 @@ func run() (code int) {
 		}()
 		sinks = append(sinks, ft)
 	}
+	var stream *obs.StreamRecorder
+	var runs *obs.RunTracker
 	if *serve != "" {
-		stream := obs.NewStreamRecorder(0)
-		runs := &obs.RunTracker{}
+		stream = obs.NewStreamRecorder(0)
+		runs = &obs.RunTracker{}
 		sinks = append(sinks, stream, runs)
-		srv := obs.NewServer(obs.ServerOptions{Registry: reg, Stream: stream, Runs: runs})
+	}
+
+	// The SLO watchdog wraps the Tee from above: pipeline events flow
+	// through it into the sinks, and any alerts it raises follow the same
+	// path, so they show up in the trace file, the SSE stream, and /alerts
+	// uniformly.
+	wopts := obs.WatchdogOptions{
+		MinRecallSlope: *sloSlope, MaxFireRate: *sloFire, MaxStepP99: *sloP99,
+		RecallWindow: *sloWin, FireWindow: *sloWin, LatencyWindow: *sloWin,
+	}
+	var wd *obs.Watchdog
+	if len(sinks) > 0 || wopts.Enabled() {
+		var rec obs.Recorder
+		if len(sinks) > 0 {
+			rec = obs.Tee(sinks...)
+		}
+		if wopts.Enabled() {
+			wd = obs.Watch(rec, wopts)
+			rec = wd
+		}
+		opts.Recorder = rec
+	}
+
+	if *serve != "" {
+		srv := obs.NewServer(obs.ServerOptions{Registry: reg, Stream: stream, Runs: runs, Watchdog: wd})
 		addr, err := srv.Start(*serve)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
 		defer srv.Close()
-		fmt.Printf("observability server on http://%s (/metrics /events /runs /healthz /debug/pprof)\n", addr)
-	}
-	if len(sinks) > 0 {
-		opts.Recorder = obs.Tee(sinks...)
+		fmt.Printf("observability server on http://%s (/metrics /events /runs /alerts /healthz /debug/pprof)\n", addr)
 	}
 
 	fmt.Printf("generating %d documents (seed %d)...\n", *docs, *seed)
@@ -143,6 +170,14 @@ func run() (code int) {
 		fmt.Fprintln(os.Stderr, "--- metrics ---")
 		if err := reg.Dump(os.Stderr); err != nil {
 			fmt.Fprintln(os.Stderr, "metrics:", err)
+		}
+	}
+	if wd != nil {
+		if alerts := wd.Alerts(); len(alerts) > 0 {
+			fmt.Fprintf(os.Stderr, "--- SLO alerts (%d) ---\n", len(alerts))
+			for _, a := range alerts {
+				fmt.Fprintf(os.Stderr, "  doc %d [%s] %s\n", a.Docs, a.Rule, a.Message)
+			}
 		}
 	}
 

@@ -26,15 +26,19 @@ func main() {
 // errors — os.Exit in main would skip it.
 func run() (code int) {
 	var (
-		scale   = flag.String("scale", "bench", "experiment scale: bench (paper-shape) or test (fast smoke)")
-		runSel  = flag.String("run", "", "comma-separated experiment ids (default: all)")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
-		runs    = flag.Int("runs", 0, "override repetitions per configuration")
-		seed    = flag.Int64("seed", 0, "override corpus seed")
-		trace   = flag.String("trace", "", "write a JSONL event trace of every pipeline run to this file")
-		metrics = flag.Bool("metrics", false, "dump metrics aggregated across all runs (expvar-style text) to stderr on exit")
-		serve   = flag.String("serve", "", "serve /metrics (Prometheus), /events (SSE), /runs, /healthz and /debug/pprof on this address during the suite (e.g. localhost:6060)")
-		pprof   = flag.String("pprof", "", "serve net/http/pprof alone on this address (subsumed by -serve)")
+		scale    = flag.String("scale", "bench", "experiment scale: bench (paper-shape) or test (fast smoke)")
+		runSel   = flag.String("run", "", "comma-separated experiment ids (default: all)")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		runs     = flag.Int("runs", 0, "override repetitions per configuration")
+		seed     = flag.Int64("seed", 0, "override corpus seed")
+		trace    = flag.String("trace", "", "write a JSONL event trace of every pipeline run to this file (convert with obsreport -chrome)")
+		metrics  = flag.Bool("metrics", false, "dump metrics aggregated across all runs (expvar-style text) to stderr on exit")
+		serve    = flag.String("serve", "", "serve /metrics (Prometheus), /events (SSE), /runs, /alerts, /healthz and /debug/pprof on this address during the suite (e.g. localhost:6060)")
+		pprof    = flag.String("pprof", "", "serve net/http/pprof alone on this address (subsumed by -serve)")
+		sloSlope = flag.Float64("slo-min-recall-slope", 0, "SLO watchdog: alert when useful-docs-per-document over the trailing window falls below this floor (0 = rule off)")
+		sloFire  = flag.Float64("slo-max-fire-rate", 0, "SLO watchdog: alert when the detector fire rate over the trailing window exceeds this ceiling (0 = rule off)")
+		sloP99   = flag.Duration("slo-max-p99", 0, "SLO watchdog: alert when the p99 per-document step latency exceeds this bound (0 = rule off)")
+		sloWin   = flag.Int("slo-window", 0, "SLO watchdog: override the rules' trailing-window sizes (0 = per-rule defaults)")
 	)
 	flag.Parse()
 
@@ -92,21 +96,44 @@ func run() (code int) {
 		}()
 		sinks = append(sinks, ft)
 	}
+	var stream *obs.StreamRecorder
+	var runTracker *obs.RunTracker
 	if *serve != "" {
-		stream := obs.NewStreamRecorder(0)
-		runTracker := &obs.RunTracker{}
+		stream = obs.NewStreamRecorder(0)
+		runTracker = &obs.RunTracker{}
 		sinks = append(sinks, stream, runTracker)
-		srv := obs.NewServer(obs.ServerOptions{Registry: cfg.Metrics, Stream: stream, Runs: runTracker})
+	}
+
+	// The SLO watchdog wraps the Tee from above so alerts flow into every
+	// sink exactly like pipeline events (see cmd/adaptiverank). Across a
+	// suite the watchdog resets its windows at each run-started event, so
+	// per-run statistics never bleed between experiment configurations.
+	wopts := obs.WatchdogOptions{
+		MinRecallSlope: *sloSlope, MaxFireRate: *sloFire, MaxStepP99: *sloP99,
+		RecallWindow: *sloWin, FireWindow: *sloWin, LatencyWindow: *sloWin,
+	}
+	var wd *obs.Watchdog
+	if len(sinks) > 0 || wopts.Enabled() {
+		var rec obs.Recorder
+		if len(sinks) > 0 {
+			rec = obs.Tee(sinks...)
+		}
+		if wopts.Enabled() {
+			wd = obs.Watch(rec, wopts)
+			rec = wd
+		}
+		cfg.Recorder = rec
+	}
+
+	if *serve != "" {
+		srv := obs.NewServer(obs.ServerOptions{Registry: cfg.Metrics, Stream: stream, Runs: runTracker, Watchdog: wd})
 		addr, err := srv.Start(*serve)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "observability server on http://%s (/metrics /events /runs /healthz /debug/pprof)\n", addr)
-	}
-	if len(sinks) > 0 {
-		cfg.Recorder = obs.Tee(sinks...)
+		fmt.Fprintf(os.Stderr, "observability server on http://%s (/metrics /events /runs /alerts /healthz /debug/pprof)\n", addr)
 	}
 
 	var ids []string
@@ -124,6 +151,14 @@ func run() (code int) {
 		fmt.Fprintln(os.Stderr, "--- metrics ---")
 		if err := cfg.Metrics.Dump(os.Stderr); err != nil {
 			fmt.Fprintln(os.Stderr, "metrics:", err)
+		}
+	}
+	if wd != nil {
+		if alerts := wd.Alerts(); len(alerts) > 0 {
+			fmt.Fprintf(os.Stderr, "--- SLO alerts (%d) ---\n", len(alerts))
+			for _, a := range alerts {
+				fmt.Fprintf(os.Stderr, "  run %d doc %d [%s] %s\n", a.Run, a.Docs, a.Rule, a.Message)
+			}
 		}
 	}
 	fmt.Fprintf(os.Stderr, "completed in %v\n", time.Since(start).Round(time.Second))

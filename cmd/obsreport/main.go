@@ -4,10 +4,15 @@
 // and per-phase CPU-time accounts, in text or JSON, plus side-by-side
 // A/B comparison of two traces.
 //
+// It also converts traces into the Chrome trace-event format, loadable
+// in Perfetto (https://ui.perfetto.dev) or chrome://tracing, where the
+// pipeline's span tree renders as a per-run flame timeline.
+//
 // Usage:
 //
 //	obsreport [-json] [-run N] trace.jsonl
 //	obsreport [-json] [-run N] -compare other.jsonl trace.jsonl
+//	obsreport -chrome out.json trace.jsonl   (use "-" for stdout)
 package main
 
 import (
@@ -27,16 +32,28 @@ func run() int {
 		jsonOut = flag.Bool("json", false, "emit JSON instead of text")
 		runIdx  = flag.Int("run", -1, "report only this run index (default: all; -compare defaults to 0)")
 		compare = flag.String("compare", "", "second trace: A/B-compare its selected run against the main trace's")
+		chrome  = flag.String("chrome", "", "convert the trace to Chrome trace-event JSON (Perfetto-loadable), written to this file (\"-\" for stdout)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: obsreport [-json] [-run N] [-compare other.jsonl] trace.jsonl\n")
+			"usage: obsreport [-json] [-run N] [-compare other.jsonl] [-chrome out.json] trace.jsonl\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 	if flag.NArg() != 1 {
 		flag.Usage()
 		return 2
+	}
+
+	if *chrome != "" {
+		if err := writeChrome(flag.Arg(0), *chrome); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if *chrome != "-" {
+			fmt.Printf("chrome trace written to %s (load at https://ui.perfetto.dev)\n", *chrome)
+		}
+		return 0
 	}
 
 	rep, err := report.FromFile(flag.Arg(0))
@@ -96,6 +113,27 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+// writeChrome converts the JSONL trace at in into Chrome trace-event
+// JSON at out ("-" = stdout).
+func writeChrome(in, out string) error {
+	w := os.Stdout
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := report.ChromeFromFile(in, w); err != nil {
+		return err
+	}
+	if out != "-" {
+		return w.Close()
+	}
+	return nil
 }
 
 func selectRun(rep *report.Report, idx int, path string) (*report.Run, error) {

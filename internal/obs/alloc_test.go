@@ -37,6 +37,24 @@ func TestNopRecorderGuardedRecordAllocatesNothing(t *testing.T) {
 	}
 }
 
+func TestDisabledTracerAllocatesNothing(t *testing.T) {
+	tr := NewTracer(Nop()) // disabled recorder -> nil tracer
+	if tr != nil {
+		t.Fatal("tracer over a disabled recorder must be nil")
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		sp := tr.Start("doc")
+		sp.SetAttr("k", "v")
+		sp.SetNum("n", 1)
+		_ = tr.Scope()
+		_ = tr.ScopeID()
+		_ = sp.ID()
+		sp.End()
+	}); n != 0 {
+		t.Errorf("disabled span path allocates %.1f per run, want 0", n)
+	}
+}
+
 func TestNilRegistryAccessorsAllocateNothing(t *testing.T) {
 	var reg *Registry
 	if n := testing.AllocsPerRun(1000, func() {

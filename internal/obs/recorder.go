@@ -48,7 +48,25 @@ const (
 	// KindPhase carries a named aggregate duration ("init-train",
 	// "detector-prime", "detection", "strategy-observe").
 	KindPhase Kind = "phase"
+	// KindSpanStart opens a span (Name = span name, Span = id, Parent =
+	// enclosing span id or 0 for a root). See span.go.
+	KindSpanStart Kind = "span-start"
+	// KindSpanEnd closes a span (Span/Parent as on the start event, Dur =
+	// measured span duration, Attrs = the span's typed attributes).
+	KindSpanEnd Kind = "span-end"
+	// KindAlert is an SLO watchdog alert (Name = rule, Val = observed
+	// value, Limit = configured threshold, N = ranked-document position).
+	// See watchdog.go.
+	KindAlert Kind = "alert"
 )
+
+// Attr is one typed span attribute: a key plus either a string or a
+// numeric value (never both).
+type Attr struct {
+	Key string  `json:"k"`
+	Str string  `json:"s,omitempty"`
+	Num float64 `json:"n,omitempty"`
+}
 
 // Event is one structured trace record. Unused fields are omitted from
 // the JSONL encoding; Seq and T are assigned by the recorder.
@@ -77,6 +95,16 @@ type Event struct {
 	// Added/Removed are the feature-churn counts of model updates.
 	Added   int `json:"added,omitempty"`
 	Removed int `json:"removed,omitempty"`
+	// Span and Parent tie the event into the span tree: on span-start /
+	// span-end events they are the span's own id and its parent's; on
+	// other events a non-zero Span names the causally enclosing span.
+	Span   int64 `json:"span,omitempty"`
+	Parent int64 `json:"parent,omitempty"`
+	// Attrs carries a span's typed attributes (span-end events only).
+	Attrs []Attr `json:"attrs,omitempty"`
+	// Limit is the configured threshold an alert event was judged
+	// against (alert events only).
+	Limit float64 `json:"limit,omitempty"`
 }
 
 // Recorder receives the structured event trace of a run. Implementations
@@ -241,6 +269,46 @@ func ReadEvents(r io.Reader) ([]Event, error) {
 		}
 		out = append(out, e)
 	}
+}
+
+// ReadEventsPartial parses a JSONL trace like ReadEvents, but tolerates
+// a truncated final record — the usual shape of a trace whose writer was
+// killed mid-run (or mid-write). A final line that is malformed JSON or
+// lacks a kind is dropped; a malformed record with complete records
+// after it is still an error, because that is corruption, not
+// truncation.
+func ReadEventsPartial(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var out []Event
+	var pendingErr error // error on the most recently read line
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		if pendingErr != nil {
+			// A further record followed the bad one: real corruption.
+			return nil, pendingErr
+		}
+		var e Event
+		if err := json.Unmarshal(b, &e); err != nil {
+			pendingErr = fmt.Errorf("obs: trace record %d: %w", line, err)
+			continue
+		}
+		if e.Kind == "" {
+			pendingErr = fmt.Errorf("obs: trace record %d: missing kind", line)
+			continue
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: read trace: %w", err)
+	}
+	// pendingErr on the final line is truncation: drop the partial record.
+	return out, nil
 }
 
 // PhaseTotals folds a trace's per-event durations into the four CPU-time

@@ -1,0 +1,193 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"adaptiverank/internal/obs"
+)
+
+// The Chrome trace-event exporter turns a raw JSONL event trace into
+// the Trace Event Format JSON consumed by Perfetto (ui.perfetto.dev)
+// and chrome://tracing, so a whole adaptive-ranking run can be
+// inspected as a flame timeline: the span tree becomes nested duration
+// ("X") slices, and every non-span event becomes a thread-scoped
+// instant ("i") marker laid over them. Each pipeline run gets its own
+// track (tid), named after its strategy.
+
+// chromeEvent is one record of the Trace Event Format "traceEvents"
+// array. Timestamps and durations are microseconds.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope ("t" = thread)
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// openSpan tracks a span between its start and end events.
+type openSpan struct {
+	name   string
+	id     int64
+	parent int64
+	ts     int64 // start stamp, unix ns
+	tid    int
+}
+
+// WriteChromeTrace converts events into Chrome trace-event JSON. The
+// trace need not be complete: spans still open when the trace ends are
+// emitted with a synthesized duration running to the last stamp in the
+// trace (and an "unfinished" arg), and an end without a matched start
+// (a trace truncated at the head, or an out-of-order child end) is
+// reconstructed backwards from its own duration.
+func WriteChromeTrace(w io.Writer, events []obs.Event) error {
+	if len(events) == 0 {
+		_, err := io.WriteString(w, `{"traceEvents":[]}`+"\n")
+		return err
+	}
+	base := events[0].T
+	last := base
+	for _, e := range events {
+		if base == 0 || (e.T != 0 && e.T < base) {
+			base = e.T
+		}
+		if e.T > last {
+			last = e.T
+		}
+	}
+	us := func(t int64) float64 { return float64(t-base) / 1e3 }
+
+	var out []chromeEvent
+	meta := func(tid int, name string) {
+		out = append(out, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	open := map[int64]openSpan{}
+	tid := 0
+	meta(0, "pre-run")
+	for _, e := range events {
+		switch e.Kind {
+		case obs.KindRunStarted:
+			tid++
+			name := e.Name
+			if name == "" {
+				name = "(unnamed)"
+			}
+			meta(tid, fmt.Sprintf("run %d: %s", tid-1, name))
+			out = append(out, instant(e, us(e.T), tid))
+		case obs.KindSpanStart:
+			open[e.Span] = openSpan{name: e.Name, id: e.Span, parent: e.Parent, ts: e.T, tid: tid}
+		case obs.KindSpanEnd:
+			sp, ok := open[e.Span]
+			if !ok {
+				// Headless end (truncated trace head): reconstruct the
+				// start from the end stamp and the span's own duration.
+				sp = openSpan{name: e.Name, id: e.Span, parent: e.Parent,
+					ts: e.T - e.Dur.Nanoseconds(), tid: tid}
+			}
+			delete(open, e.Span)
+			out = append(out, chromeEvent{
+				Name: sp.name, Ph: "X", Ts: us(sp.ts), Dur: float64(e.Dur.Nanoseconds()) / 1e3,
+				Pid: 1, Tid: sp.tid, Args: spanArgs(e, false),
+			})
+		default:
+			out = append(out, instant(e, us(e.T), tid))
+		}
+	}
+	// Unfinished spans: synthesize an end at the last trace stamp.
+	for _, sp := range open {
+		dur := float64(last-sp.ts) / 1e3
+		if dur < 0 {
+			dur = 0
+		}
+		out = append(out, chromeEvent{
+			Name: sp.name, Ph: "X", Ts: us(sp.ts), Dur: dur,
+			Pid: 1, Tid: sp.tid,
+			Args: map[string]any{"span": sp.id, "parent": sp.parent, "unfinished": true},
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{
+		"traceEvents":     out,
+		"displayTimeUnit": "ms",
+	})
+}
+
+// instant renders a non-span event as a thread-scoped instant marker.
+func instant(e obs.Event, ts float64, tid int) chromeEvent {
+	name := string(e.Kind)
+	if e.Name != "" {
+		name += ": " + e.Name
+	}
+	args := map[string]any{}
+	if e.Doc != 0 {
+		args["doc"] = e.Doc
+	}
+	if e.N != 0 {
+		args["n"] = e.N
+	}
+	if e.Val != 0 {
+		args["val"] = e.Val
+	}
+	if e.Limit != 0 {
+		args["limit"] = e.Limit
+	}
+	if e.Kind == obs.KindDocExtracted || e.Kind == obs.KindSampleLabelled {
+		args["useful"] = e.Useful
+	}
+	if e.Kind == obs.KindDetectorDecision {
+		args["fired"] = e.Fired
+	}
+	if e.Dur != 0 {
+		args["dur_ns"] = e.Dur.Nanoseconds()
+	}
+	if e.Span != 0 {
+		args["span"] = e.Span
+	}
+	if len(args) == 0 {
+		args = nil
+	}
+	return chromeEvent{Name: name, Ph: "i", Ts: ts, Pid: 1, Tid: tid, S: "t", Args: args}
+}
+
+// spanArgs builds the args of a duration slice from a span-end event.
+func spanArgs(e obs.Event, unfinished bool) map[string]any {
+	args := map[string]any{"span": e.Span}
+	if e.Parent != 0 {
+		args["parent"] = e.Parent
+	}
+	if unfinished {
+		args["unfinished"] = true
+	}
+	for _, a := range e.Attrs {
+		if a.Str != "" {
+			args[a.Key] = a.Str
+		} else {
+			args[a.Key] = a.Num
+		}
+	}
+	return args
+}
+
+// ChromeFromFile converts the JSONL trace at path into Chrome
+// trace-event JSON on w, tolerating truncated traces.
+func ChromeFromFile(path string, w io.Writer) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("report: %w", err)
+	}
+	defer f.Close()
+	events, err := obs.ReadEventsPartial(f)
+	if err != nil {
+		return fmt.Errorf("report: %s: %w", path, err)
+	}
+	return WriteChromeTrace(w, events)
+}

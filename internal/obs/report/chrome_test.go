@@ -1,0 +1,183 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"adaptiverank/internal/obs"
+)
+
+// chromeDoc decodes the exporter's output for assertions.
+type chromeDoc struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		Ts   float64        `json:"ts"`
+		Dur  float64        `json:"dur"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+func exportChrome(t *testing.T, events []obs.Event) chromeDoc {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("exporter output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	return doc
+}
+
+func TestChromeTraceSpans(t *testing.T) {
+	base := int64(1_000_000_000)
+	events := []obs.Event{
+		{Seq: 1, T: base, Kind: obs.KindRunStarted, Name: "RSVM-IE", N: 10},
+		{Seq: 2, T: base + 1000, Kind: obs.KindSpanStart, Name: "run", Span: 1},
+		{Seq: 3, T: base + 2000, Kind: obs.KindSpanStart, Name: "doc", Span: 2, Parent: 1},
+		{Seq: 4, T: base + 5000, Kind: obs.KindSpanEnd, Name: "doc", Span: 2, Parent: 1,
+			Dur: 3 * time.Microsecond, Attrs: []obs.Attr{{Key: "doc", Num: 7}}},
+		{Seq: 5, T: base + 9000, Kind: obs.KindSpanEnd, Name: "run", Span: 1, Dur: 8 * time.Microsecond},
+		{Seq: 6, T: base + 9500, Kind: obs.KindRunFinished, N: 1},
+	}
+	doc := exportChrome(t, events)
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+
+	var slices, instants, metas int
+	var docSlice, runSlice *float64
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "X":
+			slices++
+			d := e.Ts
+			switch e.Name {
+			case "doc":
+				docSlice = &d
+				if e.Dur != 3 {
+					t.Errorf("doc dur = %g us, want 3", e.Dur)
+				}
+				if e.Args["parent"].(float64) != 1 || e.Args["doc"].(float64) != 7 {
+					t.Errorf("doc slice args = %v", e.Args)
+				}
+			case "run":
+				runSlice = &d
+				if e.Dur != 8 {
+					t.Errorf("run dur = %g us, want 8", e.Dur)
+				}
+			}
+		case "i":
+			instants++
+		case "M":
+			metas++
+		}
+	}
+	if slices != 2 {
+		t.Fatalf("X slices = %d, want 2", slices)
+	}
+	if instants != 2 { // run-started + run-finished
+		t.Errorf("instants = %d, want 2", instants)
+	}
+	if metas < 2 { // pre-run track + run track
+		t.Errorf("thread metas = %d, want >= 2", metas)
+	}
+	// Nesting: the child slice must start at or after its parent's start
+	// and its extent must lie within the parent's.
+	if docSlice == nil || runSlice == nil {
+		t.Fatal("missing doc/run slices")
+	}
+	if *docSlice < *runSlice {
+		t.Errorf("child starts (%g us) before parent (%g us)", *docSlice, *runSlice)
+	}
+}
+
+func TestChromeTraceUnfinishedSpan(t *testing.T) {
+	base := int64(1_000_000_000)
+	events := []obs.Event{
+		{Seq: 1, T: base, Kind: obs.KindRunStarted, Name: "X", N: 1},
+		{Seq: 2, T: base + 1000, Kind: obs.KindSpanStart, Name: "run", Span: 9},
+		// Trace cut here: no span-end, but a later stamp bounds the trace.
+		{Seq: 3, T: base + 4000, Kind: obs.KindDocExtracted, Doc: 1},
+	}
+	doc := exportChrome(t, events)
+	found := false
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "X" && e.Name == "run" {
+			found = true
+			if e.Args["unfinished"] != true {
+				t.Errorf("unfinished span must be flagged: %v", e.Args)
+			}
+			if e.Dur != 3 { // (base+4000)-(base+1000) = 3000ns = 3us
+				t.Errorf("synthesized dur = %g us, want 3", e.Dur)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("unfinished span missing from export")
+	}
+}
+
+func TestChromeTraceHeadlessEnd(t *testing.T) {
+	// A span-end whose start was truncated off the head of the trace is
+	// reconstructed backwards from its own duration.
+	base := int64(1_000_000_000)
+	events := []obs.Event{
+		{Seq: 10, T: base, Kind: obs.KindDocExtracted, Doc: 3},
+		{Seq: 11, T: base + 5000, Kind: obs.KindSpanEnd, Name: "batch", Span: 4, Dur: 4 * time.Microsecond},
+	}
+	doc := exportChrome(t, events)
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "X" && e.Name == "batch" {
+			if e.Dur != 4 {
+				t.Errorf("dur = %g us, want 4", e.Dur)
+			}
+			if e.Ts != 1 { // (base+5000-4000) - base = 1000ns = 1us
+				t.Errorf("reconstructed ts = %g us, want 1", e.Ts)
+			}
+			return
+		}
+	}
+	t.Fatal("headless span-end missing from export")
+}
+
+func TestChromeTraceEmpty(t *testing.T) {
+	doc := exportChrome(t, nil)
+	if len(doc.TraceEvents) != 0 {
+		t.Errorf("empty trace must export an empty traceEvents array, got %d", len(doc.TraceEvents))
+	}
+}
+
+func TestChromeTracePerRunTracks(t *testing.T) {
+	events := []obs.Event{
+		{Seq: 1, T: 100, Kind: obs.KindRunStarted, Name: "RSVM-IE"},
+		{Seq: 2, T: 110, Kind: obs.KindSpanStart, Name: "run", Span: 1},
+		{Seq: 3, T: 120, Kind: obs.KindSpanEnd, Name: "run", Span: 1, Dur: 10},
+		{Seq: 4, T: 130, Kind: obs.KindRunFinished},
+		{Seq: 5, T: 200, Kind: obs.KindRunStarted, Name: "BAgg-IE"},
+		{Seq: 6, T: 210, Kind: obs.KindSpanStart, Name: "run", Span: 2},
+		{Seq: 7, T: 220, Kind: obs.KindSpanEnd, Name: "run", Span: 2, Dur: 10},
+		{Seq: 8, T: 230, Kind: obs.KindRunFinished},
+	}
+	doc := exportChrome(t, events)
+	tids := map[int64]int{}
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "X" {
+			span := int64(e.Args["span"].(float64))
+			tids[span] = e.Tid
+		}
+	}
+	if tids[1] == tids[2] {
+		t.Errorf("runs must land on distinct tracks, both on tid %d", tids[1])
+	}
+	if tids[1] != 1 || tids[2] != 2 {
+		t.Errorf("tids = %v, want span1->1 span2->2", tids)
+	}
+}

@@ -67,6 +67,10 @@ func fdur(d time.Duration) string { return d.Round(time.Microsecond).String() }
 
 // WriteText renders every run of the report as human-readable text.
 func (rep *Report) WriteText(w io.Writer) error {
+	if len(rep.Runs) == 0 {
+		_, err := fmt.Fprintln(w, "(empty trace: no runs)")
+		return err
+	}
 	for i := range rep.Runs {
 		if i > 0 {
 			if _, err := fmt.Fprintln(w); err != nil {

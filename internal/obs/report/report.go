@@ -106,14 +106,17 @@ type Report struct {
 	Runs []Run `json:"runs"`
 }
 
-// Parse reconstructs per-run analytics from a trace's events. Events
-// before the first run-started record open an implicit unnamed run, so
-// truncated traces still analyze.
+// Parse reconstructs per-run analytics from a trace's events. It never
+// assumes a complete run: events before the first run-started record
+// open an implicit unnamed run, a run missing its run-finished event is
+// reported with Complete == false, and an empty trace yields an empty
+// report rather than an error — a live or killed run's partial trace is
+// a normal input, not a corrupt one.
 func Parse(events []obs.Event) (*Report, error) {
-	if len(events) == 0 {
-		return nil, fmt.Errorf("report: empty trace")
-	}
 	rep := &Report{}
+	if len(events) == 0 {
+		return rep, nil
+	}
 	var cur *Run
 	var curEvents []obs.Event
 	var firstT, lastT int64
@@ -196,9 +199,11 @@ func Parse(events []obs.Event) (*Report, error) {
 	return rep, nil
 }
 
-// FromReader parses a JSONL trace stream into a Report.
+// FromReader parses a JSONL trace stream into a Report. The stream is
+// read tolerantly (obs.ReadEventsPartial): a final record truncated by
+// a killed writer is dropped rather than failing the whole analysis.
 func FromReader(r io.Reader) (*Report, error) {
-	events, err := obs.ReadEvents(r)
+	events, err := obs.ReadEventsPartial(r)
 	if err != nil {
 		return nil, err
 	}

@@ -140,8 +140,70 @@ func TestParseTruncatedAndImplicitRuns(t *testing.T) {
 		t.Fatalf("implicit run: %+v", rep.Runs)
 	}
 
-	if _, err := Parse(nil); err == nil {
-		t.Error("empty trace must error")
+	// An empty trace is not an error: a run that died before its first
+	// event still yields a (zero-run) report.
+	rep, err = Parse(nil)
+	if err != nil {
+		t.Errorf("empty trace must parse gracefully, got %v", err)
+	}
+	if rep == nil || len(rep.Runs) != 0 {
+		t.Errorf("empty trace report = %+v, want zero runs", rep)
+	}
+}
+
+func TestFromReaderEmptyAndTruncated(t *testing.T) {
+	full := func() string {
+		var buf bytes.Buffer
+		rec := obs.NewJSONLRecorder(&buf)
+		for _, e := range syntheticTrace() {
+			rec.Record(e)
+		}
+		if err := rec.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}()
+
+	tests := []struct {
+		name    string
+		input   string
+		runs    int
+		wantErr bool
+	}{
+		{name: "zero events", input: "", runs: 0},
+		{name: "only blank lines", input: "\n\n\n", runs: 0},
+		{name: "mid-run truncation drops the partial final line",
+			// Cut the trace mid-way through the last run's final record:
+			// the partial line is dropped, everything before it survives.
+			input: full[:len(full)-10], runs: 2},
+		{name: "corrupt middle line is an error",
+			input:   "{\"kind\":\"run-started\"}\nnot json\n{\"kind\":\"run-finished\"}\n",
+			wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			rep, err := FromReader(strings.NewReader(tt.input))
+			if tt.wantErr {
+				if err == nil {
+					t.Fatal("want error for corrupt (non-final) line")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rep.Runs) != tt.runs {
+				t.Fatalf("runs = %d, want %d", len(rep.Runs), tt.runs)
+			}
+			// A graceful report must always render.
+			var buf bytes.Buffer
+			if err := rep.WriteText(&buf); err != nil {
+				t.Fatalf("render: %v", err)
+			}
+			if tt.runs == 0 && !strings.Contains(buf.String(), "empty trace") {
+				t.Errorf("zero-run render = %q, want empty-trace notice", buf.String())
+			}
+		})
 	}
 }
 

@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+func TestRuntimeSamplerPublishesGauges(t *testing.T) {
+	reg := NewRegistry()
+	s := StartRuntimeSampler(reg, time.Hour) // interval irrelevant: first sample is synchronous
+	defer s.Close()
+
+	want := []string{
+		"runtime.goroutines",
+		"runtime.heap_alloc_bytes",
+		"runtime.heap_sys_bytes",
+		"runtime.heap_objects",
+		"runtime.next_gc_bytes",
+		"runtime.gc_count",
+		"runtime.gc_pause_total_seconds",
+	}
+	got := map[string]float64{}
+	for _, g := range reg.Snapshot().Gauges {
+		got[g.Name] = g.Value
+	}
+	for _, name := range want {
+		if _, ok := got[name]; !ok {
+			t.Errorf("gauge %s missing after the synchronous first sample", name)
+		}
+	}
+	if got["runtime.goroutines"] < 1 {
+		t.Errorf("runtime.goroutines = %g, want >= 1", got["runtime.goroutines"])
+	}
+	if got["runtime.heap_alloc_bytes"] <= 0 {
+		t.Errorf("runtime.heap_alloc_bytes = %g, want > 0", got["runtime.heap_alloc_bytes"])
+	}
+}
+
+func TestRuntimeSamplerCloseStopsGoroutine(t *testing.T) {
+	before := runtime.NumGoroutine()
+	s := StartRuntimeSampler(NewRegistry(), time.Millisecond)
+	time.Sleep(5 * time.Millisecond) // let it tick at least once
+	s.Close()
+	s.Close() // idempotent
+
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > before {
+		t.Errorf("goroutines after Close = %d, want <= %d (sampler leaked)", got, before)
+	}
+}
+
+func TestRuntimeSamplerNilSafe(t *testing.T) {
+	var s *RuntimeSampler
+	s.Close() // must not panic
+	if got := StartRuntimeSampler(nil, time.Second); got != nil {
+		t.Errorf("nil registry must return a nil sampler, got %v", got)
+	}
+}

@@ -111,7 +111,8 @@ func (t *RunTracker) Runs() []RunStatus {
 
 // ServerOptions configures an observability Server. All fields are
 // optional: a nil Registry serves an empty /metrics page, a nil Stream
-// turns /events into a 404, a nil Runs turns /runs into an empty list.
+// turns /events into a 404, a nil Runs turns /runs into an empty list,
+// a nil Watchdog makes /alerts an empty list.
 type ServerOptions struct {
 	// Registry backs /metrics (Prometheus text format v0.0.4).
 	Registry *Registry
@@ -119,6 +120,13 @@ type ServerOptions struct {
 	Stream *StreamRecorder
 	// Runs backs /runs (JSON run status).
 	Runs *RunTracker
+	// Watchdog backs /alerts (JSON SLO-alert list).
+	Watchdog *Watchdog
+	// RuntimeInterval is the runtime health sampler's period: with a
+	// non-nil Registry, Start launches a RuntimeSampler publishing GC
+	// pause, heap, and goroutine gauges every interval (0 selects 1s);
+	// a negative interval disables the sampler. Close stops it.
+	RuntimeInterval time.Duration
 }
 
 // Server serves the observability endpoints of a live run:
@@ -127,6 +135,7 @@ type ServerOptions struct {
 //	/healthz       liveness JSON (status, uptime, subscriber count)
 //	/runs          per-run status JSON (RunTracker)
 //	/events        Server-Sent Events stream of trace events
+//	/alerts        SLO watchdog alert list (JSON)
 //	/debug/pprof/  the standard runtime profiles
 //
 // It replaces the ad-hoc net/http/pprof DefaultServeMux listeners the
@@ -135,6 +144,11 @@ type Server struct {
 	opts    ServerOptions
 	started time.Time
 	http    *http.Server
+	sampler *RuntimeSampler
+	// sse tracks in-flight /events handlers so Close can wait for their
+	// goroutines (and their stream subscriptions) to wind down instead
+	// of leaking them past shutdown.
+	sse sync.WaitGroup
 }
 
 // NewServer returns an unstarted server.
@@ -150,6 +164,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/runs", s.handleRuns)
 	mux.HandleFunc("/events", s.handleEvents)
+	mux.HandleFunc("/alerts", s.handleAlerts)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -159,24 +174,34 @@ func (s *Server) Handler() http.Handler {
 }
 
 // Start listens on addr (":0" picks a free port) and serves in a
-// background goroutine, returning the bound address.
+// background goroutine, returning the bound address. With a non-nil
+// Registry (and a non-negative RuntimeInterval) it also starts the
+// runtime health sampler feeding /metrics.
 func (s *Server) Start(addr string) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", fmt.Errorf("obs: serve: %w", err)
+	}
+	if s.opts.Registry != nil && s.opts.RuntimeInterval >= 0 {
+		s.sampler = StartRuntimeSampler(s.opts.Registry, s.opts.RuntimeInterval)
 	}
 	s.http = &http.Server{Handler: s.Handler()}
 	go s.http.Serve(ln) // error is http.ErrServerClosed after Close
 	return ln.Addr().String(), nil
 }
 
-// Close immediately shuts the server down (open SSE connections are
-// dropped).
+// Close shuts the server down: the listener and all open connections
+// (including SSE streams) are closed, and Close blocks until every
+// /events handler goroutine and the runtime sampler have exited — no
+// goroutine started on the server's behalf survives it.
 func (s *Server) Close() error {
-	if s.http == nil {
-		return nil
+	var err error
+	if s.http != nil {
+		err = s.http.Close()
 	}
-	return s.http.Close()
+	s.sampler.Close()
+	s.sse.Wait()
+	return err
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -200,12 +225,27 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 			}
 		}
 	}
+	alerts := 0
+	if s.opts.Watchdog != nil {
+		alerts = len(s.opts.Watchdog.Alerts())
+	}
 	writeJSON(w, map[string]any{
 		"status":         "ok",
 		"uptime_seconds": time.Since(s.started).Seconds(),
 		"subscribers":    subs,
 		"runs_active":    running,
+		"alerts":         alerts,
 	})
+}
+
+// handleAlerts serves the SLO watchdog's alert list (empty when no
+// watchdog is attached or nothing has fired).
+func (s *Server) handleAlerts(w http.ResponseWriter, _ *http.Request) {
+	alerts := []Alert{}
+	if s.opts.Watchdog != nil {
+		alerts = s.opts.Watchdog.Alerts()
+	}
+	writeJSON(w, alerts)
 }
 
 func (s *Server) handleRuns(w http.ResponseWriter, _ *http.Request) {
@@ -229,6 +269,8 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
 		return
 	}
+	s.sse.Add(1)
+	defer s.sse.Done()
 	ch, cancel := s.opts.Stream.Subscribe(1024)
 	defer cancel()
 	w.Header().Set("Content-Type", "text/event-stream")

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -200,6 +201,111 @@ func TestServerStartServesAndCloses(t *testing.T) {
 	}
 	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
 		t.Error("server must stop serving after Close")
+	}
+}
+
+func TestServerAlertsEndpoint(t *testing.T) {
+	wd := Watch(nil, WatchdogOptions{MaxFireRate: 0.5, FireWindow: 1})
+	wd.Record(Event{Kind: KindRunStarted})
+	wd.Record(Event{Kind: KindDetectorDecision, Fired: true})
+
+	srv := NewServer(ServerOptions{Watchdog: wd})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/alerts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var alerts []Alert
+	if err := json.NewDecoder(resp.Body).Decode(&alerts); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(alerts) != 1 || alerts[0].Rule != RuleFireRate {
+		t.Fatalf("alerts = %+v, want one fire-rate alert", alerts)
+	}
+
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health["alerts"].(float64) != 1 {
+		t.Errorf("healthz alerts = %v, want 1", health["alerts"])
+	}
+}
+
+func TestServerAlertsWithoutWatchdog(t *testing.T) {
+	srv := NewServer(ServerOptions{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/alerts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var alerts []Alert
+	if err := json.NewDecoder(resp.Body).Decode(&alerts); err != nil {
+		t.Fatalf("/alerts without a watchdog must still be valid JSON: %v", err)
+	}
+	if len(alerts) != 0 {
+		t.Errorf("alerts = %+v, want empty", alerts)
+	}
+}
+
+// TestServerShutdownLeaksNoGoroutines is the shutdown audit: Close must
+// reap the runtime sampler and every /events SSE handler even while a
+// subscriber is still connected.
+func TestServerShutdownLeaksNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	reg := NewRegistry()
+	stream := NewStreamRecorder(16)
+	srv := NewServer(ServerOptions{Registry: reg, Stream: stream, RuntimeInterval: time.Millisecond})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Connect a live SSE subscriber and prove the handler is pumping
+	// before we pull the plug.
+	tr := &http.Transport{}
+	client := &http.Client{Transport: tr}
+	resp, err := client.Get("http://" + addr + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream.Record(Event{Kind: KindRunStarted})
+	br := bufio.NewReader(resp.Body)
+	if _, err := br.ReadString('\n'); err != nil {
+		t.Fatalf("SSE stream not live: %v", err)
+	}
+	if stream.Subscribers() != 1 {
+		t.Fatalf("subscribers = %d, want 1", stream.Subscribers())
+	}
+
+	// Close with the subscriber still attached: the connection drops, the
+	// handler goroutine unsubscribes and exits, the sampler stops.
+	if err := srv.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+	resp.Body.Close()
+	tr.CloseIdleConnections()
+
+	if stream.Subscribers() != 0 {
+		t.Errorf("subscribers after Close = %d, want 0", stream.Subscribers())
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > before {
+		t.Errorf("goroutines after Close = %d, want <= %d (server leaked)", got, before)
 	}
 }
 

@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"testing"
+)
+
+// spanEvents filters the recorder's output to span start/end events.
+func spanEvents(mem *MemRecorder) []Event {
+	var out []Event
+	for _, e := range mem.Events() {
+		if e.Kind == KindSpanStart || e.Kind == KindSpanEnd {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func TestTracerStartEndPairing(t *testing.T) {
+	mem := &MemRecorder{}
+	tr := NewTracer(mem)
+	if !tr.Enabled() {
+		t.Fatal("tracer over an enabled recorder must be enabled")
+	}
+
+	run := tr.Start("run")
+	doc := tr.Start("doc")
+	doc.End()
+	run.End()
+
+	evs := spanEvents(mem)
+	if len(evs) != 4 {
+		t.Fatalf("events = %d, want 4 (2 starts + 2 ends)", len(evs))
+	}
+	if evs[0].Kind != KindSpanStart || evs[0].Name != "run" || evs[0].Parent != 0 {
+		t.Errorf("run start wrong: %+v", evs[0])
+	}
+	if evs[1].Kind != KindSpanStart || evs[1].Name != "doc" || evs[1].Parent != run.ID() {
+		t.Errorf("doc must be parented under run: %+v", evs[1])
+	}
+	if evs[2].Kind != KindSpanEnd || evs[2].Span != doc.ID() {
+		t.Errorf("doc end wrong: %+v", evs[2])
+	}
+	if evs[3].Kind != KindSpanEnd || evs[3].Span != run.ID() || evs[3].Dur < 0 {
+		t.Errorf("run end wrong: %+v", evs[3])
+	}
+	if run.ID() == doc.ID() || run.ID() == 0 || doc.ID() == 0 {
+		t.Errorf("span ids must be unique and non-zero: run=%d doc=%d", run.ID(), doc.ID())
+	}
+}
+
+func TestTracerScopeNesting(t *testing.T) {
+	tr := NewTracer(&MemRecorder{})
+	if tr.Scope() != nil || tr.ScopeID() != 0 {
+		t.Fatal("fresh tracer must have no scope")
+	}
+	a := tr.Start("a")
+	if tr.Scope() != a {
+		t.Fatalf("scope = %v, want a", tr.Scope().Name())
+	}
+	b := tr.Start("b")
+	if tr.Scope() != b || tr.ScopeID() != b.ID() {
+		t.Fatalf("scope = %v, want b", tr.Scope().Name())
+	}
+	b.End()
+	if tr.Scope() != a {
+		t.Fatalf("ending b must restore a, got %v", tr.Scope().Name())
+	}
+	a.End()
+	if tr.Scope() != nil {
+		t.Fatalf("ending a must empty the scope, got %v", tr.Scope().Name())
+	}
+}
+
+func TestSpanIDsUniqueAcrossTracers(t *testing.T) {
+	// Multiple pipelines (each with its own Tracer) can feed one shared
+	// trace, so ids must never collide across Tracer instances.
+	tr1 := NewTracer(&MemRecorder{})
+	tr2 := NewTracer(&MemRecorder{})
+	seen := map[int64]bool{}
+	for i := 0; i < 100; i++ {
+		for _, tr := range []*Tracer{tr1, tr2} {
+			s := tr.Start("x")
+			if seen[s.ID()] {
+				t.Fatalf("duplicate span id %d", s.ID())
+			}
+			seen[s.ID()] = true
+			s.End()
+		}
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	mem := &MemRecorder{}
+	tr := NewTracer(mem)
+	s := tr.Start("once")
+	s.End()
+	s.End()
+	s.End()
+	ends := 0
+	for _, e := range mem.Events() {
+		if e.Kind == KindSpanEnd {
+			ends++
+		}
+	}
+	if ends != 1 {
+		t.Fatalf("end events = %d, want 1 (End must be idempotent)", ends)
+	}
+}
+
+func TestSpanOutOfOrderChildEnd(t *testing.T) {
+	// Ending the parent before the child is a bug in the instrumented
+	// code, but it must not corrupt the scope stack: the parent's End is
+	// out-of-order (it is not the innermost scope), so the scope stays on
+	// the child until the child ends, and the child's End then restores
+	// the parent's prev — never a dangling pointer to an ended span as
+	// the new scope of later spans.
+	mem := &MemRecorder{}
+	tr := NewTracer(mem)
+	parent := tr.Start("parent")
+	child := tr.Start("child")
+
+	parent.End() // out of order: child still open
+	if tr.Scope() != child {
+		t.Fatalf("parent's out-of-order End must leave the scope on child, got %v", tr.Scope().Name())
+	}
+	child.End()
+	if got := tr.Scope(); got != parent {
+		// child.End restores child.prev == parent; the stack stays
+		// consistent even though parent already ended.
+		t.Fatalf("child End must restore its recorded prev, got %v", got.Name())
+	}
+	// A new span must still parent deterministically and the trace stays
+	// balanced: 3 starts, 3 ends.
+	next := tr.Start("next")
+	next.End()
+	starts, ends := 0, 0
+	for _, e := range spanEvents(mem) {
+		if e.Kind == KindSpanStart {
+			starts++
+		} else {
+			ends++
+		}
+	}
+	if starts != 3 || ends != 3 {
+		t.Fatalf("starts=%d ends=%d, want 3/3", starts, ends)
+	}
+}
+
+func TestSpanAttributeOverwrite(t *testing.T) {
+	mem := &MemRecorder{}
+	tr := NewTracer(mem)
+	s := tr.Start("attrs")
+	s.SetAttr("strategy", "RSVM-IE").SetNum("docs", 1)
+	s.SetNum("docs", 42)          // overwrite numeric
+	s.SetAttr("strategy", "BAgg") // overwrite string
+	s.SetNum("useful", 7)
+	s.End()
+
+	var end *Event
+	for _, e := range mem.Events() {
+		if e.Kind == KindSpanEnd {
+			end = &e
+			break
+		}
+	}
+	if end == nil {
+		t.Fatal("no span-end event")
+	}
+	if len(end.Attrs) != 3 {
+		t.Fatalf("attrs = %v, want 3 entries (overwrites must not append)", end.Attrs)
+	}
+	got := map[string]Attr{}
+	for _, a := range end.Attrs {
+		got[a.Key] = a
+	}
+	if got["docs"].Num != 42 || got["strategy"].Str != "BAgg" || got["useful"].Num != 7 {
+		t.Errorf("attrs wrong after overwrite: %v", end.Attrs)
+	}
+}
+
+func TestSpanUnfinishedAtTraceClose(t *testing.T) {
+	// An unfinished span leaves only its start event; nothing downstream
+	// may block or panic on the missing end (exporters synthesize one).
+	mem := &MemRecorder{}
+	tr := NewTracer(mem)
+	tr.Start("left-open")
+	evs := mem.Events()
+	if len(evs) != 1 || evs[0].Kind != KindSpanStart {
+		t.Fatalf("events = %+v, want exactly the start", evs)
+	}
+	// The events must round-trip the JSONL layer unharmed.
+	if evs[0].Span == 0 {
+		t.Error("start event must carry the span id")
+	}
+}
+
+func TestNilTracerAndSpanAreNoops(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Error("nil tracer must be disabled")
+	}
+	if NewTracer(nil) != nil || NewTracer(Nop()) != nil {
+		t.Error("NewTracer over nil/disabled recorders must return nil")
+	}
+	s := tr.Start("ignored")
+	if s != nil {
+		t.Fatal("nil tracer must return nil spans")
+	}
+	// Every span method must be safe on nil.
+	s.SetAttr("k", "v").SetNum("n", 1).End()
+	if s.ID() != 0 || s.Name() != "" {
+		t.Error("nil span accessors must return zero values")
+	}
+	if tr.Scope() != nil || tr.ScopeID() != 0 {
+		t.Error("nil tracer scope must be empty")
+	}
+}

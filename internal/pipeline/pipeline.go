@@ -182,6 +182,20 @@ func Run(opts Options) (*Result, error) {
 			in.Instrument(reg, rec)
 		}
 	}
+	// Span tracing: tr is nil when the recorder is disabled, and every
+	// tracer/span method no-ops (and allocates nothing) on nil, so the
+	// span plumbing below costs the untraced hot path nothing. The same
+	// tracer is handed to the strategy and detector so their spans and
+	// span-linked events nest under the pipeline's current scope.
+	tr := obs.NewTracer(rec)
+	if tr.Enabled() {
+		if in, ok := opts.Strategy.(obs.TraceInstrumentable); ok {
+			in.InstrumentTracer(tr)
+		}
+		if in, ok := opts.Detector.(obs.TraceInstrumentable); ok {
+			in.InstrumentTracer(tr)
+		}
+	}
 	var (
 		cSample     = reg.Counter("pipeline.sample_docs")
 		cDocs       = reg.Counter("pipeline.docs_processed")
@@ -206,8 +220,11 @@ func Run(opts Options) (*Result, error) {
 		startEv.Val = float64(total)
 	}
 	rec.Record(startEv)
+	spRun := tr.Start("run").SetAttr("strategy", opts.Strategy.Name()).
+		SetNum("collection", float64(opts.Coll.Len()))
 
 	// --- Initial sampling & labelling -------------------------------
+	spSample := tr.Start("sample")
 	sample := make([]LabeledDoc, 0, len(opts.Sample))
 	processed := make(map[corpus.DocID]bool, opts.Coll.Len())
 	for _, d := range opts.Sample {
@@ -230,11 +247,16 @@ func Run(opts Options) (*Result, error) {
 		}
 	}
 
+	spSample.SetNum("docs", float64(res.SampleSize)).
+		SetNum("useful", float64(res.SampleUseful)).End()
+
 	// --- Ranking generation ------------------------------------------
+	spInit := tr.Start("train-init")
 	t0 := time.Now()
 	opts.Strategy.Init(sample)
 	initDur := time.Since(t0)
 	res.Time.Training += initDur
+	spInit.SetNum("docs", float64(len(sample))).End()
 	rec.Record(obs.Event{Kind: obs.KindPhase, Name: "init-train", N: len(sample), Dur: initDur})
 
 	feats := func(d *corpus.Document) vector.Sparse {
@@ -244,6 +266,7 @@ func Run(opts Options) (*Result, error) {
 		return opts.Featurizer.Features(d)
 	}
 	if opts.Detector != nil {
+		spPrime := tr.Start("detector-prime")
 		t0 = time.Now()
 		switch p := opts.Detector.(type) {
 		case labeledPrimer:
@@ -263,6 +286,7 @@ func Run(opts Options) (*Result, error) {
 		}
 		primeDur := time.Since(t0)
 		res.Time.Detection += primeDur
+		spPrime.SetNum("docs", float64(len(sample))).End()
 		rec.Record(obs.Event{Kind: obs.KindPhase, Name: "detector-prime", N: len(sample), Dur: primeDur})
 	}
 
@@ -300,6 +324,7 @@ func Run(opts Options) (*Result, error) {
 		workers = 1
 	}
 	rank := func() {
+		spRank := tr.Start("rank")
 		if rec.Enabled() {
 			rec.Record(obs.Event{Kind: obs.KindRankStarted, N: len(pending)})
 		}
@@ -345,6 +370,7 @@ func Run(opts Options) (*Result, error) {
 		res.Time.Ranking += dt
 		cReranks.Inc()
 		hRank.ObserveDuration(dt)
+		spRank.SetNum("pool", float64(len(pending))).SetNum("workers", float64(workers)).End()
 		if rec.Enabled() {
 			rec.Record(obs.Event{Kind: obs.KindRankFinished, N: len(pending), Dur: dt})
 		}
@@ -363,8 +389,13 @@ func Run(opts Options) (*Result, error) {
 	prevSupport := modelSupport()
 
 	// --- Extraction loop ----------------------------------------------
+	// Batch spans group the documents processed between two consecutive
+	// (re-)rankings; doc spans nest under them, giving the trace its
+	// run -> batch -> doc causal spine.
 	var buffer []LabeledDoc
 	cursor := 0
+	batchDocs := 0
+	spBatch := tr.Start("batch")
 	for cursor < len(pending) {
 		if opts.MaxDocs > 0 && len(res.Order) >= opts.MaxDocs {
 			break
@@ -375,6 +406,8 @@ func Run(opts Options) (*Result, error) {
 			continue // duplicates can enter via search-interface growth
 		}
 		processed[d.ID] = true
+		spDoc := tr.Start("doc")
+		batchDocs++
 
 		// Tuple extraction (simulated cost for precomputed oracles; real
 		// extraction work for live oracles).
@@ -388,9 +421,13 @@ func Run(opts Options) (*Result, error) {
 		if ld.Useful {
 			cUseful.Inc()
 		}
+		spDoc.SetNum("doc", float64(d.ID)).SetNum("cost_ns", float64(opts.ExtractionCost))
+		if ld.Useful {
+			spDoc.SetAttr("useful", "true")
+		}
 		if rec.Enabled() {
 			rec.Record(obs.Event{Kind: obs.KindDocExtracted, Doc: int64(d.ID),
-				Useful: ld.Useful, Dur: opts.ExtractionCost})
+				Useful: ld.Useful, Dur: opts.ExtractionCost, Span: spDoc.ID()})
 		}
 
 		// Strategy self-observation (A-FC re-ranks continuously).
@@ -403,9 +440,11 @@ func Run(opts Options) (*Result, error) {
 		// Update detection.
 		trigger := false
 		if opts.Detector != nil {
+			spDet := tr.Start("detect")
 			t = time.Now()
 			trigger = opts.Detector.Observe(feats(d), ld.Useful)
 			dt := time.Since(t)
+			spDet.End()
 			res.Time.Detection += dt
 			res.DetectorTime += dt
 			res.DetectorObservations++
@@ -426,9 +465,11 @@ func Run(opts Options) (*Result, error) {
 				rec.Record(obs.Event{Kind: obs.KindDetectorFired,
 					Name: opts.Detector.Name(), N: bufN})
 			}
+			spTrain := tr.Start("train-update")
 			t = time.Now()
 			opts.Strategy.Update(buffer)
 			updateDur := time.Since(t)
+			spTrain.SetNum("buffered", float64(bufN)).End()
 			res.Time.Training += updateDur
 			cUpdates.Inc()
 			hUpdate.ObserveDuration(updateDur)
@@ -475,12 +516,17 @@ func Run(opts Options) (*Result, error) {
 			}
 		}
 
+		spDoc.End()
 		if trigger || selfRerank {
+			spBatch.SetNum("docs", float64(batchDocs)).End()
 			pending = pending[cursor:]
 			cursor = 0
 			rank()
+			spBatch = tr.Start("batch")
+			batchDocs = 0
 		}
 	}
+	spBatch.SetNum("docs", float64(batchDocs)).End()
 
 	res.PoolSize = len(res.Order) + (len(pending) - cursor)
 	if total, known := opts.Labels.TotalUseful(); known {
@@ -512,6 +558,14 @@ func Run(opts Options) (*Result, error) {
 		if accDetect > 0 {
 			rec.Record(obs.Event{Kind: obs.KindPhase, Name: "detection", Dur: accDetect})
 		}
+		nUseful := 0
+		for _, u := range res.OrderLabels {
+			if u {
+				nUseful++
+			}
+		}
+		spRun.SetNum("docs", float64(len(res.Order))).
+			SetNum("useful", float64(nUseful)).End()
 		rec.Record(obs.Event{Kind: obs.KindRunFinished, N: len(res.Order), Dur: res.Time.Total()})
 	}
 	return res, nil

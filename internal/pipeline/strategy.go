@@ -108,6 +108,14 @@ func (s *Learned) Instrument(reg *obs.Registry, rec obs.Recorder) {
 	}
 }
 
+// InstrumentTracer implements obs.TraceInstrumentable by forwarding the
+// span tracer to the wrapped ranker.
+func (s *Learned) InstrumentTracer(tr *obs.Tracer) {
+	if in, ok := s.R.(obs.TraceInstrumentable); ok {
+		in.InstrumentTracer(tr)
+	}
+}
+
 // Perfect is the perfect-ordering reference: it scores documents by their
 // oracle usefulness.
 type Perfect struct {

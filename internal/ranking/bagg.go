@@ -24,6 +24,9 @@ type BAggIE struct {
 	// Observability instruments, nil until Instrument is called.
 	obsLearn *obs.Histogram
 	obsSteps *obs.Counter
+	// tr emits one span per Learn call when span tracing is enabled
+	// (nil otherwise).
+	tr *obs.Tracer
 }
 
 // BAggOptions configures BAgg-IE; zero fields take the paper's defaults.
@@ -81,11 +84,18 @@ func (b *BAggIE) Instrument(reg *obs.Registry, _ obs.Recorder) {
 	b.obsSteps = reg.Counter("ranking.bagg.steps")
 }
 
+// InstrumentTracer implements obs.TraceInstrumentable: each Learn call
+// becomes a "bagg-learn" span under the tracer's current scope. Clones
+// are never trace-instrumented.
+func (b *BAggIE) InstrumentTracer(tr *obs.Tracer) { b.tr = tr }
+
 // Learn deals the example to the next committee member and drains that
 // member's balanced queue.
 func (b *BAggIE) Learn(x vector.Sparse, useful bool) {
+	sp := b.tr.Start("bagg-learn")
 	if b.obsLearn == nil {
 		b.learn(x, useful)
+		sp.End()
 		return
 	}
 	t := time.Now()
@@ -100,6 +110,7 @@ func (b *BAggIE) Learn(x vector.Sparse, useful bool) {
 	}
 	b.obsLearn.ObserveDuration(time.Since(t))
 	b.obsSteps.Add(int64(s1 - s0))
+	sp.SetNum("steps", float64(s1-s0)).End()
 }
 
 func (b *BAggIE) learn(x vector.Sparse, useful bool) {

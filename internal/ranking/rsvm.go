@@ -24,6 +24,10 @@ type RSVMIE struct {
 	obsLearn   *obs.Histogram
 	obsSteps   *obs.Counter
 	obsSupport *obs.Gauge
+	// tr emits one span per Learn call when span tracing is enabled
+	// (nil otherwise); spans nest under the pipeline's current training
+	// scope.
+	tr *obs.Tracer
 }
 
 // RSVMOptions configures RSVM-IE; zero fields take the paper's Section 4
@@ -81,19 +85,29 @@ func (r *RSVMIE) Instrument(reg *obs.Registry, _ obs.Recorder) {
 	r.obsSupport = reg.Gauge("ranking.rsvm.support")
 }
 
+// InstrumentTracer implements obs.TraceInstrumentable: each Learn call
+// becomes a "rsvm-learn" span under the tracer's current scope, so the
+// flame timeline shows individual train steps inside init-train and
+// train-update phases. Clones are never trace-instrumented.
+func (r *RSVMIE) InstrumentTracer(tr *obs.Tracer) { r.tr = tr }
+
 // Learn forms stochastic pairs between the incoming document and sampled
 // opposite-label documents and performs pairwise hinge updates.
 func (r *RSVMIE) Learn(x vector.Sparse, useful bool) {
+	sp := r.tr.Start("rsvm-learn")
 	if r.obsLearn == nil {
 		r.learn(x, useful)
+		sp.End()
 		return
 	}
 	t := time.Now()
 	s0 := r.model.Steps()
 	r.learn(x, useful)
 	r.obsLearn.ObserveDuration(time.Since(t))
-	r.obsSteps.Add(int64(r.model.Steps() - s0))
+	steps := r.model.Steps() - s0
+	r.obsSteps.Add(int64(steps))
 	r.obsSupport.Set(float64(r.model.Weights().NNZ()))
+	sp.SetNum("steps", float64(steps)).End()
 }
 
 func (r *RSVMIE) learn(x vector.Sparse, useful bool) {

@@ -29,6 +29,7 @@ type FeatS struct {
 	// Observability hooks, nil/disabled until Instrument is called.
 	obsShift *obs.Histogram
 	rec      obs.Recorder
+	tr       *obs.Tracer
 }
 
 // FeatSOptions configures the detector; zero fields take Section 4
@@ -74,6 +75,10 @@ func (f *FeatS) Instrument(reg *obs.Registry, rec obs.Recorder) {
 	f.rec = rec
 }
 
+// InstrumentTracer implements obs.TraceInstrumentable: decision events
+// are stamped with the tracer's current scope (see ModC).
+func (f *FeatS) InstrumentTracer(tr *obs.Tracer) { f.tr = tr }
+
 // Prime trains the one-class model on the initial sample.
 func (f *FeatS) Prime(xs []vector.Sparse) {
 	for _, x := range xs {
@@ -106,7 +111,7 @@ func (f *FeatS) Observe(x vector.Sparse, _ bool) bool {
 	}
 	if f.rec != nil && f.rec.Enabled() {
 		f.rec.Record(obs.Event{Kind: obs.KindDetectorDecision, Name: f.Name(),
-			Val: shift, Fired: fired})
+			Val: shift, Fired: fired, Span: f.tr.ScopeID()})
 	}
 	return fired
 }

@@ -36,6 +36,7 @@ type ModC struct {
 	// Observability hooks, nil/disabled until Instrument is called.
 	obsAngle *obs.Histogram
 	rec      obs.Recorder
+	tr       *obs.Tracer
 }
 
 // NewModC builds the detector around the live ranker. The live ranker is
@@ -75,6 +76,11 @@ func (m *ModC) Instrument(reg *obs.Registry, rec obs.Recorder) {
 	m.obsAngle = reg.Histogram("update.modc.angle_degrees", AngleBuckets())
 	m.rec = rec
 }
+
+// InstrumentTracer implements obs.TraceInstrumentable: decision events
+// are stamped with the tracer's current scope (the pipeline's "detect"
+// span), tying each decision into the span tree causally.
+func (m *ModC) InstrumentTracer(tr *obs.Tracer) { m.tr = tr }
 
 // Angle returns the current angle between live and shadow models, in
 // degrees (0 when either model is still empty).
@@ -125,7 +131,7 @@ func (m *ModC) Observe(x vector.Sparse, useful bool) bool {
 	}
 	if m.rec != nil && m.rec.Enabled() {
 		m.rec.Record(obs.Event{Kind: obs.KindDetectorDecision, Name: m.Name(),
-			Val: angle, Fired: fired})
+			Val: angle, Fired: fired, Span: m.tr.ScopeID()})
 	}
 	return fired
 }

@@ -37,6 +37,7 @@ type TopK struct {
 	// Observability hooks, nil/disabled until Instrument is called.
 	obsDist *obs.Histogram
 	rec     obs.Recorder
+	tr      *obs.Tracer
 }
 
 // FootruleBuckets are the histogram bounds for the normalized weighted
@@ -86,6 +87,10 @@ func (t *TopK) Instrument(reg *obs.Registry, rec obs.Recorder) {
 	t.rec = rec
 }
 
+// InstrumentTracer implements obs.TraceInstrumentable: decision events
+// are stamped with the tracer's current scope (see ModC).
+func (t *TopK) InstrumentTracer(tr *obs.Tracer) { t.tr = tr }
+
 // Prime trains the side classifier on the initial labelled sample, then
 // baselines the reference feature list.
 func (t *TopK) Prime(xs []vector.Sparse, useful []bool) {
@@ -131,7 +136,7 @@ func (t *TopK) Observe(x vector.Sparse, useful bool) bool {
 	}
 	if t.rec != nil && t.rec.Enabled() {
 		t.rec.Record(obs.Event{Kind: obs.KindDetectorDecision, Name: t.Name(),
-			Val: t.LastDistance, Fired: fired})
+			Val: t.LastDistance, Fired: fired, Span: t.tr.ScopeID()})
 	}
 	return fired
 }
