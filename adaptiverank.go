@@ -23,6 +23,7 @@
 package adaptiverank
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -123,6 +124,25 @@ func TracePhaseTotals(events []TraceEvent) map[string]time.Duration {
 // of the seven Table 1 relations.
 func BuiltinExtractor(rel Relation) Extractor { return extract.Get(rel) }
 
+// FaultInjection configures seeded, deterministic fault injection on the
+// extractor — transient errors, panics, hangs, latency spikes, and
+// permanently poisoned documents — for resilience testing and demos (see
+// Options.Flaky and internal/extract.FlakyOptions).
+type FaultInjection = extract.FlakyOptions
+
+// Resilience tunes the fault-tolerance stack around a faulty extractor:
+// retry with capped exponential backoff, per-attempt timeout, panic
+// recovery, and a circuit breaker (see Options.Resilience and
+// internal/pipeline.ResilientOptions). The zero value selects defaults.
+type Resilience = pipeline.ResilientOptions
+
+// NewFlakyExtractor wraps an extractor with deterministic fault
+// injection, for testing consumers that want the faulty extractor
+// directly rather than through Options.Flaky.
+func NewFlakyExtractor(ex Extractor, opts FaultInjection) Extractor {
+	return extract.NewFlaky(ex, opts)
+}
+
 // funcExtractor adapts a plain extraction function to the Extractor
 // interface.
 type funcExtractor struct {
@@ -215,6 +235,30 @@ type Options struct {
 	// Recorder, when non-nil, receives the run's structured event trace
 	// (e.g. NewTraceRecorder). nil disables tracing at zero cost.
 	Recorder Recorder
+	// Flaky, when non-nil, wraps the extractor with seeded deterministic
+	// fault injection (transient errors, panics, hangs, latency spikes,
+	// poisoned documents). Setting it implies Resilience so injected
+	// faults are retried rather than crashing the run.
+	Flaky *FaultInjection
+	// Resilience, when non-nil, runs extraction through the
+	// fault-tolerance stack: per-attempt timeout, capped exponential
+	// backoff with jitter, panic recovery, and a circuit breaker whose
+	// open state requeues documents instead of hammering a down backend.
+	// Zero fields take defaults. Leave nil (with Flaky nil) for the
+	// bare-metal path with no retry overhead.
+	Resilience *Resilience
+	// Checkpoint, when non-empty, is the path of a crash-safe JSONL run
+	// journal: every extraction outcome is flushed to it before it can
+	// affect the model, so a killed run can be resumed without losing
+	// acknowledged work. Without Resume the file is created fresh.
+	Checkpoint string
+	// Resume reopens an existing Checkpoint journal and replays its
+	// outcomes: already-journaled documents skip extraction, and because
+	// the rest of the run is deterministic the resumed run reproduces
+	// the interrupted one exactly (model snapshots in the journal verify
+	// this and fail loudly on divergence). The journal must have been
+	// written by an identically configured run over the same corpus.
+	Resume bool
 }
 
 // Result reports an extraction run.
@@ -232,34 +276,17 @@ type Result struct {
 	RankingOverhead time.Duration
 	// Order is the ranked-phase processing order.
 	Order []DocID
+	// Skipped lists documents the resilience policy abandoned (every
+	// retry failed, or the requeue limit was hit); empty without faults.
+	Skipped []DocID
+	// Requeued counts breaker-open fast-fails that sent a document back
+	// to the end of the queue.
+	Requeued int
+	// Interrupted reports that the run was cancelled (RunContext) before
+	// completing; the partial result and any Checkpoint journal written
+	// so far are valid, and a Resume run picks up where it stopped.
+	Interrupted bool
 }
-
-// liveOracle runs the user's extractor lazily as documents are processed
-// and accumulates the extraction output.
-type liveOracle struct {
-	ex     Extractor
-	seen   map[Tuple]bool
-	tuples []Tuple
-	useful int
-	docs   int
-}
-
-func (o *liveOracle) Label(d *Document) (bool, []Tuple) {
-	ts := o.ex.Extract(d)
-	o.docs++
-	if len(ts) > 0 {
-		o.useful++
-	}
-	for _, t := range ts {
-		if !o.seen[t] {
-			o.seen[t] = true
-			o.tuples = append(o.tuples, t)
-		}
-	}
-	return len(ts) > 0, ts
-}
-
-func (o *liveOracle) TotalUseful() (int, bool) { return 0, false }
 
 // workers resolves the worker-count option.
 func workers(n int) int {
@@ -272,6 +299,14 @@ func workers(n int) int {
 // Run executes adaptive ranked extraction over the collection with the
 // given black-box extractor.
 func Run(coll *Collection, ex Extractor, opts Options) (*Result, error) {
+	return RunContext(context.Background(), coll, ex, opts)
+}
+
+// RunContext is Run with cancellation: cancel ctx (e.g. from a SIGINT
+// handler via signal.NotifyContext) and the run drains gracefully — the
+// in-flight document finishes, the Checkpoint journal and trace stay
+// flushed, and the partial Result comes back with Interrupted set.
+func RunContext(ctx context.Context, coll *Collection, ex Extractor, opts Options) (*Result, error) {
 	if coll == nil || coll.Len() == 0 {
 		return nil, fmt.Errorf("adaptiverank: empty collection")
 	}
@@ -327,8 +362,37 @@ func Run(coll *Collection, ex Extractor, opts Options) (*Result, error) {
 		det = nil // adaptation cannot help a random order
 	}
 
-	oracle := &liveOracle{ex: ex, seen: make(map[Tuple]bool)}
-	res, err := pipeline.Run(pipeline.Options{
+	// Oracle chain: (Resilient?)(ExtractorOracle((Flaky?)(extractor))).
+	// The pipeline accumulates tuples itself, so the same chain works
+	// whether outcomes come from live extraction or journal replay.
+	pex := ex
+	if opts.Flaky != nil {
+		pex = extract.NewFlaky(ex, *opts.Flaky)
+	}
+	var oracle pipeline.Oracle = &pipeline.ExtractorOracle{Ex: pex}
+	if opts.Resilience != nil || opts.Flaky != nil {
+		ropts := Resilience{}
+		if opts.Resilience != nil {
+			ropts = *opts.Resilience
+		}
+		oracle = pipeline.NewResilient(oracle, ropts)
+	}
+
+	var journal *pipeline.Journal
+	if opts.Checkpoint != "" {
+		fp := runFingerprint(coll, ex, opts)
+		var jerr error
+		if opts.Resume {
+			journal, jerr = pipeline.OpenJournal(opts.Checkpoint, fp)
+		} else {
+			journal, jerr = pipeline.CreateJournal(opts.Checkpoint, fp)
+		}
+		if jerr != nil {
+			return nil, jerr
+		}
+	}
+
+	res, err := pipeline.RunContext(ctx, pipeline.Options{
 		Rel:            ex.Relation(),
 		ExtractionCost: ex.SimulatedCost(),
 		Coll:           coll,
@@ -341,18 +405,53 @@ func Run(coll *Collection, ex Extractor, opts Options) (*Result, error) {
 		Workers:        workers(opts.Workers),
 		Metrics:        opts.Metrics,
 		Recorder:       opts.Recorder,
+		Journal:        journal,
 	})
+	if cerr := journal.Close(); cerr != nil && err == nil {
+		err = fmt.Errorf("adaptiverank: closing checkpoint: %w", cerr)
+	}
 	if err != nil {
 		return nil, err
 	}
+	useful := res.SampleUseful
+	for _, u := range res.OrderLabels {
+		if u {
+			useful++
+		}
+	}
 	return &Result{
-		Tuples:          oracle.tuples,
-		DocsProcessed:   oracle.docs,
-		UsefulFound:     oracle.useful,
+		Tuples:          res.Tuples,
+		DocsProcessed:   res.SampleSize + len(res.Order),
+		UsefulFound:     useful,
 		Updates:         len(res.UpdatePositions),
 		RankingOverhead: res.Time.Overhead(),
 		Order:           res.Order,
+		Skipped:         res.Skipped,
+		Requeued:        res.Requeued,
+		Interrupted:     res.Interrupted,
 	}, nil
+}
+
+// runFingerprint identifies a run configuration for checkpoint files:
+// resuming a journal written by a different configuration (or corpus)
+// would replay wrong outcomes, so OpenJournal rejects a mismatch. Only
+// result-affecting options participate — Workers, Metrics, and Recorder
+// do not change what a run computes.
+func runFingerprint(coll *Collection, ex Extractor, opts Options) string {
+	flaky := ""
+	if opts.Flaky != nil {
+		f := *opts.Flaky
+		flaky = fmt.Sprintf("seed=%d,err=%g,panic=%g,hang=%g,lat=%g,poison=%g,mfa=%d",
+			f.Seed, f.ErrorRate, f.PanicRate, f.HangRate, f.LatencyRate, f.PoisonRate, f.MaxFaultyAttempts)
+	}
+	resil := ""
+	if opts.Resilience != nil {
+		r := *opts.Resilience
+		resil = fmt.Sprintf("attempts=%d,breaker=%d/%d", r.MaxAttempts, r.BreakerThreshold, r.BreakerCooldown)
+	}
+	return fmt.Sprintf("adaptiverank/v1 rel=%s strat=%d det=%d seed=%d sample=%d maxdocs=%d corpus=%016x flaky{%s} resil{%s}",
+		ex.Relation().Code(), opts.Strategy, opts.Detector, opts.Seed, opts.SampleSize,
+		opts.MaxDocs, coll.Checksum(), flaky, resil)
 }
 
 // LoadCorpusJSONL reads a collection from a JSON-lines file with one

@@ -4,11 +4,15 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"adaptiverank"
 	"adaptiverank/internal/obs"
@@ -39,8 +43,30 @@ func run() (code int) {
 		sloFire  = flag.Float64("slo-max-fire-rate", 0, "SLO watchdog: alert when the detector fire rate over the trailing window exceeds this ceiling (0 = rule off)")
 		sloP99   = flag.Duration("slo-max-p99", 0, "SLO watchdog: alert when the p99 per-document step latency exceeds this bound (0 = rule off)")
 		sloWin   = flag.Int("slo-window", 0, "SLO watchdog: override the rules' trailing-window sizes (0 = per-rule defaults)")
+		sloFault = flag.Float64("slo-max-fault-rate", 0, "SLO watchdog: alert when the extraction fault rate over the trailing window exceeds this ceiling (0 = rule off)")
+
+		checkpoint = flag.String("checkpoint", "", "write a crash-safe run journal to this file (resume with -resume)")
+		resume     = flag.Bool("resume", false, "resume from the -checkpoint journal: replay recorded outcomes and continue where the interrupted run stopped")
+		resultOut  = flag.String("result-out", "", "write the final result (tuples, order, counts) as JSON to this file")
+
+		flakyError   = flag.Float64("flaky-error-rate", 0, "fault injection: probability of a transient extractor error per attempt")
+		flakyPanic   = flag.Float64("flaky-panic-rate", 0, "fault injection: probability of an extractor panic per attempt")
+		flakyHang    = flag.Float64("flaky-hang-rate", 0, "fault injection: probability of an extractor hang per attempt")
+		flakyLatency = flag.Float64("flaky-latency-rate", 0, "fault injection: probability of a latency spike per attempt")
+		flakyDelay   = flag.Duration("flaky-latency", 0, "fault injection: latency spike duration (0 = default)")
+		flakyPoison  = flag.Float64("flaky-poison-rate", 0, "fault injection: fraction of documents that fail every attempt")
+		flakySeed    = flag.Int64("flaky-seed", 0, "fault injection: schedule seed (0 = run seed)")
+
+		extractTimeout = flag.Duration("extract-timeout", 0, "resilience: per-attempt extraction timeout (0 = default)")
+		extractRetries = flag.Int("extract-retries", 0, "resilience: max extraction attempts per document (0 = default)")
 	)
 	flag.Parse()
+
+	// SIGINT/SIGTERM cancel the run context: the pipeline drains
+	// gracefully and the deferred trace/checkpoint cleanup below still
+	// runs, so a Ctrl-C leaves a valid, resumable journal behind.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	if *pprof != "" {
 		go func() {
@@ -125,8 +151,8 @@ func run() (code int) {
 	// path, so they show up in the trace file, the SSE stream, and /alerts
 	// uniformly.
 	wopts := obs.WatchdogOptions{
-		MinRecallSlope: *sloSlope, MaxFireRate: *sloFire, MaxStepP99: *sloP99,
-		RecallWindow: *sloWin, FireWindow: *sloWin, LatencyWindow: *sloWin,
+		MinRecallSlope: *sloSlope, MaxFireRate: *sloFire, MaxStepP99: *sloP99, MaxFaultRate: *sloFault,
+		RecallWindow: *sloWin, FireWindow: *sloWin, LatencyWindow: *sloWin, FaultWindow: *sloWin,
 	}
 	var wd *obs.Watchdog
 	if len(sinks) > 0 || wopts.Enabled() {
@@ -159,9 +185,33 @@ func run() (code int) {
 		return 1
 	}
 	ex := adaptiverank.BuiltinExtractor(rel)
+
+	if *flakyError > 0 || *flakyPanic > 0 || *flakyHang > 0 || *flakyLatency > 0 || *flakyPoison > 0 {
+		fseed := *flakySeed
+		if fseed == 0 {
+			fseed = *seed
+		}
+		opts.Flaky = &adaptiverank.FaultInjection{
+			Seed: fseed, ErrorRate: *flakyError, PanicRate: *flakyPanic,
+			HangRate: *flakyHang, LatencyRate: *flakyLatency, Latency: *flakyDelay,
+			PoisonRate: *flakyPoison,
+		}
+	}
+	if *extractTimeout > 0 || *extractRetries > 0 {
+		opts.Resilience = &adaptiverank.Resilience{
+			AttemptTimeout: *extractTimeout, MaxAttempts: *extractRetries,
+		}
+	}
+	opts.Checkpoint = *checkpoint
+	opts.Resume = *resume
+	if *resume && *checkpoint == "" {
+		fmt.Fprintln(os.Stderr, "-resume requires -checkpoint")
+		return 2
+	}
+
 	fmt.Printf("extracting %s with %s + %s...\n", rel.Name(), *strategy, *detector)
 
-	res, err := adaptiverank.Run(coll, ex, opts)
+	res, err := adaptiverank.RunContext(ctx, coll, ex, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
@@ -183,6 +233,9 @@ func run() (code int) {
 
 	fmt.Printf("\nprocessed %d documents, %d useful, %d distinct tuples, %d model updates\n",
 		res.DocsProcessed, res.UsefulFound, len(res.Tuples), res.Updates)
+	if len(res.Skipped) > 0 || res.Requeued > 0 {
+		fmt.Printf("fault tolerance: %d documents skipped, %d requeued\n", len(res.Skipped), res.Requeued)
+	}
 	fmt.Printf("ranking overhead: %v (%.3f ms/doc)\n", res.RankingOverhead,
 		float64(res.RankingOverhead.Microseconds())/1000/float64(max(1, res.DocsProcessed)))
 	n := len(res.Tuples)
@@ -193,7 +246,53 @@ func run() (code int) {
 	for _, t := range res.Tuples[:n] {
 		fmt.Printf("  %v\n", t)
 	}
+
+	if *resultOut != "" {
+		if err := writeResult(*resultOut, res); err != nil {
+			fmt.Fprintln(os.Stderr, "result-out:", err)
+			return 1
+		}
+		fmt.Printf("result written to %s\n", *resultOut)
+	}
+	if res.Interrupted {
+		fmt.Printf("\ninterrupted: run stopped early by signal")
+		if *checkpoint != "" {
+			fmt.Printf("; resume with -checkpoint %s -resume", *checkpoint)
+		}
+		fmt.Println()
+		return 130
+	}
 	return 0
+}
+
+// writeResult dumps the run outcome as deterministic JSON. The CI
+// kill-and-resume smoke test diffs these files byte-for-byte between an
+// uninterrupted run and a killed-then-resumed one.
+func writeResult(path string, res *adaptiverank.Result) error {
+	type out struct {
+		DocsProcessed int                  `json:"docs_processed"`
+		UsefulFound   int                  `json:"useful_found"`
+		Updates       int                  `json:"updates"`
+		Interrupted   bool                 `json:"interrupted"`
+		Requeued      int                  `json:"requeued"`
+		Skipped       []adaptiverank.DocID `json:"skipped,omitempty"`
+		Order         []adaptiverank.DocID `json:"order"`
+		Tuples        []adaptiverank.Tuple `json:"tuples"`
+	}
+	b, err := json.MarshalIndent(out{
+		DocsProcessed: res.DocsProcessed,
+		UsefulFound:   res.UsefulFound,
+		Updates:       res.Updates,
+		Interrupted:   res.Interrupted,
+		Requeued:      res.Requeued,
+		Skipped:       res.Skipped,
+		Order:         res.Order,
+		Tuples:        res.Tuples,
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
 func max(a, b int) int {

@@ -5,12 +5,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"adaptiverank/internal/experiments"
@@ -39,8 +42,15 @@ func run() (code int) {
 		sloFire  = flag.Float64("slo-max-fire-rate", 0, "SLO watchdog: alert when the detector fire rate over the trailing window exceeds this ceiling (0 = rule off)")
 		sloP99   = flag.Duration("slo-max-p99", 0, "SLO watchdog: alert when the p99 per-document step latency exceeds this bound (0 = rule off)")
 		sloWin   = flag.Int("slo-window", 0, "SLO watchdog: override the rules' trailing-window sizes (0 = per-rule defaults)")
+		sloFault = flag.Float64("slo-max-fault-rate", 0, "SLO watchdog: alert when the extraction fault rate over the trailing window exceeds this ceiling (0 = rule off)")
+		labelDir = flag.String("label-cache", "", "checkpoint whole-collection oracle labels as journal files in this directory; a restarted suite reloads them instead of re-extracting")
 	)
 	flag.Parse()
+
+	// SIGINT/SIGTERM cancel the suite context: the current pipeline run
+	// drains and the deferred trace flush below still executes.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	if *pprof != "" {
 		go func() {
@@ -76,6 +86,8 @@ func run() (code int) {
 	if *metrics || *serve != "" {
 		cfg.Metrics = obs.NewRegistry()
 	}
+	cfg.Ctx = ctx
+	cfg.LabelCacheDir = *labelDir
 
 	var sinks []obs.Recorder
 	if *trace != "" {
@@ -109,8 +121,8 @@ func run() (code int) {
 	// suite the watchdog resets its windows at each run-started event, so
 	// per-run statistics never bleed between experiment configurations.
 	wopts := obs.WatchdogOptions{
-		MinRecallSlope: *sloSlope, MaxFireRate: *sloFire, MaxStepP99: *sloP99,
-		RecallWindow: *sloWin, FireWindow: *sloWin, LatencyWindow: *sloWin,
+		MinRecallSlope: *sloSlope, MaxFireRate: *sloFire, MaxStepP99: *sloP99, MaxFaultRate: *sloFault,
+		RecallWindow: *sloWin, FireWindow: *sloWin, LatencyWindow: *sloWin, FaultWindow: *sloWin,
 	}
 	var wd *obs.Watchdog
 	if len(sinks) > 0 || wopts.Enabled() {
@@ -144,6 +156,10 @@ func run() (code int) {
 	start := time.Now()
 	env := experiments.NewEnv(cfg)
 	if err := experiments.RunSuite(env, os.Stdout, ids...); err != nil {
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "interrupted: suite stopped by signal; completed label checkpoints are kept")
+			return 130
+		}
 		fmt.Fprintln(os.Stderr, "error:", err)
 		return 1
 	}

@@ -1,0 +1,161 @@
+package adaptiverank_test
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"adaptiverank"
+)
+
+// countingCancelExtractor cancels a context after n extraction calls,
+// simulating a signal arriving mid-run.
+type countingCancelExtractor struct {
+	adaptiverank.Extractor
+	calls  int
+	after  int
+	cancel context.CancelFunc
+}
+
+func (c *countingCancelExtractor) Extract(d *adaptiverank.Document) []adaptiverank.Tuple {
+	c.calls++
+	if c.calls == c.after {
+		c.cancel()
+	}
+	return c.Extractor.Extract(d)
+}
+
+// TestResumeReproducesUninterruptedRun is the ISSUE acceptance test at
+// the public API: interrupt a checkpointed run partway, resume it, and
+// the final tuple set and processing order must be identical to an
+// uninterrupted run of the same configuration.
+func TestResumeReproducesUninterruptedRun(t *testing.T) {
+	coll, err := adaptiverank.GenerateCorpus(21, 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := adaptiverank.BuiltinExtractor(adaptiverank.PersonCharge)
+	opts := adaptiverank.Options{Seed: 3}
+
+	ref, err := adaptiverank.Run(coll, ex, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: cancel after ~200 extractions, journal on.
+	ckpt := filepath.Join(t.TempDir(), "run.checkpoint")
+	ctx, cancel := context.WithCancel(context.Background())
+	iopts := opts
+	iopts.Checkpoint = ckpt
+	part, err := adaptiverank.RunContext(ctx,
+		coll, &countingCancelExtractor{Extractor: ex, after: 200, cancel: cancel}, iopts)
+	cancel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !part.Interrupted {
+		t.Fatal("cancelled run not marked Interrupted")
+	}
+	if part.DocsProcessed == 0 || part.DocsProcessed >= ref.DocsProcessed {
+		t.Fatalf("setup: interrupted run processed %d of %d docs", part.DocsProcessed, ref.DocsProcessed)
+	}
+
+	// Resume against the journal with a fresh extractor instance.
+	ropts := opts
+	ropts.Checkpoint = ckpt
+	ropts.Resume = true
+	res, err := adaptiverank.Run(coll, ex, ropts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Interrupted {
+		t.Fatal("resumed run reported Interrupted")
+	}
+	if len(res.Tuples) != len(ref.Tuples) {
+		t.Fatalf("tuple sets differ: resumed %d, uninterrupted %d", len(res.Tuples), len(ref.Tuples))
+	}
+	for i := range res.Tuples {
+		if res.Tuples[i] != ref.Tuples[i] {
+			t.Fatalf("tuple %d differs: %v vs %v", i, res.Tuples[i], ref.Tuples[i])
+		}
+	}
+	if len(res.Order) != len(ref.Order) {
+		t.Fatalf("order lengths differ: %d vs %d", len(res.Order), len(ref.Order))
+	}
+	for i := range res.Order {
+		if res.Order[i] != ref.Order[i] {
+			t.Fatalf("order diverges at %d: %d vs %d", i, res.Order[i], ref.Order[i])
+		}
+	}
+}
+
+// TestResumeRejectsDifferentConfiguration: a checkpoint written by one
+// configuration must not silently resume under another.
+func TestResumeRejectsDifferentConfiguration(t *testing.T) {
+	coll, err := adaptiverank.GenerateCorpus(22, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := adaptiverank.BuiltinExtractor(adaptiverank.DiseaseOutbreak)
+	ckpt := filepath.Join(t.TempDir(), "run.checkpoint")
+	if _, err := adaptiverank.Run(coll, ex, adaptiverank.Options{Seed: 5, Checkpoint: ckpt, MaxDocs: 50}); err != nil {
+		t.Fatal(err)
+	}
+	_, err = adaptiverank.Run(coll, ex, adaptiverank.Options{Seed: 6, Checkpoint: ckpt, Resume: true, MaxDocs: 50})
+	if err == nil {
+		t.Fatal("resume with different seed accepted")
+	}
+}
+
+// TestFaultScheduleCompletes is the ISSUE acceptance scenario: 10%
+// transient errors + 1% panics over the whole run; the run completes
+// with zero crashes, every non-poisoned document gets its correct
+// label, and fault counters land in the metrics registry.
+func TestFaultScheduleCompletes(t *testing.T) {
+	coll, err := adaptiverank.GenerateCorpus(23, 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := adaptiverank.BuiltinExtractor(adaptiverank.NaturalDisasterLocation)
+	reg := adaptiverank.NewMetrics()
+	res, err := adaptiverank.Run(coll, ex, adaptiverank.Options{
+		Seed: 9,
+		Flaky: &adaptiverank.FaultInjection{
+			Seed: 9, ErrorRate: 0.10, PanicRate: 0.01, PoisonRate: 0.005,
+		},
+		Resilience: &adaptiverank.Resilience{Sleep: func(time.Duration) {}},
+		Metrics:    reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Interrupted {
+		t.Fatal("fault-injected run reported Interrupted")
+	}
+	if res.DocsProcessed+len(res.Skipped) != coll.Len() {
+		t.Fatalf("processed %d + skipped %d != collection %d",
+			res.DocsProcessed, len(res.Skipped), coll.Len())
+	}
+	// Labels along the ranked order must match a clean extraction.
+	for _, id := range res.Order {
+		for _, tu := range ex.Extract(coll.Doc(id)) {
+			found := false
+			for _, got := range res.Tuples {
+				if got == tu {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("tuple %v from doc %d missing despite successful processing", tu, id)
+			}
+		}
+	}
+	if reg.CounterValue("resilience.faults") == 0 {
+		t.Fatal("resilience.faults counter empty: fault stack not wired into metrics")
+	}
+	if reg.CounterValue("resilience.panics_recovered") == 0 {
+		t.Fatal("no panics recovered at a 1% panic rate")
+	}
+}

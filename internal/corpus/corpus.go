@@ -7,6 +7,7 @@ package corpus
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sync/atomic"
 
 	"adaptiverank/internal/tokenize"
@@ -85,6 +86,28 @@ func (c *Collection) Prefix(n int) *Collection {
 		n = len(c.docs)
 	}
 	return &Collection{docs: c.docs[:n]}
+}
+
+// Checksum is an FNV-1a fingerprint of the collection's content (titles
+// and texts with unambiguous framing, in collection order). Crash-safe
+// run journals store it so a -resume against a different or modified
+// corpus is rejected instead of silently replaying wrong outcomes.
+func (c *Collection) Checksum() uint64 {
+	h := fnv.New64a()
+	var frame [8]byte
+	writeField := func(s string) {
+		n := len(s)
+		for i := 0; i < 8; i++ {
+			frame[i] = byte(n >> (8 * i))
+		}
+		h.Write(frame[:])
+		h.Write([]byte(s))
+	}
+	for _, d := range c.docs {
+		writeField(d.Title)
+		writeField(d.Text)
+	}
+	return h.Sum64()
 }
 
 // IDs returns the ids of all documents in collection order.

@@ -44,6 +44,64 @@ func ReadJSONL(r io.Reader) (*Collection, error) {
 	return NewCollection(docs), nil
 }
 
+// RecordError reports one input line the lenient reader skipped.
+type RecordError struct {
+	// Line is the 1-based input line number.
+	Line int
+	// Err describes why the line was rejected.
+	Err error
+}
+
+func (e RecordError) Error() string {
+	return fmt.Sprintf("corpus: line %d: %v", e.Line, e.Err)
+}
+
+// ReadJSONLLenient reads JSON-lines input in skip-and-report mode: a
+// malformed or text-less line is skipped and reported instead of
+// aborting the load, so one corrupt record in a multi-gigabyte corpus
+// dump does not cost the whole run. Only I/O failures are fatal.
+// Surviving documents receive sequential ids in input order, exactly as
+// ReadJSONL would assign them if the bad lines were deleted first.
+func ReadJSONLLenient(r io.Reader) (*Collection, []RecordError, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var docs []*Document
+	var skipped []RecordError
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var jd jsonDoc
+		if err := json.Unmarshal(raw, &jd); err != nil {
+			skipped = append(skipped, RecordError{Line: line, Err: err})
+			continue
+		}
+		if jd.Text == "" {
+			skipped = append(skipped, RecordError{Line: line, Err: fmt.Errorf("missing \"text\" field")})
+			continue
+		}
+		docs = append(docs, &Document{Title: jd.Title, Text: jd.Text})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("corpus: %w", err)
+	}
+	return NewCollection(docs), skipped, nil
+}
+
+// LoadJSONLLenient reads a collection from a JSONL file in
+// skip-and-report mode (see ReadJSONLLenient).
+func LoadJSONLLenient(path string) (*Collection, []RecordError, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("corpus: %w", err)
+	}
+	defer f.Close()
+	return ReadJSONLLenient(f)
+}
+
 // WriteJSONL writes the collection as JSON lines.
 func WriteJSONL(w io.Writer, c *Collection) error {
 	bw := bufio.NewWriter(w)

@@ -1,0 +1,139 @@
+package corpus
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadJSONLLenientSkipsAndReports(t *testing.T) {
+	input := `{"title":"a","text":"alpha"}` + "\n" +
+		`not json` + "\n" +
+		`{"title":"no text"}` + "\n" +
+		`{"text":"beta"}` + "\n" +
+		`{"text":"truncated` // torn final line
+	coll, skipped, err := ReadJSONLLenient(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coll.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 survivors", coll.Len())
+	}
+	if coll.Doc(0).Text != "alpha" || coll.Doc(1).Text != "beta" {
+		t.Fatalf("wrong survivors: %q, %q", coll.Doc(0).Text, coll.Doc(1).Text)
+	}
+	if len(skipped) != 3 {
+		t.Fatalf("skipped %d lines, want 3: %v", len(skipped), skipped)
+	}
+	wantLines := []int{2, 3, 5}
+	for i, re := range skipped {
+		if re.Line != wantLines[i] {
+			t.Fatalf("skipped[%d].Line = %d, want %d", i, re.Line, wantLines[i])
+		}
+		if re.Error() == "" {
+			t.Fatalf("skipped[%d] has empty error text", i)
+		}
+	}
+	// Survivor ids are sequential, as if the bad lines never existed.
+	for i, d := range coll.Docs() {
+		if d.ID != DocID(i) {
+			t.Fatalf("doc %d has id %d", i, d.ID)
+		}
+	}
+}
+
+func TestReadJSONLLenientCleanInputMatchesStrict(t *testing.T) {
+	input := `{"title":"x","text":"one two"}` + "\n" + `{"text":"three"}` + "\n"
+	strict, err := ReadJSONL(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lenient, skipped, err := ReadJSONLLenient(strings.NewReader(input))
+	if err != nil || len(skipped) != 0 {
+		t.Fatalf("clean input: skipped=%v err=%v", skipped, err)
+	}
+	if strict.Len() != lenient.Len() {
+		t.Fatalf("strict %d docs, lenient %d", strict.Len(), lenient.Len())
+	}
+	for i := range strict.Docs() {
+		s, l := strict.Doc(DocID(i)), lenient.Doc(DocID(i))
+		if s.Title != l.Title || s.Text != l.Text {
+			t.Fatalf("doc %d differs between strict and lenient", i)
+		}
+	}
+}
+
+func TestCollectionChecksum(t *testing.T) {
+	mk := func(texts ...string) *Collection {
+		docs := make([]*Document, len(texts))
+		for i, s := range texts {
+			docs[i] = &Document{Title: "t" + s, Text: s}
+		}
+		return NewCollection(docs)
+	}
+	a, b := mk("one", "two"), mk("one", "two")
+	if a.Checksum() != b.Checksum() {
+		t.Fatal("identical collections hash differently")
+	}
+	if a.Checksum() == mk("one", "two!").Checksum() {
+		t.Fatal("content change not reflected in checksum")
+	}
+	if a.Checksum() == mk("two", "one").Checksum() {
+		t.Fatal("order change not reflected in checksum")
+	}
+	// Field framing: (title="ab", text="c") must differ from
+	// (title="a", text="bc").
+	x := NewCollection([]*Document{{Title: "ab", Text: "c"}})
+	y := NewCollection([]*Document{{Title: "a", Text: "bc"}})
+	if x.Checksum() == y.Checksum() {
+		t.Fatal("field boundary not framed into checksum")
+	}
+}
+
+// FuzzReadJSONLLenient asserts the lenient reader never panics nor
+// errors on arbitrary (I/O-error-free) input, that survivors satisfy the
+// collection invariants, and that it agrees with the strict reader on
+// inputs the strict reader accepts.
+func FuzzReadJSONLLenient(f *testing.F) {
+	f.Add([]byte(`{"title":"a","text":"alpha"}` + "\n" + `{"text":"beta"}` + "\n"))
+	f.Add([]byte(`garbage` + "\n" + `{"text":"keeps going"}` + "\n"))
+	f.Add([]byte(`{"title":"no text"}` + "\n"))
+	f.Add([]byte(`{"text":"torn`))
+	f.Add([]byte(`{"text": 7}` + "\n" + `{"text":"ok"}` + "\r\n"))
+	f.Add([]byte("\n\n"))
+	f.Add([]byte{0x00, 0xff, '\n', '{', '}'})
+	f.Add([]byte(`{"text":"` + strings.Repeat("z", 2048) + `"}` + "\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		coll, skipped, err := ReadJSONLLenient(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("lenient reader failed on in-memory input: %v", err)
+		}
+		for i, d := range coll.Docs() {
+			if d.Text == "" {
+				t.Fatalf("doc %d accepted with empty text", i)
+			}
+			if d.ID != DocID(i) {
+				t.Fatalf("doc %d has id %d, want sequential", i, d.ID)
+			}
+		}
+		prev := 0
+		for _, re := range skipped {
+			if re.Line <= prev {
+				t.Fatalf("skip reports out of order: %v", skipped)
+			}
+			prev = re.Line
+		}
+		if strict, serr := ReadJSONL(bytes.NewReader(data)); serr == nil {
+			if len(skipped) != 0 {
+				t.Fatalf("strict accepted input but lenient skipped %v", skipped)
+			}
+			if strict.Len() != coll.Len() {
+				t.Fatalf("strict %d docs, lenient %d", strict.Len(), coll.Len())
+			}
+			if strict.Checksum() != coll.Checksum() {
+				t.Fatal("strict and lenient disagree on checksum")
+			}
+		}
+	})
+}

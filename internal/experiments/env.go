@@ -8,7 +8,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 
 	"adaptiverank/internal/corpus"
@@ -43,6 +46,14 @@ type Config struct {
 	// Recorder, when non-nil, receives the concatenated event traces of
 	// every pipeline run of the suite.
 	Recorder obs.Recorder
+	// Ctx, when non-nil, cancels every pipeline run of the suite (the
+	// CLI installs a SIGINT/SIGTERM context here). Nil means Background.
+	Ctx context.Context
+	// LabelCacheDir, when non-empty, persists whole-collection oracle
+	// label computations as journal files under this directory and
+	// reloads them on later runs, so a restarted suite skips the most
+	// expensive precomputation step.
+	LabelCacheDir string
 }
 
 // DefaultConfig is the bench-scale configuration.
@@ -80,6 +91,16 @@ type Env struct {
 	mu      sync.Mutex
 	queries map[int64][]sampling.QueryList // per run seed
 	results map[resultKey]*pipeline.Result
+
+	// labels has its own lock: Labels is called from inside e.mu
+	// critical sections (QueryLists), so it must not take e.mu.
+	labelMu sync.Mutex
+	labels  map[labelCacheKey]*pipeline.Labels // disk-cache hits (LabelCacheDir)
+}
+
+type labelCacheKey struct {
+	rel  relation.Relation
+	coll *corpus.Collection
 }
 
 type resultKey struct {
@@ -93,7 +114,29 @@ func NewEnv(cfg Config) *Env {
 		Cfg:     cfg,
 		queries: make(map[int64][]sampling.QueryList),
 		results: make(map[resultKey]*pipeline.Result),
+		labels:  make(map[labelCacheKey]*pipeline.Labels),
 	}
+}
+
+// ctx returns the suite context (Background when none was configured).
+func (e *Env) ctx() context.Context {
+	if e.Cfg.Ctx != nil {
+		return e.Cfg.Ctx
+	}
+	return context.Background()
+}
+
+// runPipeline wraps pipeline.RunContext for suite use: an interrupted
+// (signal-cancelled) run surfaces as its context error, so experiments
+// abort cleanly instead of tabulating partial results.
+func (e *Env) runPipeline(opts pipeline.Options) (*pipeline.Result, error) {
+	res, err := pipeline.RunContext(e.ctx(), opts)
+	if err == nil && res != nil && res.Interrupted {
+		if cerr := e.ctx().Err(); cerr != nil {
+			return nil, cerr
+		}
+	}
+	return res, err
 }
 
 func (e *Env) init() {
@@ -120,8 +163,40 @@ func (e *Env) Index(coll *corpus.Collection) *index.Index {
 }
 
 // Labels returns oracle labels for (rel, coll), cached process-wide.
+// With Config.LabelCacheDir set, labels are additionally checkpointed to
+// disk: a restarted suite reloads them instead of re-extracting the
+// whole collection. Cache files are keyed (name and fingerprint) by the
+// relation and the collection content checksum, so stale entries from a
+// different corpus are rejected, recomputed, and overwritten.
 func (e *Env) Labels(rel relation.Relation, coll *corpus.Collection) *pipeline.Labels {
-	return pipeline.LabelsFor(rel, coll)
+	if e.Cfg.LabelCacheDir == "" {
+		return pipeline.LabelsFor(rel, coll)
+	}
+	key := labelCacheKey{rel, coll}
+	e.labelMu.Lock()
+	defer e.labelMu.Unlock()
+	if l, ok := e.labels[key]; ok {
+		return l
+	}
+
+	sum := coll.Checksum()
+	path := filepath.Join(e.Cfg.LabelCacheDir,
+		fmt.Sprintf("labels-%s-%016x.jsonl", rel.Code(), sum))
+	fp := fmt.Sprintf("labels/v1 rel=%s corpus=%016x", rel.Code(), sum)
+	l, err := pipeline.LoadLabels(path, fp, rel, coll.Len())
+	if err != nil {
+		l = pipeline.LabelsFor(rel, coll)
+		// Best-effort write: a failed checkpoint only costs recompute
+		// time on the next restart, so report it via metrics and go on.
+		if err := os.MkdirAll(e.Cfg.LabelCacheDir, 0o755); err == nil {
+			err = pipeline.SaveLabels(path, fp, l)
+		}
+		if err != nil {
+			e.Cfg.Metrics.Counter("experiments.label_cache_errors").Inc()
+		}
+	}
+	e.labels[key] = l
+	return l
 }
 
 // QueryLists returns the QXtract-learned query lists for one run,
@@ -312,7 +387,7 @@ func (e *Env) runOne(spec Spec, r int) (*pipeline.Result, error) {
 			InitialQueries: sampling.JoinQueries(e.QueryLists(spec.Rel, r)),
 		}
 	}
-	return pipeline.Run(opts)
+	return e.runPipeline(opts)
 }
 
 // afcRerankEvery batches A-FC's re-ranking: one re-rank per this many

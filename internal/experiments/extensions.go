@@ -85,7 +85,7 @@ func (e *Env) Estimation() (*Table, error) {
 		feat := ranking.NewFeaturizer()
 		ranker := ranking.NewRSVMIE(ranking.RSVMOptions{Seed: seed})
 		strat := pipeline.NewLearned(ranker, feat)
-		res, err := pipeline.Run(pipeline.Options{
+		res, err := e.runPipeline(pipeline.Options{
 			Rel: rel, Coll: coll, Labels: labels,
 			Sample:   sampling.SRS(coll, e.Cfg.SampleSize, seed),
 			Strategy: strat, Detector: update.NewModC(ranker, 0.1, 5, seed+5),
@@ -221,7 +221,7 @@ func (e *Env) Ablations() (*Table, error) {
 			if ranker.Name() == "BAgg-IE" {
 				alpha = 30
 			}
-			res, err := pipeline.Run(pipeline.Options{
+			res, err := e.runPipeline(pipeline.Options{
 				Rel: rel, Coll: coll, Labels: labels,
 				Sample:   sampling.SRS(coll, e.Cfg.SampleSize, seed),
 				Strategy: strat, Detector: update.NewModC(ranker, 0.1, alpha, seed+5),

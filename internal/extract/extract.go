@@ -8,6 +8,7 @@
 package extract
 
 import (
+	"context"
 	"sort"
 	"sync"
 	"time"
@@ -40,6 +41,35 @@ type Extractor interface {
 	Relation() relation.Relation
 	Extract(d *corpus.Document) []relation.Tuple
 	SimulatedCost() time.Duration
+}
+
+// ContextExtractor is the fault-aware extension of Extractor: extraction
+// that can be cancelled or time out, and that can fail. The resilience
+// layer (internal/pipeline) prefers this interface when the wrapped
+// system implements it; plain Extractors are treated as infallible and
+// non-blocking. See Flaky for the fault-injecting reference
+// implementation.
+type ContextExtractor interface {
+	Extractor
+	// ExtractContext extracts tuples from d, honouring ctx cancellation
+	// and deadlines. A nil error means the returned tuples are the
+	// system's final answer for d; an error means the attempt failed and
+	// yielded nothing.
+	ExtractContext(ctx context.Context, d *corpus.Document) ([]relation.Tuple, error)
+}
+
+// ExtractContext runs e on d through the fault-aware path when e
+// implements ContextExtractor, and falls back to the infallible Extract
+// otherwise (checking ctx once up front, so cancelled pipelines do not
+// start new work on legacy extractors).
+func ExtractContext(ctx context.Context, e Extractor, d *corpus.Document) ([]relation.Tuple, error) {
+	if ce, ok := e.(ContextExtractor); ok {
+		return ce.ExtractContext(ctx, d)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return e.Extract(d), nil
 }
 
 // Useful reports whether the extractor produces at least one tuple for d —

@@ -1,0 +1,226 @@
+package extract
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"adaptiverank/internal/corpus"
+	"adaptiverank/internal/relation"
+)
+
+// ErrInjected marks every transient failure produced by a Flaky wrapper,
+// so tests and the resilience layer can distinguish injected faults from
+// real ones with errors.Is.
+var ErrInjected = errors.New("extract: injected fault")
+
+// FlakyOptions configures the deterministic fault schedule of a Flaky
+// wrapper. All rates are probabilities in [0, 1], evaluated independently
+// per (document, attempt) from the seed alone, so two processes running
+// the same schedule over the same collection observe the same faults in
+// the same places — the property the fault-matrix tests and the
+// kill-and-resume smoke test rely on.
+type FlakyOptions struct {
+	// Seed drives the whole schedule; runs with equal seeds fault
+	// identically.
+	Seed int64
+	// ErrorRate is the per-attempt probability of a transient error.
+	ErrorRate float64
+	// PanicRate is the per-attempt probability of a panic (evaluated
+	// before ErrorRate; a faulting attempt panics or errors, never both).
+	PanicRate float64
+	// HangRate is the per-attempt probability of a hang: the attempt
+	// blocks until its context is cancelled (or HangDur elapses, so a
+	// context-free caller is not blocked forever).
+	HangRate float64
+	// HangDur bounds a hang when the context never fires (default 30s).
+	HangDur time.Duration
+	// LatencyRate is the per-attempt probability of a latency spike of
+	// Latency (the attempt then succeeds normally).
+	LatencyRate float64
+	// Latency is the spike duration (default 50ms). Setting
+	// LatencyRate to 1 turns the wrapper into a uniform per-document
+	// delay, which the CLI uses to stretch runs for the kill-and-resume
+	// smoke test.
+	Latency time.Duration
+	// PoisonRate is the per-document probability that every attempt for
+	// that document fails (a poisoned document: retries never help and
+	// the resilience layer must skip it).
+	PoisonRate float64
+	// MaxFaultyAttempts caps how many consecutive attempts on one
+	// document may fault (default 2): attempt MaxFaultyAttempts+1 always
+	// succeeds unless the document is poisoned, guaranteeing that
+	// bounded retry converges.
+	MaxFaultyAttempts int
+}
+
+func (o *FlakyOptions) defaults() {
+	if o.HangDur <= 0 {
+		o.HangDur = 30 * time.Second
+	}
+	if o.Latency <= 0 {
+		o.Latency = 50 * time.Millisecond
+	}
+	if o.MaxFaultyAttempts <= 0 {
+		o.MaxFaultyAttempts = 2
+	}
+}
+
+// Enabled reports whether the schedule can produce any fault or delay.
+func (o FlakyOptions) Enabled() bool {
+	return o.ErrorRate > 0 || o.PanicRate > 0 || o.HangRate > 0 ||
+		o.LatencyRate > 0 || o.PoisonRate > 0
+}
+
+// Flaky wraps an Extractor with a seeded, deterministic schedule of
+// transient errors, latency spikes, hangs, panics, and poisoned
+// documents. It is the adversary the fault-tolerance layer is tested
+// against: every failure mode a remote or crash-prone extraction backend
+// exhibits, reproduced exactly from a seed.
+//
+// Faults are keyed by (document, attempt): Flaky counts the attempts it
+// has seen per document, so a retrying caller walks a fixed fault
+// sequence and — for non-poisoned documents — always reaches a clean
+// attempt. ResetAttempts restores the initial state, as a process
+// restart would.
+type Flaky struct {
+	inner Extractor
+	opts  FlakyOptions
+
+	mu       sync.Mutex
+	attempts map[corpus.DocID]int
+}
+
+// NewFlaky wraps inner with the given fault schedule.
+func NewFlaky(inner Extractor, opts FlakyOptions) *Flaky {
+	opts.defaults()
+	return &Flaky{inner: inner, opts: opts, attempts: make(map[corpus.DocID]int)}
+}
+
+// Relation implements Extractor.
+func (f *Flaky) Relation() relation.Relation { return f.inner.Relation() }
+
+// SimulatedCost implements Extractor.
+func (f *Flaky) SimulatedCost() time.Duration { return f.inner.SimulatedCost() }
+
+// Extract implements Extractor for fault-unaware callers: injected
+// errors surface as "no tuples" and hangs are bounded by HangDur. The
+// fault-aware path is ExtractContext.
+func (f *Flaky) Extract(d *corpus.Document) []relation.Tuple {
+	ts, _ := f.ExtractContext(context.Background(), d)
+	return ts
+}
+
+// ExtractContext implements ContextExtractor, applying the fault
+// scheduled for this (document, attempt) pair before delegating to the
+// wrapped extractor.
+func (f *Flaky) ExtractContext(ctx context.Context, d *corpus.Document) ([]relation.Tuple, error) {
+	attempt := f.nextAttempt(d.ID)
+	switch f.fault(d.ID, attempt) {
+	case faultHang:
+		t := time.NewTimer(f.opts.HangDur)
+		defer t.Stop()
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-t.C:
+			return nil, fmt.Errorf("doc %d attempt %d: hang expired: %w", d.ID, attempt, ErrInjected)
+		}
+	case faultPanic:
+		panic(fmt.Sprintf("extract: injected panic on doc %d attempt %d", d.ID, attempt))
+	case faultError:
+		return nil, fmt.Errorf("doc %d attempt %d: %w", d.ID, attempt, ErrInjected)
+	case faultLatency:
+		t := time.NewTimer(f.opts.Latency)
+		defer t.Stop()
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-t.C:
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return ExtractContext(ctx, f.inner, d)
+}
+
+// ResetAttempts forgets the per-document attempt counters, restoring the
+// state a freshly started process would see.
+func (f *Flaky) ResetAttempts() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.attempts = make(map[corpus.DocID]int)
+}
+
+func (f *Flaky) nextAttempt(id corpus.DocID) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.attempts[id]++
+	return f.attempts[id]
+}
+
+type faultKind int
+
+const (
+	faultNone faultKind = iota
+	faultError
+	faultPanic
+	faultHang
+	faultLatency
+)
+
+// fault decides the fault for one (document, attempt) pair. Hard faults
+// (panic, error, hang) stop after MaxFaultyAttempts so retry converges;
+// poisoned documents fail on every attempt; latency spikes are harmless
+// and keep their schedule on all attempts.
+func (f *Flaky) fault(id corpus.DocID, attempt int) faultKind {
+	if f.Poisoned(id) {
+		if f.roll(id, attempt, "poison-kind") < f.opts.PanicRate/(f.opts.PanicRate+f.opts.ErrorRate+1e-12) {
+			return faultPanic
+		}
+		return faultError
+	}
+	if attempt <= f.opts.MaxFaultyAttempts {
+		if f.roll(id, attempt, "panic") < f.opts.PanicRate {
+			return faultPanic
+		}
+		if f.roll(id, attempt, "error") < f.opts.ErrorRate {
+			return faultError
+		}
+		if f.roll(id, attempt, "hang") < f.opts.HangRate {
+			return faultHang
+		}
+	}
+	if f.roll(id, attempt, "latency") < f.opts.LatencyRate {
+		return faultLatency
+	}
+	return faultNone
+}
+
+// Poisoned reports whether every attempt for id is scheduled to fail.
+func (f *Flaky) Poisoned(id corpus.DocID) bool {
+	return f.roll(id, 0, "poisoned") < f.opts.PoisonRate
+}
+
+// roll derives a uniform value in [0, 1) from (seed, doc, attempt, kind).
+func (f *Flaky) roll(id corpus.DocID, attempt int, kind string) float64 {
+	h := fnv.New64a()
+	var buf [20]byte
+	putInt64(buf[0:8], f.opts.Seed)
+	putInt64(buf[8:16], int64(id))
+	putInt64(buf[16:20], int64(attempt))
+	h.Write(buf[:])
+	h.Write([]byte(kind))
+	// 53 high-entropy bits -> [0, 1).
+	return float64(h.Sum64()>>11) / float64(1<<53)
+}
+
+func putInt64(b []byte, v int64) {
+	for i := range b {
+		b[i] = byte(v >> (8 * i))
+	}
+}

@@ -1,0 +1,170 @@
+package extract
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"adaptiverank/internal/corpus"
+	"adaptiverank/internal/relation"
+)
+
+// stubExtractor returns one fixed tuple for every document.
+type stubExtractor struct{}
+
+func (stubExtractor) Relation() relation.Relation  { return relation.PO }
+func (stubExtractor) SimulatedCost() time.Duration { return time.Millisecond }
+func (stubExtractor) Extract(d *corpus.Document) []relation.Tuple {
+	return []relation.Tuple{{Rel: relation.PO, Arg1: "a", Arg2: d.Title}}
+}
+
+func flakyDocs(n int) []*corpus.Document {
+	docs := make([]*corpus.Document, n)
+	for i := range docs {
+		docs[i] = &corpus.Document{ID: corpus.DocID(i), Title: "t", Text: "x"}
+	}
+	return docs
+}
+
+// attemptOutcome classifies one ExtractContext call for the determinism
+// comparison: ok, error, or panic.
+func attemptOutcome(f *Flaky, d *corpus.Document) (kind string) {
+	defer func() {
+		if recover() != nil {
+			kind = "panic"
+		}
+	}()
+	_, err := f.ExtractContext(context.Background(), d)
+	if err != nil {
+		return "error"
+	}
+	return "ok"
+}
+
+func TestFlakyDeterministicSchedule(t *testing.T) {
+	docs := flakyDocs(200)
+	opts := FlakyOptions{Seed: 11, ErrorRate: 0.2, PanicRate: 0.05, PoisonRate: 0.02}
+	run := func() []string {
+		f := NewFlaky(stubExtractor{}, opts)
+		var out []string
+		for _, d := range docs {
+			for a := 0; a < 3; a++ { // three attempts per doc
+				out = append(out, attemptOutcome(f, d))
+			}
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("outcome %d differs between identically seeded runs: %s vs %s", i, a[i], b[i])
+		}
+	}
+	// The schedule must actually produce some of each outcome.
+	counts := map[string]int{}
+	for _, k := range a {
+		counts[k]++
+	}
+	if counts["ok"] == 0 || counts["error"] == 0 || counts["panic"] == 0 {
+		t.Fatalf("schedule produced outcomes %v, want all three kinds", counts)
+	}
+
+	// A different seed must produce a different schedule.
+	opts2 := opts
+	opts2.Seed = 12
+	f2 := NewFlaky(stubExtractor{}, opts2)
+	diff := 0
+	i := 0
+	for _, d := range docs {
+		for a := 0; a < 3; a++ {
+			if attemptOutcome(f2, d) != b[i] {
+				diff++
+			}
+			i++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("seeds 11 and 12 produced identical schedules")
+	}
+}
+
+func TestFlakyRetryConverges(t *testing.T) {
+	// Non-poisoned documents must succeed within MaxFaultyAttempts+1
+	// attempts; poisoned documents must never succeed.
+	f := NewFlaky(stubExtractor{}, FlakyOptions{
+		Seed: 3, ErrorRate: 0.5, PanicRate: 0.1, PoisonRate: 0.05, MaxFaultyAttempts: 2,
+	})
+	poisoned, clean := 0, 0
+	for _, d := range flakyDocs(300) {
+		ok := false
+		for a := 0; a < 3; a++ {
+			if attemptOutcome(f, d) == "ok" {
+				ok = true
+				break
+			}
+		}
+		if f.Poisoned(d.ID) {
+			poisoned++
+			if ok {
+				t.Fatalf("poisoned doc %d succeeded", d.ID)
+			}
+		} else {
+			clean++
+			if !ok {
+				t.Fatalf("non-poisoned doc %d failed all %d attempts", d.ID, 3)
+			}
+		}
+	}
+	if poisoned == 0 || clean == 0 {
+		t.Fatalf("degenerate schedule: %d poisoned, %d clean", poisoned, clean)
+	}
+}
+
+func TestFlakyInjectedErrorsAreMarked(t *testing.T) {
+	f := NewFlaky(stubExtractor{}, FlakyOptions{Seed: 5, ErrorRate: 1})
+	_, err := f.ExtractContext(context.Background(), flakyDocs(1)[0])
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+}
+
+func TestFlakyHangHonoursContext(t *testing.T) {
+	f := NewFlaky(stubExtractor{}, FlakyOptions{Seed: 1, HangRate: 1, HangDur: time.Minute})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := f.ExtractContext(ctx, flakyDocs(1)[0])
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("hang outlived its context")
+	}
+}
+
+func TestFlakyLatencyDelaysThenSucceeds(t *testing.T) {
+	f := NewFlaky(stubExtractor{}, FlakyOptions{Seed: 1, LatencyRate: 1, Latency: 30 * time.Millisecond})
+	start := time.Now()
+	ts, err := f.ExtractContext(context.Background(), flakyDocs(1)[0])
+	if err != nil || len(ts) != 1 {
+		t.Fatalf("latency attempt: tuples=%v err=%v", ts, err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("latency spike not applied: took %v", d)
+	}
+}
+
+func TestFlakyResetAttemptsRestoresSchedule(t *testing.T) {
+	opts := FlakyOptions{Seed: 9, ErrorRate: 0.6}
+	f := NewFlaky(stubExtractor{}, opts)
+	d := flakyDocs(1)[0]
+	first := []string{attemptOutcome(f, d), attemptOutcome(f, d), attemptOutcome(f, d)}
+	f.ResetAttempts()
+	second := []string{attemptOutcome(f, d), attemptOutcome(f, d), attemptOutcome(f, d)}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("attempt %d differs after reset: %s vs %s", i, first[i], second[i])
+		}
+	}
+}

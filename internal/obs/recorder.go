@@ -58,6 +58,30 @@ const (
 	// value, Limit = configured threshold, N = ranked-document position).
 	// See watchdog.go.
 	KindAlert Kind = "alert"
+	// KindExtractFault reports one failed extraction attempt absorbed by
+	// the resilience layer (Doc, Name = fault class "error" | "panic" |
+	// "timeout", N = attempt number). See pipeline/resilient.go.
+	KindExtractFault Kind = "extract-fault"
+	// KindExtractRetry reports one scheduled retry after a fault (Doc,
+	// N = failed attempt number, Dur = backoff before the next attempt).
+	KindExtractRetry Kind = "extract-retry"
+	// KindBreaker reports a circuit-breaker state transition (Name = new
+	// state "open" | "half-open" | "closed", N = consecutive failures at
+	// the transition).
+	KindBreaker Kind = "breaker"
+	// KindDocSkipped reports a document permanently dropped from the run
+	// (Doc, Name = reason, e.g. "poisoned" or "requeue-limit").
+	KindDocSkipped Kind = "doc-skipped"
+	// KindDocRequeued reports a document pushed back to the end of the
+	// pending pool after a transient failure (Doc, N = requeue count).
+	KindDocRequeued Kind = "doc-requeued"
+	// KindWorkerPanic reports a panic recovered inside a pipeline worker
+	// (Doc, Name = site, e.g. "score" or "compute-labels").
+	KindWorkerPanic Kind = "worker-panic"
+	// KindCheckpoint reports run-journal progress (Name = journal path,
+	// N = recorded documents). Emitted once when a resumed run finishes
+	// replaying its journal.
+	KindCheckpoint Kind = "checkpoint"
 )
 
 // Attr is one typed span attribute: a key plus either a string or a

@@ -20,6 +20,12 @@ const (
 	// RuleStepLatency fires when the p99 of per-document step durations
 	// over the trailing window exceeds the ceiling.
 	RuleStepLatency = "step-latency-p99"
+	// RuleFaultRate fires when the fraction of extraction attempts that
+	// faulted (over the trailing window of attempt outcomes: one entry
+	// per extract-fault, one per successfully extracted document) exceeds
+	// the ceiling: the extractor backend is degrading and the retry layer
+	// is absorbing the damage.
+	RuleFaultRate = "extract-fault-rate"
 )
 
 // Alert is one SLO violation observed by the Watchdog, retained for the
@@ -61,6 +67,12 @@ type WatchdogOptions struct {
 	MaxStepP99 time.Duration
 	// LatencyWindow is the latency window in documents (default 200).
 	LatencyWindow int
+	// MaxFaultRate is the ceiling on the faulted fraction over the
+	// trailing FaultWindow extraction-attempt outcomes (0 disables).
+	MaxFaultRate float64
+	// FaultWindow is the fault-rate window in attempt outcomes
+	// (default 100).
+	FaultWindow int
 	// Cooldown is the minimum number of ranked documents between two
 	// alerts of the same rule (default: the rule's window), preventing
 	// a sustained violation from flooding the stream.
@@ -77,11 +89,15 @@ func (o *WatchdogOptions) defaults() {
 	if o.LatencyWindow <= 0 {
 		o.LatencyWindow = 200
 	}
+	if o.FaultWindow <= 0 {
+		o.FaultWindow = 100
+	}
 }
 
 // Enabled reports whether any rule is active.
 func (o WatchdogOptions) Enabled() bool {
-	return o.MinRecallSlope > 0 || o.MaxFireRate > 0 || o.MaxStepP99 > 0
+	return o.MinRecallSlope > 0 || o.MaxFireRate > 0 || o.MaxStepP99 > 0 ||
+		o.MaxFaultRate > 0
 }
 
 // Watchdog is a Recorder middleware that tails the live event stream,
@@ -101,6 +117,7 @@ type Watchdog struct {
 	useful    []bool
 	fired     []bool
 	lats      []time.Duration
+	faults    []bool
 	lastAlert map[string]int // rule -> docs position of its last alert
 	alerts    []Alert
 }
@@ -147,12 +164,14 @@ func (w *Watchdog) observe(e Event) []Alert {
 		w.useful = w.useful[:0]
 		w.fired = w.fired[:0]
 		w.lats = w.lats[:0]
+		w.faults = w.faults[:0]
 		w.lastAlert = make(map[string]int)
 		return nil
 	case KindDocExtracted:
 		w.docs++
 		w.useful = slide(w.useful, e.Useful, w.opts.RecallWindow)
 		w.lats = slide(w.lats, e.Dur, w.opts.LatencyWindow)
+		w.faults = slide(w.faults, false, w.opts.FaultWindow)
 		var out []Alert
 		if a := w.checkRecall(); a != nil {
 			out = append(out, *a)
@@ -160,7 +179,15 @@ func (w *Watchdog) observe(e Event) []Alert {
 		if a := w.checkLatency(); a != nil {
 			out = append(out, *a)
 		}
+		if a := w.checkFaultRate(); a != nil {
+			out = append(out, *a)
+		}
 		return out
+	case KindExtractFault:
+		w.faults = slide(w.faults, true, w.opts.FaultWindow)
+		if a := w.checkFaultRate(); a != nil {
+			return []Alert{*a}
+		}
 	case KindDetectorDecision:
 		w.fired = slide(w.fired, e.Fired, w.opts.FireWindow)
 		if a := w.checkFireRate(); a != nil {
@@ -236,6 +263,25 @@ func (w *Watchdog) checkLatency() *Alert {
 	return w.alert(RuleStepLatency, p99.Seconds(), w.opts.MaxStepP99.Seconds(), w.opts.LatencyWindow,
 		fmt.Sprintf("p99 step latency %v over last %d docs exceeds %v",
 			p99, len(w.lats), w.opts.MaxStepP99))
+}
+
+func (w *Watchdog) checkFaultRate() *Alert {
+	if w.opts.MaxFaultRate <= 0 || len(w.faults) < w.opts.FaultWindow {
+		return nil
+	}
+	n := 0
+	for _, f := range w.faults {
+		if f {
+			n++
+		}
+	}
+	rate := float64(n) / float64(len(w.faults))
+	if rate <= w.opts.MaxFaultRate {
+		return nil
+	}
+	return w.alert(RuleFaultRate, rate, w.opts.MaxFaultRate, w.opts.FaultWindow,
+		fmt.Sprintf("extraction faulted on %.0f%% of the last %d attempt outcomes (ceiling %.0f%%)",
+			rate*100, len(w.faults), w.opts.MaxFaultRate*100))
 }
 
 // alert records the violation unless the rule is still cooling down.

@@ -166,3 +166,41 @@ func TestWatchdogDisabledRulesAndNilNext(t *testing.T) {
 		t.Error("watchdog must work without a downstream recorder")
 	}
 }
+
+func TestWatchdogFaultRateRule(t *testing.T) {
+	mem := &MemRecorder{}
+	w := Watch(mem, WatchdogOptions{MaxFaultRate: 0.3, FaultWindow: 10})
+	w.Record(Event{Kind: KindRunStarted})
+
+	// 7 clean docs + 3 faults: rate 0.3 == ceiling, no alert yet.
+	feedDocs(w, 7, true, 0)
+	for i := 0; i < 3; i++ {
+		w.Record(Event{Kind: KindExtractFault, Doc: int64(i), Name: "error"})
+	}
+	if n := len(w.Alerts()); n != 0 {
+		t.Fatalf("alerts at rate == ceiling = %d, want 0", n)
+	}
+	// One more fault slides a clean outcome out: rate 0.4 > 0.3.
+	w.Record(Event{Kind: KindExtractFault, Doc: 9, Name: "panic"})
+	alerts := w.Alerts()
+	if len(alerts) != 1 {
+		t.Fatalf("alerts = %d, want 1", len(alerts))
+	}
+	a := alerts[0]
+	if a.Rule != RuleFaultRate || a.Threshold != 0.3 {
+		t.Errorf("alert fields wrong: %+v", a)
+	}
+	if a.Value <= 0.3 || a.Value > 1 {
+		t.Errorf("alert value = %v, want in (0.3, 1]", a.Value)
+	}
+	if evs := alertEvents(mem); len(evs) != 1 || evs[0].Name != RuleFaultRate {
+		t.Errorf("downstream alert events wrong: %+v", evs)
+	}
+
+	// A run of clean extractions flushes the faults out of the window
+	// (and the cooldown keyed on doc position expires): healthy again.
+	feedDocs(w, 20, true, 0)
+	if n := len(w.Alerts()); n != 1 {
+		t.Fatalf("alerts after recovery = %d, want still 1", n)
+	}
+}

@@ -1,0 +1,493 @@
+package pipeline
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+
+	"adaptiverank/internal/corpus"
+	"adaptiverank/internal/relation"
+)
+
+// journalVersion is bumped when the record format changes incompatibly.
+const journalVersion = 1
+
+// ErrResumeDiverged marks a resumed run whose replayed model state does
+// not match the journal's snapshot: the result would silently differ
+// from the interrupted run, so the pipeline aborts instead.
+var ErrResumeDiverged = errors.New("pipeline: resume diverged")
+
+// journalRecord is the JSONL wire format of one run-journal line. The
+// journal is an append-only account of everything a run learned the hard
+// way — per-document extraction outcomes, permanent skips, and model
+// snapshots at updates — written record-at-a-time so a SIGKILL at any
+// instant loses at most the final, partially written line (which the
+// lenient loader drops, mirroring obs.ReadEventsPartial).
+type journalRecord struct {
+	// Kind is "header", "doc", "skip", or "snap".
+	Kind string `json:"kind"`
+	// V and FP are carried by the header: format version and the run
+	// fingerprint the journal belongs to.
+	V  int    `json:"v,omitempty"`
+	FP string `json:"fp,omitempty"`
+	// Doc, Useful, and Tuples describe one extraction outcome ("doc"),
+	// or the skipped document and reason ("skip").
+	Doc    int64          `json:"doc,omitempty"`
+	Useful bool           `json:"useful,omitempty"`
+	Tuples []journalTuple `json:"tuples,omitempty"`
+	Reason string         `json:"reason,omitempty"`
+	// Pos, NNZ, and Sum describe one model snapshot ("snap"): the
+	// ranked-document position of the update, the model support size,
+	// and an order-independent hash of the weight vector.
+	Pos int    `json:"pos,omitempty"`
+	NNZ int    `json:"nnz,omitempty"`
+	Sum uint64 `json:"csum,omitempty"`
+}
+
+type journalTuple struct {
+	Rel  string `json:"rel"`
+	Arg1 string `json:"a1"`
+	Arg2 string `json:"a2"`
+}
+
+func toJournalTuples(ts []relation.Tuple) []journalTuple {
+	if len(ts) == 0 {
+		return nil
+	}
+	out := make([]journalTuple, len(ts))
+	for i, t := range ts {
+		out[i] = journalTuple{Rel: t.Rel.Code(), Arg1: t.Arg1, Arg2: t.Arg2}
+	}
+	return out
+}
+
+func fromJournalTuples(ts []journalTuple) ([]relation.Tuple, error) {
+	if len(ts) == 0 {
+		return nil, nil
+	}
+	out := make([]relation.Tuple, len(ts))
+	for i, t := range ts {
+		rel, err := relation.Parse(t.Rel)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = relation.Tuple{Rel: rel, Arg1: t.Arg1, Arg2: t.Arg2}
+	}
+	return out, nil
+}
+
+// JournalEntry is the recorded final outcome for one document.
+type JournalEntry struct {
+	// Useful and Tuples are the extraction outcome (Skipped == false).
+	Useful bool
+	Tuples []relation.Tuple
+	// Skipped marks a document the run permanently dropped, with the
+	// reason ("poisoned", "requeue-limit", ...).
+	Skipped bool
+	Reason  string
+}
+
+type snapshotRecord struct {
+	NNZ int
+	Sum uint64
+}
+
+// Journal is the crash-safe run journal backing -checkpoint/-resume.
+// Every Record* call appends one JSON line and flushes it to the kernel
+// before returning, so a killed process loses at most the line being
+// written. Records are deduplicated per document: replaying a resumed
+// run over already-journaled documents appends nothing.
+//
+// All methods are safe on a nil *Journal (they no-op), so the pipeline
+// can thread an optional journal without nil checks, in the style of
+// obs.Registry.
+type Journal struct {
+	mu    sync.Mutex
+	f     *os.File
+	w     *bufio.Writer
+	docs  map[corpus.DocID]JournalEntry
+	snaps map[int]snapshotRecord
+	// checked marks snapshot positions that this session recorded or
+	// verified via CheckSnapshot: a completed resume that leaves loaded
+	// snapshots unchecked took a different path than the original run.
+	checked map[int]bool
+	path    string
+	err     error
+}
+
+// CreateJournal creates (truncating) a fresh journal at path for the run
+// identified by fingerprint.
+func CreateJournal(path, fingerprint string) (*Journal, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: create journal: %w", err)
+	}
+	j := &Journal{
+		f: f, w: bufio.NewWriter(f), path: path,
+		docs:    make(map[corpus.DocID]JournalEntry),
+		snaps:   make(map[int]snapshotRecord),
+		checked: make(map[int]bool),
+	}
+	if err := j.append(journalRecord{Kind: "header", V: journalVersion, FP: fingerprint}); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// OpenJournal opens the journal at path for resuming: existing records
+// are loaded leniently (a truncated final line — the signature of a
+// killed writer — is dropped and the file is repaired by truncating to
+// the last complete record), the header fingerprint is validated against
+// the resuming run's, and the file is positioned for appending. A
+// missing file starts a fresh journal, so -resume also works on the
+// first run.
+func OpenJournal(path, fingerprint string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if os.IsNotExist(err) {
+		return CreateJournal(path, fingerprint)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: open journal: %w", err)
+	}
+	j := &Journal{
+		f: f, path: path,
+		docs:    make(map[corpus.DocID]JournalEntry),
+		snaps:   make(map[int]snapshotRecord),
+		checked: make(map[int]bool),
+	}
+	goodEnd, err := j.load(fingerprint)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	// Repair a torn tail before appending: anything past the last
+	// complete record is the debris of the killed write.
+	if err := f.Truncate(goodEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("pipeline: repair journal tail: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("pipeline: seek journal: %w", err)
+	}
+	j.w = bufio.NewWriter(f)
+	return j, nil
+}
+
+// load parses the journal leniently and returns the byte offset just
+// past the last complete record. A malformed or kind-less final line is
+// truncation and is dropped; a malformed record with complete records
+// after it is corruption and is an error.
+func (j *Journal) load(fingerprint string) (int64, error) {
+	data, err := io.ReadAll(j.f)
+	if err != nil {
+		return 0, fmt.Errorf("pipeline: read journal: %w", err)
+	}
+	var (
+		offset     int64
+		goodEnd    int64
+		pendingErr error
+		line       int
+		sawHeader  bool
+	)
+	for len(data) > 0 {
+		line++
+		raw := data
+		consumed := len(data)
+		if i := bytes.IndexByte(data, '\n'); i >= 0 {
+			raw = data[:i]
+			consumed = i + 1
+		}
+		data = data[consumed:]
+		offset += int64(consumed)
+		if len(raw) > 0 && raw[len(raw)-1] == '\r' {
+			raw = raw[:len(raw)-1]
+		}
+		if len(raw) == 0 {
+			goodEnd = offset
+			continue
+		}
+		if pendingErr != nil {
+			return 0, pendingErr // complete records follow a bad one
+		}
+		var r journalRecord
+		if err := json.Unmarshal(raw, &r); err != nil {
+			pendingErr = fmt.Errorf("pipeline: journal record %d: %w", line, err)
+			continue
+		}
+		if r.Kind == "" {
+			pendingErr = fmt.Errorf("pipeline: journal record %d: missing kind", line)
+			continue
+		}
+		if !sawHeader {
+			if r.Kind != "header" {
+				return 0, fmt.Errorf("pipeline: journal record %d: want header, got %q", line, r.Kind)
+			}
+			if r.V != journalVersion {
+				return 0, fmt.Errorf("pipeline: journal version %d, want %d", r.V, journalVersion)
+			}
+			if r.FP != fingerprint {
+				return 0, fmt.Errorf("pipeline: journal fingerprint mismatch: journal is for %q, run is %q", r.FP, fingerprint)
+			}
+			sawHeader = true
+			goodEnd = offset
+			continue
+		}
+		switch r.Kind {
+		case "doc":
+			ts, err := fromJournalTuples(r.Tuples)
+			if err != nil {
+				pendingErr = fmt.Errorf("pipeline: journal record %d: %w", line, err)
+				continue
+			}
+			j.docs[corpus.DocID(r.Doc)] = JournalEntry{Useful: r.Useful, Tuples: ts}
+		case "skip":
+			j.docs[corpus.DocID(r.Doc)] = JournalEntry{Skipped: true, Reason: r.Reason}
+		case "snap":
+			j.snaps[r.Pos] = snapshotRecord{NNZ: r.NNZ, Sum: r.Sum}
+		default:
+			// Unknown record kinds from a newer writer are skipped, not
+			// fatal: the journal only ever gains record kinds.
+		}
+		goodEnd = offset
+	}
+	if !sawHeader {
+		if pendingErr != nil || line > 0 {
+			// Only a torn header line (or nothing valid at all): the
+			// journal recorded no work; restart it from scratch.
+			return 0, fmt.Errorf("pipeline: journal has no complete header (torn first write?): delete %s to start over", j.path)
+		}
+		// Empty file: write a fresh header.
+		if _, err := j.f.Seek(0, io.SeekStart); err != nil {
+			return 0, fmt.Errorf("pipeline: seek journal: %w", err)
+		}
+		j.w = bufio.NewWriter(j.f)
+		if err := j.append(journalRecord{Kind: "header", V: journalVersion, FP: fingerprint}); err != nil {
+			return 0, err
+		}
+		end, err := j.f.Seek(0, io.SeekCurrent)
+		if err != nil {
+			return 0, fmt.Errorf("pipeline: seek journal: %w", err)
+		}
+		return end, nil
+	}
+	// pendingErr on the final line is truncation: drop the partial record.
+	return goodEnd, nil
+}
+
+// append encodes one record and flushes it through to the kernel.
+func (j *Journal) append(r journalRecord) error {
+	if j.err != nil {
+		return j.err
+	}
+	b, err := json.Marshal(r)
+	if err == nil {
+		b = append(b, '\n')
+		_, err = j.w.Write(b)
+	}
+	if err == nil {
+		err = j.w.Flush()
+	}
+	if err != nil {
+		j.err = fmt.Errorf("pipeline: write journal: %w", err)
+	}
+	return j.err
+}
+
+// Lookup returns the recorded outcome for id, if any.
+func (j *Journal) Lookup(id corpus.DocID) (JournalEntry, bool) {
+	if j == nil {
+		return JournalEntry{}, false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	e, ok := j.docs[id]
+	return e, ok
+}
+
+// RecordDoc journals one extraction outcome. Re-recording a document
+// (the replay path of a resumed run) is a no-op.
+func (j *Journal) RecordDoc(id corpus.DocID, useful bool, tuples []relation.Tuple) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, ok := j.docs[id]; ok {
+		return
+	}
+	j.docs[id] = JournalEntry{Useful: useful, Tuples: tuples}
+	j.append(journalRecord{Kind: "doc", Doc: int64(id), Useful: useful, Tuples: toJournalTuples(tuples)})
+}
+
+// RecordSkip journals one permanently dropped document.
+func (j *Journal) RecordSkip(id corpus.DocID, reason string) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, ok := j.docs[id]; ok {
+		return
+	}
+	j.docs[id] = JournalEntry{Skipped: true, Reason: reason}
+	j.append(journalRecord{Kind: "skip", Doc: int64(id), Reason: reason})
+}
+
+// CheckSnapshot journals a model snapshot at a ranked-document position,
+// or — when the position was already journaled by the interrupted run —
+// verifies the replayed model against it. A mismatch means the resumed
+// run diverged from the original (different code, corpus, or fault
+// outcomes) and the result would silently differ; the pipeline aborts
+// instead.
+func (j *Journal) CheckSnapshot(pos, nnz int, sum uint64) error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if prev, ok := j.snaps[pos]; ok {
+		if prev.NNZ != nnz || prev.Sum != sum {
+			return fmt.Errorf("%w at position %d: journal snapshot nnz=%d csum=%x, replay nnz=%d csum=%x",
+				ErrResumeDiverged, pos, prev.NNZ, prev.Sum, nnz, sum)
+		}
+		j.checked[pos] = true
+		return nil
+	}
+	j.snaps[pos] = snapshotRecord{NNZ: nnz, Sum: sum}
+	j.checked[pos] = true
+	return j.append(journalRecord{Kind: "snap", Pos: pos, NNZ: nnz, Sum: sum})
+}
+
+// UncheckedSnapshots returns journaled snapshot positions at or below
+// maxPos that this session neither verified nor recorded: a completed
+// resume that skipped past one updated its model at different positions
+// than the interrupted run, which is divergence even if no colliding
+// snapshot caught it.
+func (j *Journal) UncheckedSnapshots(maxPos int) []int {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var out []int
+	for pos := range j.snaps {
+		if pos <= maxPos && !j.checked[pos] {
+			out = append(out, pos)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Entries reports how many documents the journal has outcomes for.
+func (j *Journal) Entries() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.docs)
+}
+
+// Path returns the journal's file path ("" on a nil journal).
+func (j *Journal) Path() string {
+	if j == nil {
+		return ""
+	}
+	return j.path
+}
+
+// Err returns the first write error, if any.
+func (j *Journal) Err() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Close syncs the journal to stable storage and closes the file.
+// Repeated calls are no-ops.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return j.err
+	}
+	err := j.err
+	if ferr := j.w.Flush(); err == nil && ferr != nil {
+		err = fmt.Errorf("pipeline: flush journal: %w", ferr)
+	}
+	if serr := j.f.Sync(); err == nil && serr != nil {
+		err = fmt.Errorf("pipeline: sync journal: %w", serr)
+	}
+	if cerr := j.f.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("pipeline: close journal: %w", cerr)
+	}
+	j.f = nil
+	return err
+}
+
+// SaveLabels persists precomputed oracle labels as a journal file (the
+// same header + doc-record format the run journal uses), so expensive
+// whole-collection label computations survive process restarts — the
+// experiments suite's checkpoint.
+func SaveLabels(path, fingerprint string, l *Labels) error {
+	j, err := CreateJournal(path, fingerprint)
+	if err != nil {
+		return err
+	}
+	for id := 0; id < l.Len(); id++ {
+		did := corpus.DocID(id)
+		if l.Useful(did) {
+			j.RecordDoc(did, true, l.Tuples(did))
+		}
+	}
+	return j.Close()
+}
+
+// LoadLabels restores labels saved by SaveLabels, validating the
+// fingerprint. Documents without a journal record are useless (only
+// useful documents are persisted); collLen sizes the label table. A
+// missing file is an error — unlike a -resume journal, a label cache
+// must never silently start empty, or every document would read as
+// useless.
+func LoadLabels(path, fingerprint string, rel relation.Relation, collLen int) (*Labels, error) {
+	if _, err := os.Stat(path); err != nil {
+		return nil, fmt.Errorf("pipeline: load labels: %w", err)
+	}
+	j, err := OpenJournal(path, fingerprint)
+	if err != nil {
+		return nil, err
+	}
+	defer j.Close()
+	l := &Labels{
+		rel:    rel,
+		useful: make([]bool, collLen),
+		tuples: make(map[corpus.DocID][]relation.Tuple),
+	}
+	for id, e := range j.docs {
+		if e.Skipped || !e.Useful {
+			continue
+		}
+		if int(id) < 0 || int(id) >= collLen {
+			return nil, fmt.Errorf("pipeline: label journal doc %d out of range [0,%d)", id, collLen)
+		}
+		l.useful[id] = true
+		l.tuples[id] = e.Tuples
+		l.numUseful++
+	}
+	return l, nil
+}

@@ -6,6 +6,8 @@
 package pipeline
 
 import (
+	"context"
+	"fmt"
 	"runtime"
 	"sync"
 
@@ -43,7 +45,22 @@ type Labels struct {
 // ComputeLabels runs the extraction system over every document. Documents
 // are processed in parallel: the built-in extractors are read-only at
 // inference time, and each document is handled by exactly one goroutine.
+// It panics if the extractor fails on any document; use
+// ComputeLabelsContext for the error-returning, cancellable form.
 func ComputeLabels(e extract.Extractor, coll *corpus.Collection) *Labels {
+	l, err := ComputeLabelsContext(context.Background(), e, coll)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// ComputeLabelsContext is ComputeLabels with cancellation and fault
+// attribution: a panic inside the extractor is recovered in the worker
+// goroutine (where it would otherwise kill the whole process) and
+// reported as an error naming the offending document; cancelling ctx
+// stops the remaining work and returns ctx.Err().
+func ComputeLabelsContext(ctx context.Context, e extract.Extractor, coll *corpus.Collection) (*Labels, error) {
 	l := &Labels{
 		rel:    e.Relation(),
 		useful: make([]bool, coll.Len()),
@@ -51,12 +68,21 @@ func ComputeLabels(e extract.Extractor, coll *corpus.Collection) *Labels {
 	}
 	docs := coll.Docs()
 	results := make([][]relation.Tuple, len(docs))
+	errs := make([]error, len(docs))
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(docs) {
 		workers = len(docs)
 	}
 	if workers < 1 {
 		workers = 1
+	}
+	extractOne := func(i int) (ts []relation.Tuple, err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				ts, err = nil, fmt.Errorf("pipeline: extractor panicked on doc %d: %v", docs[i].ID, p)
+			}
+		}()
+		return extract.ExtractContext(ctx, e, docs[i])
 	}
 	var wg sync.WaitGroup
 	chunk := (len(docs) + workers - 1) / workers
@@ -72,11 +98,23 @@ func ComputeLabels(e extract.Extractor, coll *corpus.Collection) *Labels {
 		go func(lo, hi int) {
 			defer wg.Done()
 			for i := lo; i < hi; i++ {
-				results[i] = e.Extract(docs[i])
+				if ctx.Err() != nil {
+					errs[i] = ctx.Err()
+					return
+				}
+				results[i], errs[i] = extractOne(i)
 			}
 		}(lo, hi)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: labelling doc %d: %w", docs[i].ID, err)
+		}
+	}
 	for i, ts := range results {
 		if len(ts) > 0 {
 			id := docs[i].ID
@@ -85,7 +123,7 @@ func ComputeLabels(e extract.Extractor, coll *corpus.Collection) *Labels {
 			l.numUseful++
 		}
 	}
-	return l
+	return l, nil
 }
 
 // Useful reports the oracle usefulness of a document.

@@ -1,7 +1,10 @@
 package pipeline
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -90,6 +93,16 @@ type Options struct {
 	// event trace. The default is the no-op recorder, which keeps the
 	// per-document path allocation-free.
 	Recorder obs.Recorder
+	// Journal, when non-nil, makes the run crash-safe: every labelling
+	// outcome is appended (and flushed) before the document affects the
+	// model, and on resume journaled outcomes short-circuit extraction.
+	// Because the rest of the pipeline is deterministic given the same
+	// oracle answers, a resumed run reproduces the interrupted one
+	// exactly; model snapshots recorded at each update verify that.
+	Journal *Journal
+	// RequeueLimit caps how many times one document is requeued after a
+	// breaker-open fast-fail before it is skipped instead (default 3).
+	RequeueLimit int
 }
 
 // ChurnRecord reports the feature turnover of one model update.
@@ -134,6 +147,20 @@ type Result struct {
 	// PoolSize is the final pending-pool size (differs from len(Order)
 	// in the search-interface scenario or with MaxDocs).
 	PoolSize int
+	// Tuples are the distinct tuples discovered, in discovery order
+	// (sample first, then the ranked phase).
+	Tuples []relation.Tuple
+	// Skipped lists documents abandoned by the resilience policy:
+	// poisoned (every attempt failed) or over the requeue limit. They are
+	// excluded from Order and the quality metrics.
+	Skipped []corpus.DocID
+	// Requeued counts breaker-open fast-fails that sent a document back
+	// to the end of the pending pool.
+	Requeued int
+	// Interrupted reports that the run stopped early because its context
+	// was cancelled (signal or timeout). The partial result — including
+	// any journal written so far — is valid and resumable.
+	Interrupted bool
 	// DetectorObservations counts detector invocations, and
 	// DetectorTime their total measured cost (Table 3).
 	DetectorObservations int
@@ -154,11 +181,26 @@ type unlabeledPrimer interface {
 
 // Run executes the Figure 2 loop and returns the instrumented result.
 func Run(opts Options) (*Result, error) {
+	return RunContext(context.Background(), opts)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled the loop
+// drains gracefully — the in-flight document finishes (or aborts), the
+// journal and trace stay flushed, and the partial result is returned
+// with Interrupted set rather than an error, so callers can checkpoint
+// what was done.
+func RunContext(ctx context.Context, opts Options) (*Result, error) {
 	if opts.Coll == nil || opts.Labels == nil || opts.Strategy == nil {
 		return nil, fmt.Errorf("pipeline: Coll, Labels, and Strategy are required")
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if opts.SearchIface != nil {
 		opts.SearchIface.defaults()
+	}
+	if opts.RequeueLimit <= 0 {
+		opts.RequeueLimit = 3
 	}
 	res := &Result{Strategy: opts.Strategy.Name()}
 	if opts.ExtractionCost == 0 {
@@ -180,6 +222,9 @@ func Run(opts Options) (*Result, error) {
 		}
 		if in, ok := opts.Detector.(obs.Instrumentable); ok {
 			in.Instrument(reg, rec)
+		}
+		if in, ok := opts.Labels.(obs.Instrumentable); ok {
+			in.Instrument(reg, rec) // e.g. a Resilient live-extraction oracle
 		}
 	}
 	// Span tracing: tr is nil when the recorder is disabled, and every
@@ -223,13 +268,157 @@ func Run(opts Options) (*Result, error) {
 	spRun := tr.Start("run").SetAttr("strategy", opts.Strategy.Name()).
 		SetNum("collection", float64(opts.Coll.Len()))
 
+	// pending/cursor are declared ahead of the epilogue closure so an
+	// interrupted run can share the same exit path as a completed one.
+	var pending []*corpus.Document
+	cursor := 0
+
+	// epilogue computes the quality metrics, flushes the aggregate phase
+	// events, and closes the trace. Every exit path — completion,
+	// MaxDocs, cancellation — funnels through it so partial results are
+	// always fully accounted.
+	epilogue := func() (*Result, error) {
+		res.PoolSize = len(res.Order) + (len(pending) - cursor)
+		if total, known := opts.Labels.TotalUseful(); known && !res.Interrupted {
+			if denom := total - res.SampleUseful; denom <= 0 {
+				// Degenerate corner: the sample already covered every useful
+				// document; any order of the (useless) rest is perfect.
+				res.Curve = make([]float64, 101)
+				for i := range res.Curve {
+					res.Curve[i] = 1
+				}
+				res.AP, res.AUC = 1, 0.5
+			} else {
+				res.Curve = metrics.RecallCurve(res.OrderLabels, denom)
+				res.AP = metrics.AveragePrecision(res.OrderLabels)
+				res.AUC = metrics.AUC(res.OrderLabels)
+			}
+		}
+		reg.Gauge("pipeline.pool_size").Set(float64(res.PoolSize))
+		res.Time.Record(reg)
+		if rec.Enabled() {
+			if accObserve > 0 {
+				rec.Record(obs.Event{Kind: obs.KindPhase, Name: "strategy-observe", Dur: accObserve})
+			}
+			if accDetect > 0 {
+				rec.Record(obs.Event{Kind: obs.KindPhase, Name: "detection", Dur: accDetect})
+			}
+			if opts.Journal != nil {
+				rec.Record(obs.Event{Kind: obs.KindCheckpoint,
+					Name: opts.Journal.Path(), N: opts.Journal.Entries()})
+			}
+			nUseful := 0
+			for _, u := range res.OrderLabels {
+				if u {
+					nUseful++
+				}
+			}
+			sp := spRun.SetNum("docs", float64(len(res.Order))).
+				SetNum("useful", float64(nUseful))
+			if res.Interrupted {
+				sp.SetAttr("interrupted", "true")
+			}
+			sp.End()
+			rec.Record(obs.Event{Kind: obs.KindRunFinished, N: len(res.Order), Dur: res.Time.Total()})
+		}
+		if err := opts.Journal.Err(); err != nil {
+			return res, fmt.Errorf("pipeline: journal write failed: %w", err)
+		}
+		// A completed resume must have reproduced every journaled model
+		// snapshot it passed; skipping one means the replay updated its
+		// model at different positions than the interrupted run.
+		if !res.Interrupted {
+			if ps := opts.Journal.UncheckedSnapshots(len(res.Order)); len(ps) > 0 {
+				return res, fmt.Errorf("%w: journal snapshots at positions %v never reproduced",
+					ErrResumeDiverged, ps)
+			}
+		}
+		return res, nil
+	}
+
+	// --- Fault-tolerant labelling -------------------------------------
+	// labelDoc is the single path every extraction outcome flows through:
+	// journal replay first, then the (possibly resilient) live oracle.
+	// Successful outcomes are journaled — and flushed — before they can
+	// affect the model, so a crash never loses acknowledged work.
+	const (
+		outcomeOK = iota
+		outcomeSkip
+		outcomeRequeue
+		outcomeCancelled
+	)
+	cSkipped := reg.Counter("pipeline.docs_skipped")
+	cRequeued := reg.Counter("pipeline.docs_requeued")
+	seenTuples := make(map[relation.Tuple]bool)
+	collect := func(tuples []relation.Tuple) {
+		for _, t := range tuples {
+			if !seenTuples[t] {
+				seenTuples[t] = true
+				res.Tuples = append(res.Tuples, t)
+			}
+		}
+	}
+	markSkipped := func(id corpus.DocID, reason string) {
+		// RecordSkip dedupes, so re-marking a journal-replayed skip is a
+		// no-op on disk.
+		opts.Journal.RecordSkip(id, reason)
+		res.Skipped = append(res.Skipped, id)
+		cSkipped.Inc()
+		if rec.Enabled() {
+			rec.Record(obs.Event{Kind: obs.KindDocSkipped, Doc: int64(id), Name: reason})
+		}
+	}
+	labelDoc := func(d *corpus.Document) (LabeledDoc, int, string) {
+		if e, ok := opts.Journal.Lookup(d.ID); ok {
+			if e.Skipped {
+				return LabeledDoc{Doc: d}, outcomeSkip, e.Reason
+			}
+			return LabeledDoc{Doc: d, Useful: e.Useful, Tuples: e.Tuples}, outcomeOK, ""
+		}
+		useful, tuples, err := labelWithContext(ctx, opts.Labels, d)
+		if err == nil {
+			opts.Journal.RecordDoc(d.ID, useful, tuples)
+			return LabeledDoc{Doc: d, Useful: useful, Tuples: tuples}, outcomeOK, ""
+		}
+		if ctx.Err() != nil {
+			return LabeledDoc{Doc: d}, outcomeCancelled, ""
+		}
+		if errors.Is(err, ErrBreakerOpen) {
+			return LabeledDoc{Doc: d}, outcomeRequeue, ""
+		}
+		reason := "poisoned"
+		if !errors.Is(err, ErrDocPoisoned) {
+			reason = "error"
+		}
+		return LabeledDoc{Doc: d}, outcomeSkip, reason
+	}
+
 	// --- Initial sampling & labelling -------------------------------
 	spSample := tr.Start("sample")
 	sample := make([]LabeledDoc, 0, len(opts.Sample))
 	processed := make(map[corpus.DocID]bool, opts.Coll.Len())
 	for _, d := range opts.Sample {
-		useful, tuples := opts.Labels.Label(d)
-		ld := LabeledDoc{Doc: d, Useful: useful, Tuples: tuples}
+		ld, outcome, reason := labelDoc(d)
+		switch outcome {
+		case outcomeCancelled:
+			res.Interrupted = true
+			spSample.SetNum("docs", float64(res.SampleSize)).End()
+			return epilogue()
+		case outcomeSkip, outcomeRequeue:
+			// The sample is an unordered batch, so a breaker-open
+			// fast-fail is a skip here too: there is no "later" position
+			// to requeue to before initial training needs the doc.
+			if outcome == outcomeRequeue {
+				reason = "breaker-open"
+			}
+			if !processed[d.ID] {
+				processed[d.ID] = true
+				markSkipped(d.ID, reason)
+			}
+			continue
+		}
+		// Duplicates (sampling with replacement) train with their
+		// multiplicity but are counted and costed once.
 		sample = append(sample, ld)
 		if processed[d.ID] {
 			continue
@@ -239,6 +428,7 @@ func Run(opts Options) (*Result, error) {
 		if ld.Useful {
 			res.SampleUseful++
 		}
+		collect(ld.Tuples)
 		res.Time.Extraction += opts.ExtractionCost
 		cSample.Inc()
 		if rec.Enabled() {
@@ -291,7 +481,6 @@ func Run(opts Options) (*Result, error) {
 	}
 
 	// --- Build the pending pool --------------------------------------
-	var pending []*corpus.Document
 	if opts.SearchIface == nil {
 		for _, d := range opts.Coll.Docs() {
 			if !processed[d.ID] {
@@ -323,6 +512,24 @@ func Run(opts Options) (*Result, error) {
 	if workers < 1 {
 		workers = 1
 	}
+	// score wraps Strategy.Score with panic recovery so one bad feature
+	// vector cannot take down a worker goroutine (which would crash the
+	// whole process): the document is attributed, counted, and ranked
+	// last instead.
+	cWorkerPanics := reg.Counter("pipeline.worker_panics")
+	score := func(d *corpus.Document) (s float64) {
+		defer func() {
+			if p := recover(); p != nil {
+				s = math.Inf(-1)
+				cWorkerPanics.Inc()
+				if rec.Enabled() {
+					rec.Record(obs.Event{Kind: obs.KindWorkerPanic,
+						Doc: int64(d.ID), Name: "score"})
+				}
+			}
+		}()
+		return opts.Strategy.Score(d)
+	}
 	rank := func() {
 		spRank := tr.Start("rank")
 		if rec.Enabled() {
@@ -331,7 +538,10 @@ func Run(opts Options) (*Result, error) {
 		t := time.Now()
 		if workers == 1 || len(pending) < 256 {
 			for _, d := range pending {
-				scores[d.ID] = opts.Strategy.Score(d)
+				if ctx.Err() != nil {
+					break // cancelled: the main loop exits right after
+				}
+				scores[d.ID] = score(d)
 			}
 		} else {
 			out := make([]float64, len(pending))
@@ -350,7 +560,10 @@ func Run(opts Options) (*Result, error) {
 				go func(lo, hi int) {
 					defer wg.Done()
 					for i := lo; i < hi; i++ {
-						out[i] = opts.Strategy.Score(pending[i])
+						if ctx.Err() != nil {
+							return // cancelled: drain this worker early
+						}
+						out[i] = score(pending[i])
 					}
 				}(lo, hi)
 			}
@@ -388,16 +601,43 @@ func Run(opts Options) (*Result, error) {
 	}
 	prevSupport := modelSupport()
 
+	// modelHash is an order-independent fingerprint of the model weights
+	// (XOR-combined per-feature hashes: Weights.Range order must not
+	// matter). Snapshots recorded in the journal at each update verify
+	// that a resumed run's model evolves identically to the original.
+	modelHash := func() (nnz int, sum uint64, ok bool) {
+		m, k := opts.Strategy.(Modeler)
+		if !k || m.Model() == nil {
+			return 0, 0, false
+		}
+		w := m.Model()
+		w.Range(func(i int32, v float64) {
+			h := uint64(i)*0x9e3779b97f4a7c15 ^ math.Float64bits(v)
+			// splitmix64 finalizer: decorrelate before XOR-combining.
+			h ^= h >> 30
+			h *= 0xbf58476d1ce4e5b9
+			h ^= h >> 27
+			h *= 0x94d049bb133111eb
+			h ^= h >> 31
+			sum ^= h
+		})
+		return w.NNZ(), sum, true
+	}
+
 	// --- Extraction loop ----------------------------------------------
 	// Batch spans group the documents processed between two consecutive
 	// (re-)rankings; doc spans nest under them, giving the trace its
 	// run -> batch -> doc causal spine.
 	var buffer []LabeledDoc
-	cursor := 0
 	batchDocs := 0
+	requeues := make(map[corpus.DocID]int)
 	spBatch := tr.Start("batch")
 	for cursor < len(pending) {
 		if opts.MaxDocs > 0 && len(res.Order) >= opts.MaxDocs {
+			break
+		}
+		if ctx.Err() != nil {
+			res.Interrupted = true
 			break
 		}
 		d := pending[cursor]
@@ -405,14 +645,42 @@ func Run(opts Options) (*Result, error) {
 		if processed[d.ID] {
 			continue // duplicates can enter via search-interface growth
 		}
+
+		// Tuple extraction (simulated cost for precomputed oracles; real
+		// extraction work for live oracles). A document is marked
+		// processed only at a final outcome — success or skip — so a
+		// breaker-open requeue can re-enter it later.
+		ld, outcome, reason := labelDoc(d)
+		switch outcome {
+		case outcomeCancelled:
+			res.Interrupted = true
+		case outcomeRequeue:
+			requeues[d.ID]++
+			res.Requeued++
+			cRequeued.Inc()
+			if rec.Enabled() {
+				rec.Record(obs.Event{Kind: obs.KindDocRequeued,
+					Doc: int64(d.ID), N: requeues[d.ID]})
+			}
+			if requeues[d.ID] > opts.RequeueLimit {
+				processed[d.ID] = true
+				markSkipped(d.ID, "requeue-limit")
+			} else {
+				pending = append(pending, d)
+			}
+			continue
+		case outcomeSkip:
+			processed[d.ID] = true
+			markSkipped(d.ID, reason)
+			continue
+		}
+		if res.Interrupted {
+			break
+		}
 		processed[d.ID] = true
 		spDoc := tr.Start("doc")
 		batchDocs++
-
-		// Tuple extraction (simulated cost for precomputed oracles; real
-		// extraction work for live oracles).
-		useful, tuples := opts.Labels.Label(d)
-		ld := LabeledDoc{Doc: d, Useful: useful, Tuples: tuples}
+		collect(ld.Tuples)
 		res.Order = append(res.Order, d.ID)
 		res.OrderLabels = append(res.OrderLabels, ld.Useful)
 		res.Time.Extraction += opts.ExtractionCost
@@ -509,6 +777,17 @@ func Run(opts Options) (*Result, error) {
 				rec.Record(ev)
 			}
 
+			// Journal a model snapshot at this update position; on resume
+			// this verifies (rather than re-records) and aborts on
+			// divergence instead of silently producing different results.
+			if opts.Journal != nil {
+				if nnz, sum, ok := modelHash(); ok {
+					if err := opts.Journal.CheckSnapshot(len(res.Order), nnz, sum); err != nil {
+						return nil, fmt.Errorf("pipeline: resume diverged from journal: %w", err)
+					}
+				}
+			}
+
 			// Search-interface scenario: issue the top model features as
 			// fresh queries and grow the pool.
 			if opts.SearchIface != nil {
@@ -527,48 +806,7 @@ func Run(opts Options) (*Result, error) {
 		}
 	}
 	spBatch.SetNum("docs", float64(batchDocs)).End()
-
-	res.PoolSize = len(res.Order) + (len(pending) - cursor)
-	if total, known := opts.Labels.TotalUseful(); known {
-		if denom := total - res.SampleUseful; denom <= 0 {
-			// Degenerate corner: the sample already covered every useful
-			// document; any order of the (useless) rest is perfect.
-			res.Curve = make([]float64, 101)
-			for i := range res.Curve {
-				res.Curve[i] = 1
-			}
-			res.AP, res.AUC = 1, 0.5
-		} else {
-			res.Curve = metrics.RecallCurve(res.OrderLabels, denom)
-			res.AP = metrics.AveragePrecision(res.OrderLabels)
-			res.AUC = metrics.AUC(res.OrderLabels)
-		}
-	}
-
-	// Observability epilogue: flush the per-document accumulators as
-	// aggregate phase events (so the trace's per-phase durations sum to
-	// Result.Time exactly), publish the final time account, and close
-	// the trace.
-	reg.Gauge("pipeline.pool_size").Set(float64(res.PoolSize))
-	res.Time.Record(reg)
-	if rec.Enabled() {
-		if accObserve > 0 {
-			rec.Record(obs.Event{Kind: obs.KindPhase, Name: "strategy-observe", Dur: accObserve})
-		}
-		if accDetect > 0 {
-			rec.Record(obs.Event{Kind: obs.KindPhase, Name: "detection", Dur: accDetect})
-		}
-		nUseful := 0
-		for _, u := range res.OrderLabels {
-			if u {
-				nUseful++
-			}
-		}
-		spRun.SetNum("docs", float64(len(res.Order))).
-			SetNum("useful", float64(nUseful)).End()
-		rec.Record(obs.Event{Kind: obs.KindRunFinished, N: len(res.Order), Dur: res.Time.Total()})
-	}
-	return res, nil
+	return epilogue()
 }
 
 // retrieveByTopFeatures turns the strategy's strongest positive model
