@@ -1,0 +1,32 @@
+// Command adaptlint runs the project's custom static analyzers over Go
+// packages. It is this repository's multichecker: the suite in
+// internal/lint enforces invariants generic linters cannot know about —
+// determinism of the ranking pipeline, the closed observability name
+// registry, context propagation through the cancellable core, lock
+// hygiene in the recording fan-out, and the CLI exit-path discipline.
+//
+// Usage:
+//
+//	adaptlint [packages]
+//
+// With no arguments it analyzes ./... . The exit status is 0 for a clean
+// tree, 1 when findings were reported, and 2 when loading or
+// type-checking failed. Findings can be suppressed line-by-line with
+//
+//	//lint:allow <analyzer> <reason>
+//
+// on the flagged line or the line directly above it; the reason is
+// required.
+package main
+
+import (
+	"os"
+
+	"adaptiverank/internal/lint"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	return lint.Main(os.Stdout, ".", lint.All, os.Args[1:])
+}

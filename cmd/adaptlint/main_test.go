@@ -1,0 +1,101 @@
+package main_test
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildAdaptlint compiles the adaptlint binary into a temp dir once per
+// test run.
+func buildAdaptlint(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "adaptlint")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building adaptlint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func exitCode(t *testing.T, err error) int {
+	t.Helper()
+	if err == nil {
+		return 0
+	}
+	var ee *exec.ExitError
+	if !errorsAs(err, &ee) {
+		t.Fatalf("adaptlint did not run: %v", err)
+	}
+	return ee.ExitCode()
+}
+
+func errorsAs(err error, target **exec.ExitError) bool {
+	ee, ok := err.(*exec.ExitError)
+	if ok {
+		*target = ee
+	}
+	return ok
+}
+
+// TestAdaptlintFixtureModule runs the built binary over a tiny separate
+// module seeded with one detrand and two errpath violations, asserting
+// the exit status and the exact diagnostic positions, then over the
+// clean package asserting a zero exit.
+func TestAdaptlintFixtureModule(t *testing.T) {
+	bin := buildAdaptlint(t)
+	modDir, err := filepath.Abs(filepath.Join("..", "..", "internal", "lint", "testdata", "fixturemod"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = modDir
+	out, err := cmd.CombinedOutput()
+	if code := exitCode(t, err); code != 1 {
+		t.Fatalf("adaptlint ./... exit = %d, want 1\n%s", code, out)
+	}
+	text := string(out)
+	for _, wantFrag := range []string{
+		filepath.Join("internal", "ranking", "fold.go") + ":8:2: ",
+		"unordered map iteration",
+		"(detrand)",
+		filepath.Join("cmd", "badcli", "main.go") + ":11:3: ",
+		"log.Fatal exits without running deferred flushes",
+		filepath.Join("cmd", "badcli", "main.go") + ":13:2: ",
+		"os.Exit skips deferred trace/checkpoint flushes",
+		"(errpath)",
+		"adaptlint: 3 finding(s)",
+	} {
+		if !strings.Contains(text, wantFrag) {
+			t.Errorf("output missing %q:\n%s", wantFrag, text)
+		}
+	}
+
+	clean := exec.Command(bin, "./internal/clean/...")
+	clean.Dir = modDir
+	out, err = clean.CombinedOutput()
+	if code := exitCode(t, err); code != 0 {
+		t.Fatalf("adaptlint ./internal/clean/... exit = %d, want 0\n%s", code, out)
+	}
+	if len(out) != 0 {
+		t.Errorf("clean run should print nothing, got:\n%s", out)
+	}
+}
+
+// TestAdaptlintSelf runs the binary over this repository: the tree must
+// stay lint-clean, which is what CI enforces as a blocking step.
+func TestAdaptlintSelf(t *testing.T) {
+	bin := buildAdaptlint(t)
+	repoRoot, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = repoRoot
+	out, err := cmd.CombinedOutput()
+	if code := exitCode(t, err); code != 0 {
+		t.Fatalf("adaptlint over the repository exit = %d, want 0\n%s", code, out)
+	}
+}

@@ -18,6 +18,13 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run returns the process exit code so deferred cleanup (the output-file
+// close below) executes on every exit path — os.Exit inside the body
+// would skip it and could lose buffered corpus lines.
+func run() int {
 	var (
 		docs  = flag.Int("docs", 5000, "number of documents")
 		seed  = flag.Int64("seed", 1, "generator seed")
@@ -26,6 +33,11 @@ func main() {
 		pprof = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	if *docs <= 0 {
+		fmt.Fprintf(os.Stderr, "corpusgen: -docs must be positive, got %d\n", *docs)
+		return 2
+	}
 
 	if *pprof != "" {
 		go func() {
@@ -42,14 +54,18 @@ func main() {
 		f, err := os.Create(*out)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
-		defer f.Close()
+		defer func() {
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
 		w = f
 	}
 	if err := corpus.WriteJSONL(w, coll); err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 
 	if *truth {
@@ -60,4 +76,5 @@ func main() {
 				100*float64(len(gt.Planted[r]))/float64(coll.Len()))
 		}
 	}
+	return 0
 }

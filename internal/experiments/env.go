@@ -192,7 +192,7 @@ func (e *Env) Labels(rel relation.Relation, coll *corpus.Collection) *pipeline.L
 			err = pipeline.SaveLabels(path, fp, l)
 		}
 		if err != nil {
-			e.Cfg.Metrics.Counter("experiments.label_cache_errors").Inc()
+			e.Cfg.Metrics.Counter(obs.MetricExperimentsLabelCacheErrors).Inc()
 		}
 	}
 	e.labels[key] = l

@@ -110,6 +110,7 @@ func (f *Flaky) SimulatedCost() time.Duration { return f.inner.SimulatedCost() }
 // errors surface as "no tuples" and hangs are bounded by HangDur. The
 // fault-aware path is ExtractContext.
 func (f *Flaky) Extract(d *corpus.Document) []relation.Tuple {
+	//lint:allow ctxflow compat shim: the Extractor interface has no ctx to thread
 	ts, _ := f.ExtractContext(context.Background(), d)
 	return ts
 }

@@ -1,0 +1,52 @@
+package lint
+
+import (
+	"fmt"
+	"io"
+)
+
+// All is the project analyzer suite, in the order diagnostics are
+// documented in DESIGN.md.
+var All = []*Analyzer{
+	DetRand,
+	ObsEvent,
+	CtxFlow,
+	LockSafe,
+	ErrPath,
+}
+
+// Main loads the packages matching patterns from dir, runs every
+// analyzer in suite, and prints diagnostics to w. It returns the process
+// exit code: 0 for a clean tree, 1 when diagnostics were reported, 2 on
+// load failure.
+func Main(w io.Writer, dir string, suite []*Analyzer, patterns []string) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := Load(dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(w, "adaptlint: %v\n", err)
+		return 2
+	}
+	hardFailed := false
+	for _, pkg := range pkgs {
+		// Type errors degrade resolution, which can hide findings; be
+		// loud but still report what was found.
+		if pkg.Types == nil {
+			fmt.Fprintf(w, "adaptlint: package %s failed to type-check: %v\n", pkg.ImportPath, pkg.TypeErrors[0])
+			hardFailed = true
+		}
+	}
+	diags := Run(suite, pkgs)
+	for _, d := range diags {
+		fmt.Fprintln(w, d)
+	}
+	if hardFailed {
+		return 2
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(w, "adaptlint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

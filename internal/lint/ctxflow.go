@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxFlow guards context propagation in the cancellable core (the
+// pipeline and the extractors). Two mistakes are flagged:
+//
+//  1. minting a fresh context with context.Background() or context.TODO()
+//     — inside these packages a context always arrives from the caller;
+//     a fresh root silently detaches the work from cancellation,
+//     deadlines, and the kill-and-resume machinery. The documented
+//     compat shims (Run, ComputeLabels, interface adapters with no ctx
+//     parameter) carry //lint:allow ctxflow directives.
+//
+//  2. a function that receives a context.Context but calls a
+//     *Context-suffixed variant without passing any context — the classic
+//     refactoring slip where FooContext(...) is introduced and a caller
+//     keeps invoking it with everything except the ctx it already holds.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "contexts must flow: no fresh Background/TODO roots, no dropped ctx on *Context calls",
+	Run:  runCtxFlow,
+}
+
+var ctxFlowScope = []string{"internal/pipeline", "internal/extract"}
+
+func runCtxFlow(p *Pass) {
+	if !pathMatches(p.ImportPath, ctxFlowScope...) {
+		return
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			hasCtx := funcReceivesContext(p, fn)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				switch {
+				case isPkgFunc(p, call, "context", "Background"):
+					ctxFlowReportFresh(p, call, hasCtx, "context.Background()")
+				case isPkgFunc(p, call, "context", "TODO"):
+					ctxFlowReportFresh(p, call, hasCtx, "context.TODO()")
+				default:
+					if hasCtx {
+						ctxFlowCheckDropped(p, call)
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+func ctxFlowReportFresh(p *Pass, call *ast.CallExpr, hasCtx bool, what string) {
+	if hasCtx {
+		p.Reportf(call.Pos(), "%s in a function that already receives a context: pass the received ctx instead", what)
+		return
+	}
+	p.Reportf(call.Pos(), "%s mints a fresh context root inside the cancellable core: accept a ctx parameter or use a documented compat shim", what)
+}
+
+// ctxFlowCheckDropped flags calls to *Context-suffixed functions that
+// receive no context-typed argument even though the caller holds one.
+func ctxFlowCheckDropped(p *Pass, call *ast.CallExpr) {
+	var name string
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	default:
+		return
+	}
+	if name == "Context" || !strings.HasSuffix(name, "Context") {
+		return
+	}
+	for _, arg := range call.Args {
+		if isContextType(p.TypeOf(arg)) {
+			return
+		}
+	}
+	p.Reportf(call.Pos(), "call to %s drops the context this function already receives", name)
+}
+
+// funcReceivesContext reports whether any parameter of fn has type
+// context.Context.
+func funcReceivesContext(p *Pass, fn *ast.FuncDecl) bool {
+	if fn.Type.Params == nil {
+		return false
+	}
+	for _, field := range fn.Type.Params.List {
+		if isContextType(p.TypeOf(field.Type)) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContextType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

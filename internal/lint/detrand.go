@@ -1,0 +1,170 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// DetRand enforces determinism in the packages whose outputs must be
+// bit-reproducible across runs: the ranking strategies, the update
+// detectors, the sparse-vector kernels, and the pipeline's journal/replay
+// path. Three families of nondeterminism are flagged:
+//
+//  1. wall-clock reads (time.Now, time.Since) — results must depend only
+//     on inputs and seeds, never on when the run happened;
+//  2. the global math/rand source (rand.Intn, rand.Float64, ...) — all
+//     randomness must flow from an explicitly seeded *rand.Rand;
+//  3. order-dependent folds over map iteration — a float accumulation or
+//     slice append inside `for ... range m` where m is a map leaks Go's
+//     randomized iteration order into the result (float addition is not
+//     associative; appended order is observable).
+//
+// Per-key map writes, integer counters, and commutative integer folds
+// (XOR hashing) are order-independent and deliberately not flagged.
+// Telemetry-only timing carries //lint:allow detrand directives.
+var DetRand = &Analyzer{
+	Name: "detrand",
+	Doc:  "forbid wall-clock, global rand, and order-dependent map folds in determinism-critical packages",
+	Run:  runDetRand,
+}
+
+// detRandScope lists the determinism-critical packages.
+var detRandScope = []string{
+	"internal/ranking",
+	"internal/update",
+	"internal/vector",
+	"internal/pipeline",
+}
+
+// globalRandFuncs are the package-level math/rand functions that draw
+// from the process-global source.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Int31": true, "Int31n": true, "Int63": true,
+	"Int63n": true, "Intn": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "NormFloat64": true,
+	"ExpFloat64": true, "Perm": true, "Shuffle": true, "Read": true,
+	"Seed": true, "N": true, "IntN": true, "Int32N": true, "Int64N": true,
+}
+
+func runDetRand(p *Pass) {
+	if !pathMatches(p.ImportPath, detRandScope...) {
+		return
+	}
+	pipelinePkg := pathMatches(p.ImportPath, "internal/pipeline")
+	for _, f := range p.Files {
+		// In the pipeline package only the journal/replay path is
+		// determinism-critical; pipeline.go measures real wall-clock
+		// phase durations by design. The map-fold rule still applies
+		// package-wide (ranking order must not depend on map order).
+		base := filepath.Base(p.Fset.Position(f.Pos()).Filename)
+		clockRules := !pipelinePkg || strings.Contains(base, "journal") || strings.Contains(base, "checkpoint")
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if !clockRules {
+					return true
+				}
+				if isPkgFunc(p, n, "time", "Now") {
+					p.Reportf(n.Pos(), "time.Now in determinism-critical package: results must depend only on inputs and seeds")
+				}
+				if isPkgFunc(p, n, "time", "Since") {
+					p.Reportf(n.Pos(), "time.Since reads the wall clock in a determinism-critical package")
+				}
+			case *ast.SelectorExpr:
+				if !clockRules {
+					return true
+				}
+				detRandGlobalRand(p, n)
+			case *ast.RangeStmt:
+				detRandMapFold(p, n)
+			}
+			return true
+		})
+	}
+}
+
+// detRandGlobalRand flags any use of a package-level math/rand function
+// that draws from the global source. Methods on an explicitly seeded
+// *rand.Rand are fine; rand.New and rand.NewSource are the approved way
+// to build one.
+func detRandGlobalRand(p *Pass, sel *ast.SelectorExpr) {
+	obj := p.ObjectOf(sel.Sel)
+	if obj == nil || obj.Pkg() == nil {
+		return
+	}
+	path := obj.Pkg().Path()
+	if path != "math/rand" && path != "math/rand/v2" {
+		return
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return
+	}
+	if globalRandFuncs[fn.Name()] {
+		p.Reportf(sel.Pos(), "global math/rand source (rand.%s): use an explicitly seeded rand.New(rand.NewSource(seed))", fn.Name())
+	}
+}
+
+// detRandMapFold flags order-dependent folds inside a range over a map:
+// compound float accumulation into, or append onto, a variable declared
+// outside the loop. Reports anchor at the range statement so a single
+// //lint:allow line above the loop covers the whole fold.
+func detRandMapFold(p *Pass, rng *ast.RangeStmt) {
+	t := p.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	declaredOutside := func(id *ast.Ident) bool {
+		obj := p.ObjectOf(id)
+		if obj == nil {
+			return false
+		}
+		return obj.Pos() < rng.Pos() || obj.Pos() > rng.End()
+	}
+	reported := false
+	report := func(format string, args ...any) {
+		if !reported {
+			p.Reportf(rng.For, format, args...)
+			reported = true
+		}
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if reported {
+			return false
+		}
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok || len(asg.Lhs) != 1 {
+			return true
+		}
+		id, ok := asg.Lhs[0].(*ast.Ident)
+		if !ok || !declaredOutside(id) {
+			return true
+		}
+		switch asg.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			if tid := p.TypeOf(id); tid != nil {
+				if bt, ok := tid.Underlying().(*types.Basic); ok && bt.Info()&types.IsFloat != 0 {
+					report("float accumulation into %s over unordered map iteration: float addition is not associative, so the result depends on map order", id.Name)
+				}
+			}
+		case token.ASSIGN:
+			if call, ok := asg.Rhs[0].(*ast.CallExpr); ok {
+				if fid, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && fid.Name == "append" {
+					if _, isBuiltin := p.ObjectOf(fid).(*types.Builtin); isBuiltin {
+						report("append to %s over unordered map iteration leaks map order into the slice: collect then sort", id.Name)
+					}
+				}
+			}
+		}
+		return true
+	})
+}

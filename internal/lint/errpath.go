@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// ErrPath enforces the exit-code discipline of the CLIs: every command
+// under cmd/ is structured as
+//
+//	func main() { os.Exit(run()) }
+//	func run() int { ... deferred flushes run ... }
+//
+// so that deferred trace closes, checkpoint flushes, and journal syncs
+// execute before the process exits. os.Exit anywhere else skips every
+// deferred function, silently truncating traces and corrupting resumable
+// state; log.Fatal and friends are os.Exit in disguise. ErrPath flags
+// both: os.Exit is legal only as main's single os.Exit(run()) statement,
+// and log.Fatal/log.Panic are never legal in a CLI.
+var ErrPath = &Analyzer{
+	Name: "errpath",
+	Doc:  "CLIs must exit through os.Exit(run()) so deferred flushes run",
+	Run:  runErrPath,
+}
+
+var errPathFatal = map[string]bool{
+	"Fatal": true, "Fatalf": true, "Fatalln": true,
+	"Panic": true, "Panicf": true, "Panicln": true,
+}
+
+func runErrPath(p *Pass) {
+	if p.Pkg == nil || p.Pkg.Name() != "main" || !strings.Contains(p.ImportPath+"/", "/cmd/") {
+		return
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			inMain := fn.Name.Name == "main" && fn.Recv == nil
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if isPkgFunc(p, call, "os", "Exit") {
+					if !(inMain && isExitRun(call)) {
+						p.Reportf(call.Pos(), "os.Exit skips deferred trace/checkpoint flushes: return an exit code to run() and let main call os.Exit(run())")
+					}
+					return true
+				}
+				if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && errPathFatal[sel.Sel.Name] {
+					if obj := p.ObjectOf(sel.Sel); obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "log" {
+						p.Reportf(call.Pos(), "log.%s exits without running deferred flushes: report the error and return a code from run()", sel.Sel.Name)
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// isExitRun matches the blessed exit statement os.Exit(run()).
+func isExitRun(call *ast.CallExpr) bool {
+	if len(call.Args) != 1 {
+		return false
+	}
+	inner, ok := ast.Unparen(call.Args[0]).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(inner.Fun).(*ast.Ident)
+	return ok && id.Name == "run"
+}

@@ -1,0 +1,183 @@
+package lint_test
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"adaptiverank/internal/lint"
+)
+
+// The golden harness mirrors analysistest's convention: fixture sources
+// under testdata/ carry `// want "regexp"` comments (double- or
+// back-quoted, several per line allowed) on the lines where the analyzer
+// under test must report, and the test fails on any unexpected or
+// missing diagnostic.
+
+var (
+	wantRe   = regexp.MustCompile(`//\s*want\s+(.+)$`)
+	quotedRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+)
+
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+func parseWants(t *testing.T, path string) map[int][]*expectation {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	wants := make(map[int][]*expectation)
+	sc := bufio.NewScanner(f)
+	for line := 1; sc.Scan(); line++ {
+		m := wantRe.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		for _, q := range quotedRe.FindAllString(m[1], -1) {
+			var pat string
+			if q[0] == '`' {
+				pat = q[1 : len(q)-1]
+			} else {
+				pat, err = strconv.Unquote(q)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %s: %v", path, line, q, err)
+				}
+			}
+			re, err := regexp.Compile(pat)
+			if err != nil {
+				t.Fatalf("%s:%d: bad want regexp %q: %v", path, line, pat, err)
+			}
+			wants[line] = append(wants[line], &expectation{re: re})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return wants
+}
+
+// runGolden loads the fixtures, runs one analyzer, and checks its
+// diagnostics against the want comments in every fixture file.
+func runGolden(t *testing.T, a *lint.Analyzer, fixtures []lint.Fixture) {
+	t.Helper()
+	pkgs, err := lint.LoadFixtures(".", fixtures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkgs {
+		for _, e := range p.TypeErrors {
+			t.Errorf("fixture %s: type error: %v", p.ImportPath, e)
+		}
+	}
+	wants := make(map[string]map[int][]*expectation)
+	for _, fx := range fixtures {
+		entries, err := os.ReadDir(fx.Dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if strings.HasSuffix(e.Name(), ".go") {
+				path := filepath.Join(fx.Dir, e.Name())
+				wants[path] = parseWants(t, path)
+			}
+		}
+	}
+	diags := lint.Run([]*lint.Analyzer{a}, pkgs)
+	for _, d := range diags {
+		var hit *expectation
+		for _, exp := range wants[d.Pos.Filename][d.Pos.Line] {
+			if !exp.matched && exp.re.MatchString(d.Message) {
+				hit = exp
+				break
+			}
+		}
+		if hit == nil {
+			t.Errorf("unexpected diagnostic: %s", d)
+			continue
+		}
+		hit.matched = true
+	}
+	for path, byLine := range wants {
+		for line, exps := range byLine {
+			for _, exp := range exps {
+				if !exp.matched {
+					t.Errorf("%s:%d: no diagnostic matched %q", path, line, exp.re)
+				}
+			}
+		}
+	}
+}
+
+func TestDetRandGolden(t *testing.T) {
+	runGolden(t, lint.DetRand, []lint.Fixture{
+		{Path: "fixture.example/internal/ranking", Dir: "testdata/detrand/ranking"},
+		{Path: "fixture.example/internal/pipeline", Dir: "testdata/detrand/pipeline"},
+		{Path: "fixture.example/internal/learn", Dir: "testdata/detrand/learn"},
+	})
+}
+
+func TestObsEventGolden(t *testing.T) {
+	runGolden(t, lint.ObsEvent, []lint.Fixture{
+		{Path: "fixture.example/internal/obs", Dir: "testdata/obsevent/obs"},
+		{Path: "fixture.example/internal/pipeline", Dir: "testdata/obsevent/client"},
+	})
+}
+
+func TestCtxFlowGolden(t *testing.T) {
+	runGolden(t, lint.CtxFlow, []lint.Fixture{
+		{Path: "fixture.example/internal/pipeline", Dir: "testdata/ctxflow/pipeline"},
+		{Path: "fixture.example/internal/ranking", Dir: "testdata/ctxflow/ranking"},
+	})
+}
+
+func TestLockSafeGolden(t *testing.T) {
+	runGolden(t, lint.LockSafe, []lint.Fixture{
+		{Path: "fixture.example/internal/obs", Dir: "testdata/locksafe/obs"},
+	})
+}
+
+func TestErrPathGolden(t *testing.T) {
+	runGolden(t, lint.ErrPath, []lint.Fixture{
+		{Path: "fixture.example/cmd/badcli", Dir: "testdata/errpath/badcli"},
+		{Path: "fixture.example/tools/demo", Dir: "testdata/errpath/demo"},
+	})
+}
+
+// TestDirectiveHygiene checks that malformed //lint:allow directives are
+// themselves diagnostics: a missing reason and an unknown analyzer name
+// must both be reported, and a well-formed directive must not be.
+func TestDirectiveHygiene(t *testing.T) {
+	pkgs, err := lint.LoadFixtures(".", []lint.Fixture{
+		{Path: "fixture.example/internal/ranking", Dir: "testdata/directive/pkg"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := lint.Run([]*lint.Analyzer{lint.DetRand}, pkgs)
+	var msgs []string
+	for _, d := range diags {
+		if d.Analyzer != "lintdirective" {
+			t.Errorf("unexpected non-directive diagnostic: %s", d)
+			continue
+		}
+		msgs = append(msgs, d.Message)
+	}
+	if len(msgs) != 2 {
+		t.Fatalf("got %d directive diagnostics %v, want 2", len(msgs), msgs)
+	}
+	if !strings.Contains(msgs[0], "needs a reason") {
+		t.Errorf("first diagnostic %q should flag the missing reason", msgs[0])
+	}
+	if !strings.Contains(msgs[1], "unknown analyzer") {
+		t.Errorf("second diagnostic %q should flag the unknown analyzer", msgs[1])
+	}
+}

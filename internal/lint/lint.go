@@ -1,0 +1,279 @@
+// Package lint is a small, dependency-free static-analysis framework in
+// the spirit of golang.org/x/tools/go/analysis, built on the standard
+// library's go/ast, go/types, and go/importer. It exists because this
+// repository enforces project-specific invariants — determinism of the
+// ranking pipeline, a closed registry of observability names, context
+// propagation, lock hygiene, and CLI exit-path discipline — that generic
+// linters cannot know about, and because the module deliberately has no
+// third-party dependencies.
+//
+// An Analyzer inspects one type-checked package at a time through a Pass
+// and reports Diagnostics. Findings can be suppressed at the source line
+// with a directive comment:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// placed either on the flagged line or on the line immediately above it.
+// The reason is mandatory: a bare allow is itself a diagnostic.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check. Run inspects a single package via the Pass
+// and reports findings through Pass.Reportf.
+type Analyzer struct {
+	// Name is the identifier used in diagnostics and //lint:allow
+	// directives. Lower-case, no spaces.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run performs the check on one package.
+	Run func(*Pass)
+}
+
+// Diagnostic is one finding, positioned in the analyzed source.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the parsed non-test sources of the package.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo holds the resolution results (Types, Defs, Uses,
+	// Selections) for Files.
+	TypesInfo *types.Info
+	// ImportPath is the path the package was loaded under. Analyzers
+	// scope themselves by matching against it.
+	ImportPath string
+
+	allows map[string][]allowDirective // filename -> directives
+	diags  *[]Diagnostic
+}
+
+type allowDirective struct {
+	line     int    // line the directive comment starts on
+	analyzer string // analyzer name it suppresses
+	reason   string // justification text (may be empty — flagged elsewhere)
+	used     bool
+}
+
+// Reportf records a diagnostic at pos unless an allow directive for this
+// analyzer covers the line (same line or the line immediately above).
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	for i := range p.allows[position.Filename] {
+		d := &p.allows[position.Filename][i]
+		if d.analyzer != p.Analyzer.Name {
+			continue
+		}
+		if d.line == position.Line || d.line == position.Line-1 {
+			d.used = true
+			return
+		}
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf is a nil-safe shorthand for TypesInfo.TypeOf.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if p.TypesInfo == nil {
+		return nil
+	}
+	return p.TypesInfo.TypeOf(e)
+}
+
+// ObjectOf resolves an identifier to its object (nil when unresolved).
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if p.TypesInfo == nil {
+		return nil
+	}
+	if o := p.TypesInfo.ObjectOf(id); o != nil {
+		return o
+	}
+	return nil
+}
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	// TypeErrors collects soft type-check errors; analysis proceeds on a
+	// best-effort basis when non-empty.
+	TypeErrors []error
+}
+
+// Run applies each analyzer to each package and returns all diagnostics
+// sorted by position. Directive hygiene is checked once per package:
+// an //lint:allow with no reason, or naming an unknown analyzer, is
+// itself reported.
+func Run(analyzers []*Analyzer, pkgs []*Package) []Diagnostic {
+	var diags []Diagnostic
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	for _, pkg := range pkgs {
+		allows, bad := collectAllows(pkg.Fset, pkg.Files, known)
+		diags = append(diags, bad...)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:   a,
+				Fset:       pkg.Fset,
+				Files:      pkg.Files,
+				Pkg:        pkg.Types,
+				TypesInfo:  pkg.Info,
+				ImportPath: pkg.ImportPath,
+				allows:     allows,
+				diags:      &diags,
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+const allowPrefix = "//lint:allow"
+
+// collectAllows scans the comments of every file for allow directives and
+// reports malformed ones (missing reason, unknown analyzer name).
+func collectAllows(fset *token.FileSet, files []*ast.File, known map[string]bool) (map[string][]allowDirective, []Diagnostic) {
+	allows := make(map[string][]allowDirective)
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, allowPrefix))
+				name, reason, _ := strings.Cut(rest, " ")
+				reason = strings.TrimSpace(reason)
+				switch {
+				case name == "":
+					bad = append(bad, Diagnostic{
+						Analyzer: "lintdirective",
+						Pos:      pos,
+						Message:  "malformed //lint:allow: missing analyzer name",
+					})
+					continue
+				case !known[name]:
+					bad = append(bad, Diagnostic{
+						Analyzer: "lintdirective",
+						Pos:      pos,
+						Message:  fmt.Sprintf("//lint:allow names unknown analyzer %q", name),
+					})
+					continue
+				case reason == "":
+					bad = append(bad, Diagnostic{
+						Analyzer: "lintdirective",
+						Pos:      pos,
+						Message:  fmt.Sprintf("//lint:allow %s needs a reason", name),
+					})
+					continue
+				}
+				allows[pos.Filename] = append(allows[pos.Filename], allowDirective{
+					line:     pos.Line,
+					analyzer: name,
+					reason:   reason,
+				})
+			}
+		}
+	}
+	return allows, bad
+}
+
+// pathMatches reports whether an import path is, or is under, any of the
+// given package path fragments. A fragment matches when the path equals
+// it, ends with "/"+fragment, or contains "/"+fragment+"/". This lets
+// analyzers scope to "internal/ranking" and match both the real module
+// path and fixture paths used in tests.
+func pathMatches(importPath string, fragments ...string) bool {
+	for _, frag := range fragments {
+		if importPath == frag ||
+			strings.HasSuffix(importPath, "/"+frag) ||
+			strings.Contains(importPath, "/"+frag+"/") ||
+			strings.HasPrefix(importPath, frag+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// isPkgFunc reports whether call is a call of the package-level function
+// pkgPath.name (e.g. "time".Now), resolved through the type info.
+func isPkgFunc(p *Pass, call *ast.CallExpr, pkgPath, name string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := p.ObjectOf(sel.Sel)
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// receiverNamed reports whether call is a method call whose receiver's
+// (possibly pointer) named type is typeName declared in a package whose
+// path matches pkgFragment, and whether the method name is methodName.
+func receiverNamed(p *Pass, call *ast.CallExpr, pkgFragment, typeName, methodName string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != methodName {
+		return false
+	}
+	tv := p.TypeOf(sel.X)
+	if tv == nil {
+		return false
+	}
+	if ptr, ok := tv.(*types.Pointer); ok {
+		tv = ptr.Elem()
+	}
+	named, ok := tv.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != typeName || obj.Pkg() == nil {
+		return false
+	}
+	return pathMatches(obj.Pkg().Path(), pkgFragment)
+}

@@ -1,0 +1,279 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The loader type-checks packages without golang.org/x/tools: it asks the
+// go command for compiled export data ("go list -export -deps") and feeds
+// the resulting .a files to the standard gc importer, while the packages
+// under analysis themselves are parsed and checked from source. This
+// gives full types.Info resolution using only the standard library.
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	Name       string
+	Standard   bool
+	GoFiles    []string
+	Module     *struct {
+		Path string
+		Main bool
+	}
+	Error *struct {
+		Err string
+	}
+}
+
+// goList runs `go list -export -deps -json` for patterns in dir and
+// decodes the JSON stream.
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := []string{"list", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,Name,Standard,GoFiles,Module,Error"}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// exportResolver maps import paths to compiled export-data files,
+// populating itself lazily through `go list -export -deps`.
+type exportResolver struct {
+	dir     string
+	exports map[string]string
+}
+
+func newExportResolver(dir string) *exportResolver {
+	return &exportResolver{dir: dir, exports: make(map[string]string)}
+}
+
+// ensure loads export-data locations for the given import paths (and all
+// their transitive dependencies) if not already known.
+func (r *exportResolver) ensure(paths []string) error {
+	var missing []string
+	for _, p := range paths {
+		if _, ok := r.exports[p]; !ok && p != "unsafe" {
+			missing = append(missing, p)
+		}
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	pkgs, err := goList(r.dir, missing)
+	if err != nil {
+		return err
+	}
+	r.add(pkgs)
+	return nil
+}
+
+func (r *exportResolver) add(pkgs []*listedPackage) {
+	for _, p := range pkgs {
+		if p.Export != "" {
+			r.exports[p.ImportPath] = p.Export
+		}
+	}
+}
+
+// lookup implements the importer.Lookup contract: an io.ReadCloser over
+// the export data for one import path.
+func (r *exportResolver) lookup(path string) (io.ReadCloser, error) {
+	file, ok := r.exports[path]
+	if !ok {
+		// Fall back to a one-off go list for paths discovered only
+		// inside export data (rare, but cheap to handle).
+		if err := r.ensure([]string{path}); err != nil {
+			return nil, fmt.Errorf("no export data for %q: %v", path, err)
+		}
+		if file, ok = r.exports[path]; !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+	}
+	return os.Open(file)
+}
+
+// memImporter resolves imports from an in-memory package map first (used
+// for fixture packages that only exist in testdata), then from compiled
+// export data.
+type memImporter struct {
+	mem   map[string]*types.Package
+	inner types.Importer
+}
+
+func (m memImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m.mem[path]; ok {
+		return p, nil
+	}
+	return m.inner.Import(path)
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// parseFiles parses the named files (paths relative to dir) with comments.
+func parseFiles(fset *token.FileSet, dir string, names []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// check type-checks one package from source, resolving imports through
+// imp. Soft type errors are collected, not fatal.
+func check(fset *token.FileSet, importPath string, files []*ast.File, imp types.Importer) *Package {
+	pkg := &Package{ImportPath: importPath, Fset: fset, Files: files, Info: newInfo()}
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tp, err := conf.Check(importPath, fset, files, pkg.Info)
+	pkg.Types = tp
+	if err != nil && len(pkg.TypeErrors) == 0 {
+		pkg.TypeErrors = append(pkg.TypeErrors, err)
+	}
+	return pkg
+}
+
+// Load lists the packages matching patterns in the module rooted at (or
+// containing) dir and returns the main-module packages type-checked from
+// source, ready for analysis. Dependencies — standard library and
+// in-module alike — are resolved from compiled export data, so loading
+// is fast and requires only the go toolchain.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	resolver := newExportResolver(dir)
+	resolver.add(listed)
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", resolver.lookup)
+
+	var targets []*listedPackage
+	for _, p := range listed {
+		if p.Standard || p.Module == nil || !p.Module.Main || len(p.GoFiles) == 0 {
+			continue
+		}
+		targets = append(targets, p)
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	var pkgs []*Package
+	for _, t := range targets {
+		if t.Error != nil {
+			return nil, fmt.Errorf("package %s: %s", t.ImportPath, t.Error.Err)
+		}
+		files, err := parseFiles(fset, t.Dir, t.GoFiles)
+		if err != nil {
+			return nil, fmt.Errorf("package %s: %v", t.ImportPath, err)
+		}
+		pkgs = append(pkgs, check(fset, t.ImportPath, files, imp))
+	}
+	return pkgs, nil
+}
+
+// Fixture names one testdata package: the directory holding its sources
+// and the import path to type-check it under. Fixtures are loaded in
+// order, so a fixture may import an earlier one by its Path.
+type Fixture struct {
+	Path string
+	Dir  string
+}
+
+// LoadFixtures type-checks testdata packages that live outside any
+// module. Imports of real packages (standard library or this module's)
+// resolve through export data produced by the go command in moduleDir;
+// imports of earlier fixtures resolve in memory.
+func LoadFixtures(moduleDir string, fixtures []Fixture) ([]*Package, error) {
+	fset := token.NewFileSet()
+	resolver := newExportResolver(moduleDir)
+	mem := make(map[string]*types.Package)
+	imp := memImporter{mem: mem, inner: importer.ForCompiler(fset, "gc", resolver.lookup)}
+
+	var pkgs []*Package
+	for _, fx := range fixtures {
+		entries, err := os.ReadDir(fx.Dir)
+		if err != nil {
+			return nil, err
+		}
+		var names []string
+		for _, e := range entries {
+			if n := e.Name(); strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+				names = append(names, n)
+			}
+		}
+		sort.Strings(names)
+		files, err := parseFiles(fset, fx.Dir, names)
+		if err != nil {
+			return nil, fmt.Errorf("fixture %s: %v", fx.Path, err)
+		}
+		// Resolve external imports up front in one go list call.
+		var external []string
+		for _, f := range files {
+			for _, spec := range f.Imports {
+				p, err := strconv.Unquote(spec.Path.Value)
+				if err != nil {
+					continue
+				}
+				if _, ok := mem[p]; !ok {
+					external = append(external, p)
+				}
+			}
+		}
+		if err := resolver.ensure(external); err != nil {
+			return nil, fmt.Errorf("fixture %s: %v", fx.Path, err)
+		}
+		pkg := check(fset, fx.Path, files, imp)
+		if pkg.Types != nil {
+			mem[fx.Path] = pkg.Types
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}

@@ -1,0 +1,226 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockSafe polices critical sections in the observability layer and the
+// pipeline: while a sync.Mutex or sync.RWMutex is held, code must not
+// perform operations that can block indefinitely or re-enter the
+// recording fan-out. Flagged inside a critical section:
+//
+//   - calls to a method named Record — the recorder fan-out can reach
+//     subscribers, the watchdog, and file sinks, any of which may take
+//     their own locks (lock-order inversion) or block;
+//   - channel sends outside a select with a default clause — a slow
+//     subscriber would wedge every caller of the lock;
+//   - time.Sleep — sleeping under a lock turns one slow path into a
+//     convoy.
+//
+// The analysis is intra-procedural and syntactic: a section opens at
+// x.Lock()/x.RLock() and closes at the matching x.Unlock()/x.RUnlock()
+// in the same block structure; `defer x.Unlock()` holds the lock for the
+// rest of the function. Deliberate holds (the tee recorder's ordered
+// fan-out) carry //lint:allow locksafe directives explaining why they
+// are safe.
+var LockSafe = &Analyzer{
+	Name: "locksafe",
+	Doc:  "no blocking operations (Record fan-out, bare channel send, Sleep) while holding a mutex",
+	Run:  runLockSafe,
+}
+
+var lockSafeScope = []string{"internal/obs", "internal/pipeline"}
+
+func runLockSafe(p *Pass) {
+	if !pathMatches(p.ImportPath, lockSafeScope...) {
+		return
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				scanBlock(p, fn.Body.List, map[string]bool{})
+			}
+		}
+	}
+}
+
+// scanBlock walks one statement list, tracking which mutexes are held.
+// Nested blocks get a copy of the held set, so an unlock on one branch
+// does not leak out of it.
+func scanBlock(p *Pass, stmts []ast.Stmt, held map[string]bool) {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if key, op := lockOp(p, call); key != "" {
+					switch op {
+					case "lock":
+						held[key] = true
+						continue
+					case "unlock":
+						delete(held, key)
+						continue
+					}
+				}
+			}
+		case *ast.DeferStmt:
+			if key, op := lockOp(p, s.Call); key != "" && op == "unlock" {
+				held[key] = true // held until function return
+				continue
+			}
+		}
+		if len(held) > 0 {
+			checkHeld(p, stmt, held)
+		} else {
+			// Recurse into nested blocks that may open their own
+			// critical sections.
+			switch s := stmt.(type) {
+			case *ast.BlockStmt:
+				scanBlock(p, s.List, copyHeld(held))
+			case *ast.IfStmt:
+				scanBlock(p, s.Body.List, copyHeld(held))
+				if s.Else != nil {
+					scanBlock(p, []ast.Stmt{s.Else}, copyHeld(held))
+				}
+			case *ast.ForStmt:
+				scanBlock(p, s.Body.List, copyHeld(held))
+			case *ast.RangeStmt:
+				scanBlock(p, s.Body.List, copyHeld(held))
+			case *ast.SwitchStmt:
+				for _, c := range s.Body.List {
+					if cc, ok := c.(*ast.CaseClause); ok {
+						scanBlock(p, cc.Body, copyHeld(held))
+					}
+				}
+			case *ast.SelectStmt:
+				for _, c := range s.Body.List {
+					if cc, ok := c.(*ast.CommClause); ok {
+						scanBlock(p, cc.Body, copyHeld(held))
+					}
+				}
+			case *ast.GoStmt:
+				if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+					scanBlock(p, lit.Body.List, map[string]bool{})
+				}
+			}
+		}
+	}
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	c := make(map[string]bool, len(held))
+	for k := range held {
+		c[k] = true
+	}
+	return c
+}
+
+// checkHeld reports blocking operations anywhere inside stmt while the
+// locks in held are taken. Goroutine bodies start lock-free; sends that
+// sit directly in a select with a default clause are non-blocking.
+func checkHeld(p *Pass, stmt ast.Stmt, held map[string]bool) {
+	lockName := func() string { return anyKey(held) }
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A literal called inline still runs under the lock, but a
+			// `go func(){...}()` body does not; being conservative
+			// either way, only goroutine bodies are skipped (handled
+			// below via GoStmt).
+			return true
+		case *ast.GoStmt:
+			return false
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, c := range n.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			for _, c := range n.Body.List {
+				cc, ok := c.(*ast.CommClause)
+				if !ok {
+					continue
+				}
+				// A send/receive comm op in a select with default is
+				// non-blocking; the case bodies still run under the
+				// lock, so walk them.
+				if !hasDefault && cc.Comm != nil {
+					ast.Inspect(cc.Comm, walk)
+				}
+				for _, b := range cc.Body {
+					ast.Inspect(b, walk)
+				}
+			}
+			return false
+		case *ast.SendStmt:
+			if len(held) > 0 {
+				p.Reportf(n.Pos(), "channel send while holding %s: a slow receiver blocks every caller of the lock; use a select with default or send after unlocking", lockName())
+			}
+		case *ast.CallExpr:
+			if key, op := lockOp(p, n); key != "" && op == "unlock" {
+				delete(held, key)
+				return true
+			}
+			if len(held) == 0 {
+				return true
+			}
+			if isPkgFunc(p, n, "time", "Sleep") {
+				p.Reportf(n.Pos(), "time.Sleep while holding %s", lockName())
+			}
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Record" {
+				p.Reportf(n.Pos(), "Record call while holding %s: the recorder fan-out may take other locks or block on sinks", lockName())
+			}
+		}
+		return true
+	}
+	ast.Inspect(stmt, walk)
+}
+
+func anyKey(m map[string]bool) string {
+	best := ""
+	for k := range m {
+		if best == "" || k < best {
+			best = k
+		}
+	}
+	return best
+}
+
+// lockOp classifies a call as a lock or unlock on a sync.Mutex or
+// sync.RWMutex and returns a stable key for the receiver expression.
+func lockOp(p *Pass, call *ast.CallExpr) (key, op string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		op = "lock"
+	case "Unlock", "RUnlock":
+		op = "unlock"
+	default:
+		return "", ""
+	}
+	t := p.TypeOf(sel.X)
+	if t == nil {
+		return "", ""
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return "", ""
+	}
+	if obj.Name() != "Mutex" && obj.Name() != "RWMutex" {
+		return "", ""
+	}
+	return types.ExprString(sel.X), op
+}

@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ObsEvent closes the observability name space: every metric name handed
+// to Registry.Counter/Gauge/Histogram, every span name handed to
+// Tracer.Start, and every Name or Kind carried by an obs.Event composite
+// literal must be a named constant declared in the obs package (the
+// registry file internal/obs/names.go). String literals at these call
+// sites — and constants declared in other packages — fragment the schema:
+// trace consumers, the SLO watchdog, and the report renderer all match on
+// these strings, so a typo in one producer silently breaks every
+// consumer. Dynamically computed names (variables, function results) are
+// allowed; they are how per-strategy and per-detector names are built.
+var ObsEvent = &Analyzer{
+	Name: "obsevent",
+	Doc:  "metric, span, and event names must be constants from the obs name registry",
+	Run:  runObsEvent,
+}
+
+func runObsEvent(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				for _, m := range [...]string{"Counter", "Gauge", "Histogram"} {
+					if receiverNamed(p, n, "internal/obs", "Registry", m) && len(n.Args) > 0 {
+						obsEventCheckName(p, n.Args[0], "metric name in Registry."+m)
+					}
+				}
+				if receiverNamed(p, n, "internal/obs", "Tracer", "Start") && len(n.Args) > 0 {
+					obsEventCheckName(p, n.Args[0], "span name in Tracer.Start")
+				}
+			case *ast.CompositeLit:
+				if !namedFromPkg(p.TypeOf(n), "internal/obs", "Event") {
+					return true
+				}
+				for _, elt := range n.Elts {
+					kv, ok := elt.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					if key, ok := kv.Key.(*ast.Ident); ok && (key.Name == "Name" || key.Name == "Kind") {
+						obsEventCheckName(p, kv.Value, "Event."+key.Name)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// namedFromPkg reports whether t (possibly a pointer) is the named type
+// pkgFragment.typeName.
+func namedFromPkg(t types.Type, pkgFragment, typeName string) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == typeName && obj.Pkg() != nil && pathMatches(obj.Pkg().Path(), "internal/obs")
+}
+
+// obsEventCheckName enforces the registry rule on one name expression:
+// no string literals, and named constants must come from the obs package.
+func obsEventCheckName(p *Pass, e ast.Expr, what string) {
+	e = ast.Unparen(e)
+	if lit, ok := e.(*ast.BasicLit); ok {
+		p.Reportf(e.Pos(), "%s is a string literal %s: declare it as a constant in the obs name registry (internal/obs/names.go)", what, lit.Value)
+		return
+	}
+	var id *ast.Ident
+	switch v := e.(type) {
+	case *ast.Ident:
+		id = v
+	case *ast.SelectorExpr:
+		id = v.Sel
+	default:
+		return // dynamic expression: allowed
+	}
+	obj := p.ObjectOf(id)
+	cst, ok := obj.(*types.Const)
+	if !ok {
+		return // variable or other dynamic source: allowed
+	}
+	if cst.Pkg() == nil || !pathMatches(cst.Pkg().Path(), "internal/obs") {
+		p.Reportf(e.Pos(), "%s uses constant %s declared outside the obs name registry: move it to internal/obs/names.go", what, id.Name)
+	}
+}

@@ -1,0 +1,37 @@
+// Fixture for the ctxflow analyzer: contexts must flow through the
+// cancellable core, not be minted or dropped inside it.
+package pipeline
+
+import "context"
+
+// RunContext is the cancellable entry point.
+func RunContext(ctx context.Context, n int) { _, _ = ctx, n }
+
+func helperContext(n int) { _ = n }
+
+func helperWithCtxContext(ctx context.Context, n int) { _, _ = ctx, n }
+
+// Run mints a fresh root: flagged.
+func Run(n int) {
+	RunContext(context.Background(), n) // want `context.Background\(\) mints a fresh context root`
+}
+
+// Process already receives a context yet mints and drops: both flagged.
+func Process(ctx context.Context, n int) {
+	_ = context.TODO() // want `context.TODO\(\) in a function that already receives a context`
+	helperContext(n)   // want `call to helperContext drops the context`
+	helperWithCtxContext(ctx, n)
+}
+
+// Derive builds a child context from the received one: not flagged.
+func Derive(ctx context.Context, n int) {
+	child, cancel := context.WithCancel(ctx)
+	defer cancel()
+	RunContext(child, n)
+}
+
+// Shim is the documented compat pattern, suppressed with a reason.
+func Shim(n int) {
+	//lint:allow ctxflow compat shim: documented non-cancellable entry point
+	RunContext(context.Background(), n)
+}

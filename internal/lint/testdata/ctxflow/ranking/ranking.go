@@ -1,0 +1,7 @@
+// Fixture: a package outside the ctxflow scope; fresh roots are not
+// flagged here.
+package ranking
+
+import "context"
+
+func Root() context.Context { return context.Background() }

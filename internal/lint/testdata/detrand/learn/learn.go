@@ -1,0 +1,15 @@
+// Fixture: a package outside the detrand scope; nothing is flagged even
+// though it reads the wall clock and folds over maps.
+package learn
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }
+
+func Sum(m map[int]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,8 @@
+package pipeline
+
+import "time"
+
+// JournalStamp reads the clock on the replay path: flagged.
+func JournalStamp() time.Time {
+	return time.Now() // want `time.Now in determinism-critical package`
+}

@@ -1,0 +1,9 @@
+// Fixture: in the pipeline package the clock rules apply only to the
+// journal/replay path; measuring wall-clock phase durations elsewhere is
+// by design.
+package pipeline
+
+import "time"
+
+// Measure reads the clock outside the journal path: not flagged.
+func Measure() time.Time { return time.Now() }

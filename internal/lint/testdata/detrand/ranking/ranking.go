@@ -1,0 +1,87 @@
+// Fixture for the detrand analyzer: a determinism-critical package
+// exercising the wall-clock, global-rand, and map-fold rules.
+package ranking
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// SumValues folds floats over a map range: flagged, float addition is
+// not associative.
+func SumValues(m map[int32]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `float accumulation into sum over unordered map iteration`
+		sum += v
+	}
+	return sum
+}
+
+// CollectKeys appends over a map range without sorting: flagged.
+func CollectKeys(m map[int32]float64) []int32 {
+	var idx []int32
+	for i := range m { // want `append to idx over unordered map iteration`
+		idx = append(idx, i)
+	}
+	return idx
+}
+
+// SortedKeys is the approved collect-then-sort idiom, suppressed with a
+// reasoned directive.
+func SortedKeys(m map[int32]float64) []int32 {
+	var idx []int32
+	//lint:allow detrand collection order is erased by the sort below
+	for i := range m {
+		idx = append(idx, i)
+	}
+	sort.Slice(idx, func(a, b int) bool { return idx[a] < idx[b] })
+	return idx
+}
+
+// CountEntries folds an int counter: order-independent, not flagged.
+func CountEntries(m map[int32]float64) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// ScaleInPlace writes per key: order-independent, not flagged.
+func ScaleInPlace(m map[int32]float64, a float64) {
+	for i := range m {
+		m[i] *= a
+	}
+}
+
+// HashKeys XORs an integer accumulator: commutative, not flagged.
+func HashKeys(m map[int32]float64) uint64 {
+	var h uint64
+	for i := range m {
+		h ^= uint64(uint32(i))
+	}
+	return h
+}
+
+// Stamp reads the wall clock: flagged.
+func Stamp() int64 {
+	t := time.Now() // want `time.Now in determinism-critical package`
+	return t.Unix()
+}
+
+// Elapsed reads the wall clock through time.Since: flagged.
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time.Since reads the wall clock`
+}
+
+// Draw uses the process-global rand source: flagged.
+func Draw() int {
+	return rand.Intn(10) // want `global math/rand source \(rand.Intn\)`
+}
+
+// SeededDraw draws from an explicitly seeded generator: not flagged.
+func SeededDraw(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}

@@ -1,0 +1,20 @@
+// Fixture for directive hygiene: malformed //lint:allow comments are
+// themselves diagnostics.
+package ranking
+
+//lint:allow detrand
+func MissingReason() {}
+
+//lint:allow nosuchcheck because reasons
+func UnknownAnalyzer() {}
+
+// wellFormed shows a valid directive (nothing reported for it even when
+// it suppresses nothing).
+func wellFormed(m map[int]float64) []int {
+	var keys []int
+	//lint:allow detrand collection order is erased by the caller's sort
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

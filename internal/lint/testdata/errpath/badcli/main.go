@@ -1,0 +1,25 @@
+// Fixture for the errpath analyzer: CLIs must exit through
+// os.Exit(run()) so deferred flushes execute.
+package main
+
+import (
+	"log"
+	"os"
+)
+
+func main() {
+	if len(os.Args) > 9 {
+		os.Exit(2) // want `os.Exit skips deferred trace/checkpoint flushes`
+	}
+	os.Exit(run())
+}
+
+func run() int {
+	if len(os.Args) > 3 {
+		log.Fatalf("boom: %d args", len(os.Args)) // want `log.Fatalf exits without running deferred flushes`
+	}
+	if len(os.Args) > 4 {
+		os.Exit(1) // want `os.Exit skips deferred trace/checkpoint flushes`
+	}
+	return 0
+}

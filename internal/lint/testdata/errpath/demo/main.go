@@ -1,0 +1,15 @@
+// Fixture: a main package outside cmd/; the errpath discipline applies
+// only to the shipped CLIs.
+package main
+
+import (
+	"log"
+	"os"
+)
+
+func main() {
+	if len(os.Args) > 1 {
+		log.Fatal("demo only")
+	}
+	os.Exit(0)
+}

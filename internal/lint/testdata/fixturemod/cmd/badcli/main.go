@@ -1,0 +1,14 @@
+// Command badcli violates the errpath exit discipline twice.
+package main
+
+import (
+	"log"
+	"os"
+)
+
+func main() {
+	if len(os.Args) > 1 {
+		log.Fatal("bad")
+	}
+	os.Exit(3)
+}

@@ -1,0 +1,5 @@
+// Package clean has no findings; adaptlint must exit 0 on it.
+package clean
+
+// Add is deterministic arithmetic.
+func Add(a, b int) int { return a + b }

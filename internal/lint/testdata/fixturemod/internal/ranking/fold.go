@@ -1,0 +1,12 @@
+// Package ranking exercises the adaptlint determinism rules from an
+// external module.
+package ranking
+
+// Sum folds floats over a map range; adaptlint must flag the loop.
+func Sum(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,79 @@
+// Fixture for the locksafe analyzer: no blocking operations while
+// holding a mutex in the recording fan-out.
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Event is a recorded observability event.
+type Event struct{ Name string }
+
+type sink struct{}
+
+// Record forwards one event.
+func (s *sink) Record(e Event) { _ = e }
+
+// Reg guards a recording fan-out with a mutex.
+type Reg struct {
+	mu   sync.Mutex
+	ch   chan Event
+	next *sink
+}
+
+// Bad performs all three blocking operations inside the critical
+// section: each is flagged.
+func (r *Reg) Bad(e Event) {
+	r.mu.Lock()
+	r.next.Record(e)             // want `Record call while holding r.mu`
+	r.ch <- e                    // want `channel send while holding r.mu`
+	time.Sleep(time.Millisecond) // want `time.Sleep while holding r.mu`
+	r.mu.Unlock()
+}
+
+// BadDefer holds the lock for the whole function via defer: flagged.
+func (r *Reg) BadDefer(e Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.next.Record(e) // want `Record call while holding r.mu`
+}
+
+// Good snapshots under the lock and blocks only after releasing it: not
+// flagged.
+func (r *Reg) Good(e Event) {
+	r.mu.Lock()
+	n := r.next
+	r.mu.Unlock()
+	n.Record(e)
+	r.ch <- e
+}
+
+// GoodSelect sends under the lock through a select with a default
+// clause, which cannot block: not flagged.
+func (r *Reg) GoodSelect(e Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	select {
+	case r.ch <- e:
+	default:
+	}
+}
+
+// BadSelect has no default clause, so the send can block: flagged.
+func (r *Reg) BadSelect(e Event, done chan struct{}) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	select {
+	case r.ch <- e: // want `channel send while holding r.mu`
+	case <-done:
+	}
+}
+
+// Allowed documents an intentional hold with a reasoned directive.
+func (r *Reg) Allowed(e Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	//lint:allow locksafe ordered fan-out under the lock is what serializes Seq
+	r.next.Record(e)
+}

@@ -1,0 +1,52 @@
+// Fixture for the obsevent analyzer: metric, span, and event names must
+// come from the obs name registry.
+package pipeline
+
+import "fixture.example/internal/obs"
+
+const localName = "pipeline.local"
+
+// BadLiteral spells metric names inline: flagged.
+func BadLiteral(reg *obs.Registry) {
+	reg.Counter("pipeline.docs").Add(1)           // want `metric name in Registry.Counter is a string literal "pipeline.docs"`
+	reg.Gauge("pipeline.pool").Add(1)             // want `metric name in Registry.Gauge is a string literal`
+	reg.Histogram("pipeline.seconds", nil).Add(1) // want `metric name in Registry.Histogram is a string literal`
+}
+
+// BadLocalConst routes around the registry with a local constant: flagged.
+func BadLocalConst(reg *obs.Registry) {
+	reg.Counter(localName).Add(1) // want `constant localName declared outside the obs name registry`
+}
+
+// GoodRegistry uses registry constants: not flagged.
+func GoodRegistry(reg *obs.Registry) {
+	reg.Counter(obs.MetricDocs).Add(1)
+}
+
+// GoodDynamic builds the name at run time (how per-strategy names are
+// made): not flagged.
+func GoodDynamic(reg *obs.Registry, strategy string) {
+	reg.Counter("prefix." + strategy).Add(1)
+}
+
+// BadSpan names a span inline: flagged.
+func BadSpan(tr *obs.Tracer) {
+	tr.Start("run").End() // want `span name in Tracer.Start is a string literal`
+	tr.Start(obs.SpanRun).End()
+}
+
+// BadEvent carries literal Kind and Name: both flagged.
+func BadEvent() obs.Event {
+	return obs.Event{Kind: "metric", Name: "pipeline.docs"} // want `Event.Kind is a string literal` `Event.Name is a string literal`
+}
+
+// GoodEvent uses registry constants: not flagged.
+func GoodEvent() obs.Event {
+	return obs.Event{Kind: obs.KindMetric, Name: obs.MetricDocs}
+}
+
+// Allowed keeps a legacy literal under a reasoned directive.
+func Allowed(reg *obs.Registry) {
+	//lint:allow obsevent legacy dashboard still matches this exact string
+	reg.Counter("legacy.docs.count").Add(1)
+}

@@ -1,0 +1,9 @@
+package obs
+
+// The name registry: the only place observability names may be spelled
+// as literals.
+const (
+	MetricDocs = "pipeline.docs"
+	SpanRun    = "run"
+	KindMetric = "metric"
+)

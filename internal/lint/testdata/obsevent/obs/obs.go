@@ -1,0 +1,44 @@
+// Fixture: a miniature obs package giving the obsevent analyzer the
+// shapes it matches on — the Registry, the Tracer, the Event — plus the
+// name registry constants.
+package obs
+
+// Event is one recorded observability event.
+type Event struct {
+	Kind string
+	Name string
+	Num  float64
+}
+
+// Counter is a monotone metric handle.
+type Counter struct{ n int64 }
+
+// Add increments the counter.
+func (c *Counter) Add(d int64) { c.n += d }
+
+// Registry hands out metric handles by name.
+type Registry struct{}
+
+// Counter returns the counter registered under name.
+func (r *Registry) Counter(name string) *Counter { _ = name; return &Counter{} }
+
+// Gauge returns the gauge registered under name.
+func (r *Registry) Gauge(name string) *Counter { _ = name; return &Counter{} }
+
+// Histogram returns the histogram registered under name.
+func (r *Registry) Histogram(name string, bounds []float64) *Counter {
+	_, _ = name, bounds
+	return &Counter{}
+}
+
+// Span is one traced operation.
+type Span struct{}
+
+// End closes the span.
+func (s *Span) End() {}
+
+// Tracer starts named spans.
+type Tracer struct{}
+
+// Start opens a span with the given name.
+func (t *Tracer) Start(name string) *Span { _ = name; return &Span{} }

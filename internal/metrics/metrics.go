@@ -176,11 +176,11 @@ func (t *TimeAccount) Add(o TimeAccount) {
 // (nil-safe, like all registry accessors), one gauge per component plus
 // the total — the Section 4 time-accounting breakdown as live metrics.
 func (t TimeAccount) Record(reg *obs.Registry) {
-	reg.Gauge("time.extraction_seconds").Set(t.Extraction.Seconds())
-	reg.Gauge("time.ranking_seconds").Set(t.Ranking.Seconds())
-	reg.Gauge("time.detection_seconds").Set(t.Detection.Seconds())
-	reg.Gauge("time.training_seconds").Set(t.Training.Seconds())
-	reg.Gauge("time.total_seconds").Set(t.Total().Seconds())
+	reg.Gauge(obs.MetricTimeExtractionSeconds).Set(t.Extraction.Seconds())
+	reg.Gauge(obs.MetricTimeRankingSeconds).Set(t.Ranking.Seconds())
+	reg.Gauge(obs.MetricTimeDetectionSeconds).Set(t.Detection.Seconds())
+	reg.Gauge(obs.MetricTimeTrainingSeconds).Set(t.Training.Seconds())
+	reg.Gauge(obs.MetricTimeTotalSeconds).Set(t.Total().Seconds())
 }
 
 // Minutes renders a duration in the paper's CPU-minute unit.

@@ -1,0 +1,161 @@
+package obs
+
+// This file is the single registry of every obs name the system emits:
+// metric names, span names, phase names, CPU-time account keys, fault
+// classes, breaker states, document-skip reasons, worker-panic sites,
+// and SLO watchdog rules. The obsevent analyzer (internal/lint) rejects
+// string literals at Record/span/metric call sites that do not come
+// from a constant declared here, so the emitters, the obsreport
+// analytics, the Prometheus exposition, and the watchdog rules can
+// never disagree on spelling.
+
+// Metric names: counters, gauges, and histograms registered on a
+// Registry. Grouped by owning subsystem.
+const (
+	// internal/pipeline run loop.
+	MetricPipelineSampleDocs         = "pipeline.sample_docs"
+	MetricPipelineDocsProcessed      = "pipeline.docs_processed"
+	MetricPipelineDocsUseful         = "pipeline.docs_useful"
+	MetricPipelineReranks            = "pipeline.reranks"
+	MetricPipelineUpdates            = "pipeline.updates"
+	MetricPipelineDetectorFired      = "pipeline.detector_fired"
+	MetricPipelineDetectorSuppressed = "pipeline.detector_suppressed"
+	MetricPipelineRankSeconds        = "pipeline.rank_seconds"
+	MetricPipelineUpdateSeconds      = "pipeline.update_seconds"
+	MetricPipelineDetectSeconds      = "pipeline.detect_seconds"
+	MetricPipelinePoolSize           = "pipeline.pool_size"
+	MetricPipelineModelSupport       = "pipeline.model_support"
+	MetricPipelineFeaturesAdded      = "pipeline.features_added"
+	MetricPipelineFeaturesRemoved    = "pipeline.features_removed"
+	MetricPipelineDocsSkipped        = "pipeline.docs_skipped"
+	MetricPipelineDocsRequeued       = "pipeline.docs_requeued"
+	MetricPipelineWorkerPanics       = "pipeline.worker_panics"
+
+	// pipeline.Resilient fault-tolerance layer.
+	MetricResilienceFaults           = "resilience.faults"
+	MetricResiliencePanicsRecovered  = "resilience.panics_recovered"
+	MetricResilienceTimeouts         = "resilience.timeouts"
+	MetricResilienceRetries          = "resilience.retries"
+	MetricResilienceDocsPoisoned     = "resilience.docs_poisoned"
+	MetricResilienceBreakerTrips     = "resilience.breaker_trips"
+	MetricResilienceBreakerFastFails = "resilience.breaker_fastfails"
+
+	// internal/ranking strategies.
+	MetricRankingBAggLearnSeconds = "ranking.bagg.learn_seconds"
+	MetricRankingBAggSteps        = "ranking.bagg.steps"
+	MetricRankingRSVMLearnSeconds = "ranking.rsvm.learn_seconds"
+	MetricRankingRSVMSteps        = "ranking.rsvm.steps"
+	MetricRankingRSVMSupport      = "ranking.rsvm.support"
+
+	// internal/update detectors.
+	MetricUpdateModCAngleDegrees = "update.modc.angle_degrees"
+	MetricUpdateFeatSShift       = "update.feats.shift"
+	MetricUpdateTopKFootrule     = "update.topk.footrule"
+
+	// metrics.TimeAccount gauges.
+	MetricTimeExtractionSeconds = "time.extraction_seconds"
+	MetricTimeRankingSeconds    = "time.ranking_seconds"
+	MetricTimeDetectionSeconds  = "time.detection_seconds"
+	MetricTimeTrainingSeconds   = "time.training_seconds"
+	MetricTimeTotalSeconds      = "time.total_seconds"
+
+	// RuntimeSampler gauges (see runtime.go).
+	MetricRuntimeGoroutines         = "runtime.goroutines"
+	MetricRuntimeHeapAllocBytes     = "runtime.heap_alloc_bytes"
+	MetricRuntimeHeapSysBytes       = "runtime.heap_sys_bytes"
+	MetricRuntimeHeapObjects        = "runtime.heap_objects"
+	MetricRuntimeNextGCBytes        = "runtime.next_gc_bytes"
+	MetricRuntimeGCCount            = "runtime.gc_count"
+	MetricRuntimeGCPauseLastSeconds = "runtime.gc_pause_last_seconds"
+	MetricRuntimeGCPauseTotalSecs   = "runtime.gc_pause_total_seconds"
+
+	// internal/experiments harness.
+	MetricExperimentsLabelCacheErrors = "experiments.label_cache_errors"
+)
+
+// Span names: the vocabulary of Tracer.Start. The span tree of one run
+// is run > rank|batch, batch > doc > detect > train-update; sample,
+// train-init and detector-prime are direct children of run; the ranker
+// learn spans nest under train-init/train-update.
+const (
+	SpanRun           = "run"
+	SpanSample        = "sample"
+	SpanTrainInit     = "train-init"
+	SpanDetectorPrime = "detector-prime"
+	SpanRank          = "rank"
+	SpanBatch         = "batch"
+	SpanDoc           = "doc"
+	SpanDetect        = "detect"
+	SpanTrainUpdate   = "train-update"
+	SpanBAggLearn     = "bagg-learn"
+	SpanRSVMLearn     = "rsvm-learn"
+)
+
+// Phase names: the Name of KindPhase events. PhaseTotals folds them
+// into the CPU-time accounts below.
+const (
+	PhaseInitTrain       = "init-train"
+	PhaseDetectorPrime   = "detector-prime"
+	PhaseDetection       = "detection"
+	PhaseStrategyObserve = "strategy-observe"
+)
+
+// CPU-time account keys: the map keys of PhaseTotals and
+// report.RunReport.Phases, mirroring metrics.TimeAccount.
+const (
+	AccountExtraction = "extraction"
+	AccountRanking    = "ranking"
+	AccountDetection  = "detection"
+	AccountTraining   = "training"
+	AccountTotal      = "total"
+)
+
+// Fault classes: the Name of KindExtractFault events.
+const (
+	FaultError       = "error"
+	FaultPanic       = "panic"
+	FaultTimeout     = "timeout"
+	FaultBreakerOpen = "breaker-open"
+)
+
+// Breaker states: the Name of KindBreaker events and the vocabulary of
+// Resilient.BreakerState.
+const (
+	BreakerOpen     = "open"
+	BreakerHalfOpen = "half-open"
+	BreakerClosed   = "closed"
+)
+
+// Skip reasons: the Name of KindDocSkipped events.
+const (
+	ReasonPoisoned     = "poisoned"
+	ReasonRequeueLimit = "requeue-limit"
+	ReasonBreakerOpen  = "breaker-open"
+	ReasonError        = "error"
+)
+
+// Worker-panic sites: the Name of KindWorkerPanic events.
+const (
+	PanicSiteScore = "score"
+)
+
+// Watchdog rule names, used as the Name of alert events.
+const (
+	// RuleRecallSlope fires when the useful-document fraction over the
+	// trailing window of ranked documents falls below the floor: the
+	// run's recall trajectory has flattened out.
+	RuleRecallSlope = "recall-slope"
+	// RuleFireRate fires when the fired fraction over the trailing
+	// window of detector decisions exceeds the ceiling: the detector is
+	// thrashing and update cost will swamp the extraction budget.
+	RuleFireRate = "detector-fire-rate"
+	// RuleStepLatency fires when the p99 of per-document step durations
+	// over the trailing window exceeds the ceiling.
+	RuleStepLatency = "step-latency-p99"
+	// RuleFaultRate fires when the fraction of extraction attempts that
+	// faulted (over the trailing window of attempt outcomes: one entry
+	// per extract-fault, one per successfully extracted document) exceeds
+	// the ceiling: the extractor backend is degrading and the retry layer
+	// is absorbing the damage.
+	RuleFaultRate = "extract-fault-rate"
+)

@@ -341,29 +341,29 @@ func ReadEventsPartial(r io.Reader) ([]Event, error) {
 // events are excluded (their Dur is already the whole-run total).
 func PhaseTotals(events []Event) map[string]time.Duration {
 	totals := map[string]time.Duration{
-		"extraction": 0, "ranking": 0, "detection": 0, "training": 0,
+		AccountExtraction: 0, AccountRanking: 0, AccountDetection: 0, AccountTraining: 0,
 	}
 	for _, e := range events {
 		switch e.Kind {
 		case KindSampleLabelled, KindDocExtracted:
-			totals["extraction"] += e.Dur
+			totals[AccountExtraction] += e.Dur
 		case KindRankFinished:
-			totals["ranking"] += e.Dur
+			totals[AccountRanking] += e.Dur
 		case KindModelUpdated:
-			totals["training"] += e.Dur
+			totals[AccountTraining] += e.Dur
 		case KindPhase:
 			switch e.Name {
-			case "init-train":
-				totals["training"] += e.Dur
-			case "detector-prime", "detection":
-				totals["detection"] += e.Dur
-			case "strategy-observe":
-				totals["ranking"] += e.Dur
+			case PhaseInitTrain:
+				totals[AccountTraining] += e.Dur
+			case PhaseDetectorPrime, PhaseDetection:
+				totals[AccountDetection] += e.Dur
+			case PhaseStrategyObserve:
+				totals[AccountRanking] += e.Dur
 			}
 		}
 	}
-	totals["total"] = totals["extraction"] + totals["ranking"] +
-		totals["detection"] + totals["training"]
+	totals[AccountTotal] = totals[AccountExtraction] + totals[AccountRanking] +
+		totals[AccountDetection] + totals[AccountTraining]
 	return totals
 }
 

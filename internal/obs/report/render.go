@@ -6,6 +6,8 @@ import (
 	"io"
 	"strings"
 	"time"
+
+	"adaptiverank/internal/obs"
 )
 
 // curveGlyphs are the recall-curve sparkline levels, lowest to highest.
@@ -130,8 +132,8 @@ func (r *Run) WriteText(w io.Writer) error {
 	}
 
 	fmt.Fprintf(w, "  CPU time: extraction=%s ranking=%s detection=%s training=%s total=%s\n",
-		fdur(r.Phases["extraction"]), fdur(r.Phases["ranking"]),
-		fdur(r.Phases["detection"]), fdur(r.Phases["training"]), fdur(r.Phases["total"]))
+		fdur(r.Phases[obs.AccountExtraction]), fdur(r.Phases[obs.AccountRanking]),
+		fdur(r.Phases[obs.AccountDetection]), fdur(r.Phases[obs.AccountTraining]), fdur(r.Phases[obs.AccountTotal]))
 	if r.WallClock > 0 {
 		fmt.Fprintf(w, "  wall clock: %s\n", fdur(r.WallClock))
 	}
@@ -195,7 +197,7 @@ func (c *Comparison) WriteText(w io.Writer) error {
 			row(label, fmt.Sprintf("%.4f", ra), fmt.Sprintf("%.4f (%+.4f)", rb, rb-ra))
 		}
 	}
-	for _, phase := range []string{"extraction", "ranking", "detection", "training", "total"} {
+	for _, phase := range []string{obs.AccountExtraction, obs.AccountRanking, obs.AccountDetection, obs.AccountTraining, obs.AccountTotal} {
 		row("cpu "+phase, fdur(a.Phases[phase]), fdur(b.Phases[phase]))
 	}
 	return nil

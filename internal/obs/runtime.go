@@ -70,17 +70,17 @@ func (s *RuntimeSampler) loop() {
 func (s *RuntimeSampler) sample() {
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
-	s.reg.Gauge("runtime.goroutines").Set(float64(runtime.NumGoroutine()))
-	s.reg.Gauge("runtime.heap_alloc_bytes").Set(float64(ms.HeapAlloc))
-	s.reg.Gauge("runtime.heap_sys_bytes").Set(float64(ms.HeapSys))
-	s.reg.Gauge("runtime.heap_objects").Set(float64(ms.HeapObjects))
-	s.reg.Gauge("runtime.next_gc_bytes").Set(float64(ms.NextGC))
-	s.reg.Gauge("runtime.gc_count").Set(float64(ms.NumGC))
+	s.reg.Gauge(MetricRuntimeGoroutines).Set(float64(runtime.NumGoroutine()))
+	s.reg.Gauge(MetricRuntimeHeapAllocBytes).Set(float64(ms.HeapAlloc))
+	s.reg.Gauge(MetricRuntimeHeapSysBytes).Set(float64(ms.HeapSys))
+	s.reg.Gauge(MetricRuntimeHeapObjects).Set(float64(ms.HeapObjects))
+	s.reg.Gauge(MetricRuntimeNextGCBytes).Set(float64(ms.NextGC))
+	s.reg.Gauge(MetricRuntimeGCCount).Set(float64(ms.NumGC))
 	if ms.NumGC > 0 {
 		last := ms.PauseNs[(ms.NumGC+255)%256]
-		s.reg.Gauge("runtime.gc_pause_last_seconds").Set(time.Duration(last).Seconds())
+		s.reg.Gauge(MetricRuntimeGCPauseLastSeconds).Set(time.Duration(last).Seconds())
 	}
-	s.reg.Gauge("runtime.gc_pause_total_seconds").Set(time.Duration(ms.PauseTotalNs).Seconds())
+	s.reg.Gauge(MetricRuntimeGCPauseTotalSecs).Set(time.Duration(ms.PauseTotalNs).Seconds())
 }
 
 // Close stops the sampler and waits for its goroutine to exit.

@@ -7,26 +7,9 @@ import (
 	"time"
 )
 
-// Watchdog rule names, used as the Name of alert events.
-const (
-	// RuleRecallSlope fires when the useful-document fraction over the
-	// trailing window of ranked documents falls below the floor: the
-	// run's recall trajectory has flattened out.
-	RuleRecallSlope = "recall-slope"
-	// RuleFireRate fires when the fired fraction over the trailing
-	// window of detector decisions exceeds the ceiling: the detector is
-	// thrashing and update cost will swamp the extraction budget.
-	RuleFireRate = "detector-fire-rate"
-	// RuleStepLatency fires when the p99 of per-document step durations
-	// over the trailing window exceeds the ceiling.
-	RuleStepLatency = "step-latency-p99"
-	// RuleFaultRate fires when the fraction of extraction attempts that
-	// faulted (over the trailing window of attempt outcomes: one entry
-	// per extract-fault, one per successfully extracted document) exceeds
-	// the ceiling: the extractor backend is degrading and the retry layer
-	// is absorbing the damage.
-	RuleFaultRate = "extract-fault-rate"
-)
+// The watchdog rule names (RuleRecallSlope, RuleFireRate,
+// RuleStepLatency, RuleFaultRate) are declared in names.go with the
+// rest of the obs name registry.
 
 // Alert is one SLO violation observed by the Watchdog, retained for the
 // /alerts endpoint. The same information is emitted into the event

@@ -378,6 +378,7 @@ func (j *Journal) UncheckedSnapshots(maxPos int) []int {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	var out []int
+	//lint:allow detrand collection order is erased by the sort below
 	for pos := range j.snaps {
 		if pos <= maxPos && !j.checked[pos] {
 			out = append(out, pos)

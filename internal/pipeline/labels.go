@@ -48,6 +48,7 @@ type Labels struct {
 // It panics if the extractor fails on any document; use
 // ComputeLabelsContext for the error-returning, cancellable form.
 func ComputeLabels(e extract.Extractor, coll *corpus.Collection) *Labels {
+	//lint:allow ctxflow compat shim: the panicking legacy entry point has no ctx to thread
 	l, err := ComputeLabelsContext(context.Background(), e, coll)
 	if err != nil {
 		panic(err)

@@ -181,6 +181,7 @@ type unlabeledPrimer interface {
 
 // Run executes the Figure 2 loop and returns the instrumented result.
 func Run(opts Options) (*Result, error) {
+	//lint:allow ctxflow compat shim: Run is the documented non-cancellable entry point
 	return RunContext(context.Background(), opts)
 }
 
@@ -194,6 +195,7 @@ func RunContext(ctx context.Context, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("pipeline: Coll, Labels, and Strategy are required")
 	}
 	if ctx == nil {
+		//lint:allow ctxflow nil-ctx guard: callers passing nil get the non-cancellable default
 		ctx = context.Background()
 	}
 	if opts.SearchIface != nil {
@@ -242,16 +244,16 @@ func RunContext(ctx context.Context, opts Options) (*Result, error) {
 		}
 	}
 	var (
-		cSample     = reg.Counter("pipeline.sample_docs")
-		cDocs       = reg.Counter("pipeline.docs_processed")
-		cUseful     = reg.Counter("pipeline.docs_useful")
-		cReranks    = reg.Counter("pipeline.reranks")
-		cUpdates    = reg.Counter("pipeline.updates")
-		cFired      = reg.Counter("pipeline.detector_fired")
-		cSuppressed = reg.Counter("pipeline.detector_suppressed")
-		hRank       = reg.Histogram("pipeline.rank_seconds", nil)
-		hUpdate     = reg.Histogram("pipeline.update_seconds", nil)
-		hDetect     = reg.Histogram("pipeline.detect_seconds", nil)
+		cSample     = reg.Counter(obs.MetricPipelineSampleDocs)
+		cDocs       = reg.Counter(obs.MetricPipelineDocsProcessed)
+		cUseful     = reg.Counter(obs.MetricPipelineDocsUseful)
+		cReranks    = reg.Counter(obs.MetricPipelineReranks)
+		cUpdates    = reg.Counter(obs.MetricPipelineUpdates)
+		cFired      = reg.Counter(obs.MetricPipelineDetectorFired)
+		cSuppressed = reg.Counter(obs.MetricPipelineDetectorSuppressed)
+		hRank       = reg.Histogram(obs.MetricPipelineRankSeconds, nil)
+		hUpdate     = reg.Histogram(obs.MetricPipelineUpdateSeconds, nil)
+		hDetect     = reg.Histogram(obs.MetricPipelineDetectSeconds, nil)
 	)
 	// Per-document strategy-observation and detection times are flushed
 	// as aggregate phase events at the end of the run, keeping the trace
@@ -265,7 +267,7 @@ func RunContext(ctx context.Context, opts Options) (*Result, error) {
 		startEv.Val = float64(total)
 	}
 	rec.Record(startEv)
-	spRun := tr.Start("run").SetAttr("strategy", opts.Strategy.Name()).
+	spRun := tr.Start(obs.SpanRun).SetAttr("strategy", opts.Strategy.Name()).
 		SetNum("collection", float64(opts.Coll.Len()))
 
 	// pending/cursor are declared ahead of the epilogue closure so an
@@ -294,14 +296,14 @@ func RunContext(ctx context.Context, opts Options) (*Result, error) {
 				res.AUC = metrics.AUC(res.OrderLabels)
 			}
 		}
-		reg.Gauge("pipeline.pool_size").Set(float64(res.PoolSize))
+		reg.Gauge(obs.MetricPipelinePoolSize).Set(float64(res.PoolSize))
 		res.Time.Record(reg)
 		if rec.Enabled() {
 			if accObserve > 0 {
-				rec.Record(obs.Event{Kind: obs.KindPhase, Name: "strategy-observe", Dur: accObserve})
+				rec.Record(obs.Event{Kind: obs.KindPhase, Name: obs.PhaseStrategyObserve, Dur: accObserve})
 			}
 			if accDetect > 0 {
-				rec.Record(obs.Event{Kind: obs.KindPhase, Name: "detection", Dur: accDetect})
+				rec.Record(obs.Event{Kind: obs.KindPhase, Name: obs.PhaseDetection, Dur: accDetect})
 			}
 			if opts.Journal != nil {
 				rec.Record(obs.Event{Kind: obs.KindCheckpoint,
@@ -347,8 +349,8 @@ func RunContext(ctx context.Context, opts Options) (*Result, error) {
 		outcomeRequeue
 		outcomeCancelled
 	)
-	cSkipped := reg.Counter("pipeline.docs_skipped")
-	cRequeued := reg.Counter("pipeline.docs_requeued")
+	cSkipped := reg.Counter(obs.MetricPipelineDocsSkipped)
+	cRequeued := reg.Counter(obs.MetricPipelineDocsRequeued)
 	seenTuples := make(map[relation.Tuple]bool)
 	collect := func(tuples []relation.Tuple) {
 		for _, t := range tuples {
@@ -386,15 +388,15 @@ func RunContext(ctx context.Context, opts Options) (*Result, error) {
 		if errors.Is(err, ErrBreakerOpen) {
 			return LabeledDoc{Doc: d}, outcomeRequeue, ""
 		}
-		reason := "poisoned"
+		reason := obs.ReasonPoisoned
 		if !errors.Is(err, ErrDocPoisoned) {
-			reason = "error"
+			reason = obs.ReasonError
 		}
 		return LabeledDoc{Doc: d}, outcomeSkip, reason
 	}
 
 	// --- Initial sampling & labelling -------------------------------
-	spSample := tr.Start("sample")
+	spSample := tr.Start(obs.SpanSample)
 	sample := make([]LabeledDoc, 0, len(opts.Sample))
 	processed := make(map[corpus.DocID]bool, opts.Coll.Len())
 	for _, d := range opts.Sample {
@@ -409,7 +411,7 @@ func RunContext(ctx context.Context, opts Options) (*Result, error) {
 			// fast-fail is a skip here too: there is no "later" position
 			// to requeue to before initial training needs the doc.
 			if outcome == outcomeRequeue {
-				reason = "breaker-open"
+				reason = obs.ReasonBreakerOpen
 			}
 			if !processed[d.ID] {
 				processed[d.ID] = true
@@ -441,13 +443,13 @@ func RunContext(ctx context.Context, opts Options) (*Result, error) {
 		SetNum("useful", float64(res.SampleUseful)).End()
 
 	// --- Ranking generation ------------------------------------------
-	spInit := tr.Start("train-init")
+	spInit := tr.Start(obs.SpanTrainInit)
 	t0 := time.Now()
 	opts.Strategy.Init(sample)
 	initDur := time.Since(t0)
 	res.Time.Training += initDur
 	spInit.SetNum("docs", float64(len(sample))).End()
-	rec.Record(obs.Event{Kind: obs.KindPhase, Name: "init-train", N: len(sample), Dur: initDur})
+	rec.Record(obs.Event{Kind: obs.KindPhase, Name: obs.PhaseInitTrain, N: len(sample), Dur: initDur})
 
 	feats := func(d *corpus.Document) vector.Sparse {
 		if opts.Featurizer == nil {
@@ -456,7 +458,7 @@ func RunContext(ctx context.Context, opts Options) (*Result, error) {
 		return opts.Featurizer.Features(d)
 	}
 	if opts.Detector != nil {
-		spPrime := tr.Start("detector-prime")
+		spPrime := tr.Start(obs.SpanDetectorPrime)
 		t0 = time.Now()
 		switch p := opts.Detector.(type) {
 		case labeledPrimer:
@@ -477,7 +479,7 @@ func RunContext(ctx context.Context, opts Options) (*Result, error) {
 		primeDur := time.Since(t0)
 		res.Time.Detection += primeDur
 		spPrime.SetNum("docs", float64(len(sample))).End()
-		rec.Record(obs.Event{Kind: obs.KindPhase, Name: "detector-prime", N: len(sample), Dur: primeDur})
+		rec.Record(obs.Event{Kind: obs.KindPhase, Name: obs.PhaseDetectorPrime, N: len(sample), Dur: primeDur})
 	}
 
 	// --- Build the pending pool --------------------------------------
@@ -495,6 +497,7 @@ func RunContext(ctx context.Context, opts Options) (*Result, error) {
 			}
 		}
 		ids := make([]corpus.DocID, 0, len(pool))
+		//lint:allow detrand collection order is erased by the sort below
 		for id := range pool {
 			ids = append(ids, id)
 		}
@@ -516,7 +519,7 @@ func RunContext(ctx context.Context, opts Options) (*Result, error) {
 	// vector cannot take down a worker goroutine (which would crash the
 	// whole process): the document is attributed, counted, and ranked
 	// last instead.
-	cWorkerPanics := reg.Counter("pipeline.worker_panics")
+	cWorkerPanics := reg.Counter(obs.MetricPipelineWorkerPanics)
 	score := func(d *corpus.Document) (s float64) {
 		defer func() {
 			if p := recover(); p != nil {
@@ -524,14 +527,14 @@ func RunContext(ctx context.Context, opts Options) (*Result, error) {
 				cWorkerPanics.Inc()
 				if rec.Enabled() {
 					rec.Record(obs.Event{Kind: obs.KindWorkerPanic,
-						Doc: int64(d.ID), Name: "score"})
+						Doc: int64(d.ID), Name: obs.PanicSiteScore})
 				}
 			}
 		}()
 		return opts.Strategy.Score(d)
 	}
 	rank := func() {
-		spRank := tr.Start("rank")
+		spRank := tr.Start(obs.SpanRank)
 		if rec.Enabled() {
 			rec.Record(obs.Event{Kind: obs.KindRankStarted, N: len(pending)})
 		}
@@ -631,7 +634,7 @@ func RunContext(ctx context.Context, opts Options) (*Result, error) {
 	var buffer []LabeledDoc
 	batchDocs := 0
 	requeues := make(map[corpus.DocID]int)
-	spBatch := tr.Start("batch")
+	spBatch := tr.Start(obs.SpanBatch)
 	for cursor < len(pending) {
 		if opts.MaxDocs > 0 && len(res.Order) >= opts.MaxDocs {
 			break
@@ -664,7 +667,7 @@ func RunContext(ctx context.Context, opts Options) (*Result, error) {
 			}
 			if requeues[d.ID] > opts.RequeueLimit {
 				processed[d.ID] = true
-				markSkipped(d.ID, "requeue-limit")
+				markSkipped(d.ID, obs.ReasonRequeueLimit)
 			} else {
 				pending = append(pending, d)
 			}
@@ -678,7 +681,7 @@ func RunContext(ctx context.Context, opts Options) (*Result, error) {
 			break
 		}
 		processed[d.ID] = true
-		spDoc := tr.Start("doc")
+		spDoc := tr.Start(obs.SpanDoc)
 		batchDocs++
 		collect(ld.Tuples)
 		res.Order = append(res.Order, d.ID)
@@ -708,7 +711,7 @@ func RunContext(ctx context.Context, opts Options) (*Result, error) {
 		// Update detection.
 		trigger := false
 		if opts.Detector != nil {
-			spDet := tr.Start("detect")
+			spDet := tr.Start(obs.SpanDetect)
 			t = time.Now()
 			trigger = opts.Detector.Observe(feats(d), ld.Useful)
 			dt := time.Since(t)
@@ -733,7 +736,7 @@ func RunContext(ctx context.Context, opts Options) (*Result, error) {
 				rec.Record(obs.Event{Kind: obs.KindDetectorFired,
 					Name: opts.Detector.Name(), N: bufN})
 			}
-			spTrain := tr.Start("train-update")
+			spTrain := tr.Start(obs.SpanTrainUpdate)
 			t = time.Now()
 			opts.Strategy.Update(buffer)
 			updateDur := time.Since(t)
@@ -765,9 +768,9 @@ func RunContext(ctx context.Context, opts Options) (*Result, error) {
 					Position: len(res.Order), Added: added, Removed: removed, Size: size,
 				})
 				prevSupport = cur
-				reg.Gauge("pipeline.model_support").Set(float64(size))
-				reg.Counter("pipeline.features_added").Add(int64(added))
-				reg.Counter("pipeline.features_removed").Add(int64(removed))
+				reg.Gauge(obs.MetricPipelineModelSupport).Set(float64(size))
+				reg.Counter(obs.MetricPipelineFeaturesAdded).Add(int64(added))
+				reg.Counter(obs.MetricPipelineFeaturesRemoved).Add(int64(removed))
 			}
 			if rec.Enabled() {
 				ev := obs.Event{Kind: obs.KindModelUpdated, N: bufN, Dur: updateDur}
@@ -801,7 +804,7 @@ func RunContext(ctx context.Context, opts Options) (*Result, error) {
 			pending = pending[cursor:]
 			cursor = 0
 			rank()
-			spBatch = tr.Start("batch")
+			spBatch = tr.Start(obs.SpanBatch)
 			batchDocs = 0
 		}
 	}

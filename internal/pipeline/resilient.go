@@ -165,13 +165,13 @@ func NewResilient(inner Oracle, opts ResilientOptions) *Resilient {
 // Instrument implements obs.Instrumentable.
 func (r *Resilient) Instrument(reg *obs.Registry, rec obs.Recorder) {
 	r.rec = rec
-	r.cFaults = reg.Counter("resilience.faults")
-	r.cPanics = reg.Counter("resilience.panics_recovered")
-	r.cTimeouts = reg.Counter("resilience.timeouts")
-	r.cRetries = reg.Counter("resilience.retries")
-	r.cPoisoned = reg.Counter("resilience.docs_poisoned")
-	r.cTrips = reg.Counter("resilience.breaker_trips")
-	r.cFastFail = reg.Counter("resilience.breaker_fastfails")
+	r.cFaults = reg.Counter(obs.MetricResilienceFaults)
+	r.cPanics = reg.Counter(obs.MetricResiliencePanicsRecovered)
+	r.cTimeouts = reg.Counter(obs.MetricResilienceTimeouts)
+	r.cRetries = reg.Counter(obs.MetricResilienceRetries)
+	r.cPoisoned = reg.Counter(obs.MetricResilienceDocsPoisoned)
+	r.cTrips = reg.Counter(obs.MetricResilienceBreakerTrips)
+	r.cFastFail = reg.Counter(obs.MetricResilienceBreakerFastFails)
 	// Forward to the wrapped oracle so a whole chain instruments with
 	// one call.
 	if in, ok := r.inner.(obs.Instrumentable); ok {
@@ -181,6 +181,7 @@ func (r *Resilient) Instrument(reg *obs.Registry, rec obs.Recorder) {
 
 // Label implements Oracle for fault-unaware callers.
 func (r *Resilient) Label(d *corpus.Document) (bool, []relation.Tuple) {
+	//lint:allow ctxflow compat shim: the Oracle interface has no ctx to thread
 	useful, tuples, _ := r.LabelContext(context.Background(), d)
 	return useful, tuples
 }
@@ -195,7 +196,7 @@ func (r *Resilient) LabelContext(ctx context.Context, d *corpus.Document) (bool,
 	if !r.breakerAllow() {
 		r.cFastFail.Inc()
 		if r.rec.Enabled() {
-			r.rec.Record(obs.Event{Kind: obs.KindExtractFault, Doc: int64(d.ID), Name: "breaker-open"})
+			r.rec.Record(obs.Event{Kind: obs.KindExtractFault, Doc: int64(d.ID), Name: obs.FaultBreakerOpen})
 		}
 		return false, nil, fmt.Errorf("doc %d: %w", d.ID, ErrBreakerOpen)
 	}
@@ -215,13 +216,13 @@ func (r *Resilient) LabelContext(ctx context.Context, d *corpus.Document) (bool,
 			return false, nil, ctx.Err()
 		}
 		lastErr = err
-		class := "error"
+		class := obs.FaultError
 		switch {
 		case errors.Is(err, errAttemptPanic):
-			class = "panic"
+			class = obs.FaultPanic
 			r.cPanics.Inc()
 		case errors.Is(err, context.DeadlineExceeded):
-			class = "timeout"
+			class = obs.FaultTimeout
 			r.cTimeouts.Inc()
 		}
 		r.cFaults.Inc()
@@ -315,7 +316,7 @@ func (r *Resilient) breakerAllow() bool {
 		r.openCalls++
 		if r.openCalls >= r.opts.BreakerCooldown {
 			r.state = breakerHalfOpen
-			r.transitionLocked("half-open")
+			r.transitionLocked(obs.BreakerHalfOpen)
 			return true // this call is the probe
 		}
 		return false
@@ -333,7 +334,7 @@ func (r *Resilient) breakerSuccess() {
 	r.consecFails = 0
 	if r.state != breakerClosed {
 		r.state = breakerClosed
-		r.transitionLocked("closed")
+		r.transitionLocked(obs.BreakerClosed)
 	}
 }
 
@@ -349,12 +350,12 @@ func (r *Resilient) breakerFailure(d *corpus.Document) {
 		// Failed probe: straight back to open.
 		r.state = breakerOpen
 		r.openCalls = 0
-		r.transitionLocked("open")
+		r.transitionLocked(obs.BreakerOpen)
 	case r.state == breakerClosed && r.consecFails >= r.opts.BreakerThreshold:
 		r.state = breakerOpen
 		r.openCalls = 0
 		r.cTrips.Inc()
-		r.transitionLocked("open")
+		r.transitionLocked(obs.BreakerOpen)
 	}
 }
 
@@ -372,11 +373,11 @@ func (r *Resilient) BreakerState() string {
 	defer r.mu.Unlock()
 	switch r.state {
 	case breakerOpen:
-		return "open"
+		return obs.BreakerOpen
 	case breakerHalfOpen:
-		return "half-open"
+		return obs.BreakerHalfOpen
 	}
-	return "closed"
+	return obs.BreakerClosed
 }
 
 // ExtractorOracle adapts a black-box extract.Extractor to the

@@ -80,8 +80,8 @@ func (b *BAggIE) Name() string { return "BAgg-IE" }
 // the committee's combined Pegasos steps counted. Clones are never
 // instrumented (see RSVMIE.Instrument).
 func (b *BAggIE) Instrument(reg *obs.Registry, _ obs.Recorder) {
-	b.obsLearn = reg.Histogram("ranking.bagg.learn_seconds", nil)
-	b.obsSteps = reg.Counter("ranking.bagg.steps")
+	b.obsLearn = reg.Histogram(obs.MetricRankingBAggLearnSeconds, nil)
+	b.obsSteps = reg.Counter(obs.MetricRankingBAggSteps)
 }
 
 // InstrumentTracer implements obs.TraceInstrumentable: each Learn call
@@ -92,13 +92,13 @@ func (b *BAggIE) InstrumentTracer(tr *obs.Tracer) { b.tr = tr }
 // Learn deals the example to the next committee member and drains that
 // member's balanced queue.
 func (b *BAggIE) Learn(x vector.Sparse, useful bool) {
-	sp := b.tr.Start("bagg-learn")
+	sp := b.tr.Start(obs.SpanBAggLearn)
 	if b.obsLearn == nil {
 		b.learn(x, useful)
 		sp.End()
 		return
 	}
-	t := time.Now()
+	t := time.Now() //lint:allow detrand measured telemetry only; never feeds model state
 	s0 := 0
 	for _, m := range b.members {
 		s0 += m.Steps()
@@ -108,7 +108,7 @@ func (b *BAggIE) Learn(x vector.Sparse, useful bool) {
 	for _, m := range b.members {
 		s1 += m.Steps()
 	}
-	b.obsLearn.ObserveDuration(time.Since(t))
+	b.obsLearn.ObserveDuration(time.Since(t)) //lint:allow detrand measured telemetry only; never feeds model state
 	b.obsSteps.Add(int64(s1 - s0))
 	sp.SetNum("steps", float64(s1-s0)).End()
 }

@@ -153,6 +153,7 @@ func refDiff(pos, neg vector.Sparse) ([]int32, []float64) {
 	pos.Range(func(i int32, v float64) { d[i] += v })
 	neg.Range(func(i int32, v float64) { d[i] -= v })
 	idx := make([]int32, 0, len(d))
+	//lint:allow detrand collection order is erased by the sort below
 	for i, v := range d {
 		if v != 0 {
 			idx = append(idx, i)

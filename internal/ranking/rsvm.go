@@ -80,9 +80,9 @@ func (r *RSVMIE) Name() string { return "RSVM-IE" }
 // non-zero support is tracked as a gauge. Clones (the Mod-C shadow model)
 // are never instrumented, so the metrics describe the live model only.
 func (r *RSVMIE) Instrument(reg *obs.Registry, _ obs.Recorder) {
-	r.obsLearn = reg.Histogram("ranking.rsvm.learn_seconds", nil)
-	r.obsSteps = reg.Counter("ranking.rsvm.steps")
-	r.obsSupport = reg.Gauge("ranking.rsvm.support")
+	r.obsLearn = reg.Histogram(obs.MetricRankingRSVMLearnSeconds, nil)
+	r.obsSteps = reg.Counter(obs.MetricRankingRSVMSteps)
+	r.obsSupport = reg.Gauge(obs.MetricRankingRSVMSupport)
 }
 
 // InstrumentTracer implements obs.TraceInstrumentable: each Learn call
@@ -94,16 +94,16 @@ func (r *RSVMIE) InstrumentTracer(tr *obs.Tracer) { r.tr = tr }
 // Learn forms stochastic pairs between the incoming document and sampled
 // opposite-label documents and performs pairwise hinge updates.
 func (r *RSVMIE) Learn(x vector.Sparse, useful bool) {
-	sp := r.tr.Start("rsvm-learn")
+	sp := r.tr.Start(obs.SpanRSVMLearn)
 	if r.obsLearn == nil {
 		r.learn(x, useful)
 		sp.End()
 		return
 	}
-	t := time.Now()
+	t := time.Now() //lint:allow detrand measured telemetry only; never feeds model state
 	s0 := r.model.Steps()
 	r.learn(x, useful)
-	r.obsLearn.ObserveDuration(time.Since(t))
+	r.obsLearn.ObserveDuration(time.Since(t)) //lint:allow detrand measured telemetry only; never feeds model state
 	steps := r.model.Steps() - s0
 	r.obsSteps.Add(int64(steps))
 	r.obsSupport.Set(float64(r.model.Weights().NNZ()))

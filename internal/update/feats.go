@@ -71,7 +71,7 @@ func (f *FeatS) Name() string { return "Feat-S" }
 // when tracing, emits a detector-decision event. Between checks the
 // detector makes no decision, so nothing is recorded.
 func (f *FeatS) Instrument(reg *obs.Registry, rec obs.Recorder) {
-	f.obsShift = reg.Histogram("update.feats.shift", []float64{0.01, 0.02, 0.05, 0.1, 0.15, 0.2, 0.3, 0.5, 1})
+	f.obsShift = reg.Histogram(obs.MetricUpdateFeatSShift, []float64{0.01, 0.02, 0.05, 0.1, 0.15, 0.2, 0.3, 0.5, 1})
 	f.rec = rec
 }
 

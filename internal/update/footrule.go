@@ -2,6 +2,7 @@ package update
 
 import (
 	"math"
+	"sort"
 
 	"adaptiverank/internal/vector"
 )
@@ -43,8 +44,18 @@ func Footrule(a, b []vector.WeightedFeature) float64 {
 		return 0
 	}
 
+	// Fold in sorted feature order: the distance feeds Top-K's trigger
+	// comparison against tau, and float addition over Go's randomized
+	// map order would make identical runs disagree in the last ulps.
+	idxs := make([]int32, 0, len(universe))
+	//lint:allow detrand index collection is sorted immediately below
+	for idx := range universe {
+		idxs = append(idxs, idx)
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
 	var d float64
-	for idx, w := range universe {
+	for _, idx := range idxs {
+		w := universe[idx]
 		pa, pb := 1.0, 1.0
 		if totalA > 0 {
 			if p, ok := posA[idx]; ok {

@@ -73,7 +73,7 @@ func AngleBuckets() []float64 {
 // live/shadow cosine angle into a histogram and, when tracing, emits a
 // detector-decision event carrying the angle and the trigger outcome.
 func (m *ModC) Instrument(reg *obs.Registry, rec obs.Recorder) {
-	m.obsAngle = reg.Histogram("update.modc.angle_degrees", AngleBuckets())
+	m.obsAngle = reg.Histogram(obs.MetricUpdateModCAngleDegrees, AngleBuckets())
 	m.rec = rec
 }
 

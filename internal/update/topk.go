@@ -83,7 +83,7 @@ func (t *TopK) Name() string { return "Top-K" }
 // weighted footrule distance into a histogram and, when tracing, emits a
 // detector-decision event carrying the distance and the trigger outcome.
 func (t *TopK) Instrument(reg *obs.Registry, rec obs.Recorder) {
-	t.obsDist = reg.Histogram("update.topk.footrule", FootruleBuckets())
+	t.obsDist = reg.Histogram(obs.MetricUpdateTopKFootrule, FootruleBuckets())
 	t.rec = rec
 }
 

@@ -58,6 +58,7 @@ func NewSparse(idx []int32, val []float64) Sparse {
 // FromCounts builds a Sparse vector from a feature-count map.
 func FromCounts(counts map[int32]float64) Sparse {
 	idx := make([]int32, 0, len(counts))
+	//lint:allow detrand collection order is erased by the sort below
 	for i := range counts {
 		idx = append(idx, i)
 	}

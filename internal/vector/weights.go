@@ -24,6 +24,21 @@ func (w *Weights) Clone() *Weights {
 	return c
 }
 
+// sortedIndices returns the stored feature indices in increasing order.
+// The norm and similarity folds below iterate in this order because
+// float addition is not associative: summing in Go's randomized map
+// order would make L1/L2/Cosine — and every detector trigger decision
+// derived from them — differ in the last ulps between identical runs.
+func (w *Weights) sortedIndices() []int32 {
+	idx := make([]int32, 0, len(w.w))
+	//lint:allow detrand index collection is sorted immediately below
+	for i := range w.w {
+		idx = append(idx, i)
+	}
+	sort.Slice(idx, func(a, b int) bool { return idx[a] < idx[b] })
+	return idx
+}
+
 // At returns the weight of feature i (0 when absent).
 func (w *Weights) At(i int32) float64 { return w.w[i] }
 
@@ -78,20 +93,23 @@ func (w *Weights) Dot(x Sparse) float64 {
 	return sum
 }
 
-// L2 returns the Euclidean norm of the weight vector.
+// L2 returns the Euclidean norm of the weight vector. The fold runs in
+// sorted index order so the result is identical across runs.
 func (w *Weights) L2() float64 {
 	var sum float64
-	for _, v := range w.w {
+	for _, i := range w.sortedIndices() {
+		v := w.w[i]
 		sum += v * v
 	}
 	return math.Sqrt(sum)
 }
 
-// L1 returns the L1 norm of the weight vector.
+// L1 returns the L1 norm of the weight vector, folded in sorted index
+// order for run-to-run determinism.
 func (w *Weights) L1() float64 {
 	var sum float64
-	for _, v := range w.w {
-		sum += math.Abs(v)
+	for _, i := range w.sortedIndices() {
+		sum += math.Abs(w.w[i])
 	}
 	return sum
 }
@@ -104,14 +122,16 @@ func (w *Weights) Cosine(o *Weights) float64 {
 		return 0
 	}
 	var dot float64
-	// Iterate over the smaller map.
+	// Iterate over the smaller map, in sorted index order: the dot
+	// product feeds Mod-C's trigger angle, where ulp-level drift from
+	// randomized iteration order could flip a threshold decision.
 	a, b := w, o
 	if len(b.w) < len(a.w) {
 		a, b = b, a
 	}
-	for i, v := range a.w {
+	for _, i := range a.sortedIndices() {
 		if u, ok := b.w[i]; ok {
-			dot += v * u
+			dot += a.w[i] * u
 		}
 	}
 	return dot / (nw * no)
@@ -139,6 +159,7 @@ type WeightedFeature struct {
 // decreasing |weight| with index as tiebreaker for determinism.
 func (w *Weights) TopK(k int) []WeightedFeature {
 	all := make([]WeightedFeature, 0, len(w.w))
+	//lint:allow detrand collection order is erased by the sort below
 	for i, v := range w.w {
 		all = append(all, WeightedFeature{Index: i, Weight: v})
 	}
