@@ -55,10 +55,16 @@ func env() *experiments.Env {
 }
 
 // runExperiment executes one suite item once per benchmark iteration and
-// logs the rendered output.
+// logs the rendered output. The shared env counts documents processed and
+// scoring operations across its uncached pipeline runs; differencing the
+// totals around the loop yields the ns/score and docs/sec metrics that
+// benchgate gates uniformly across BenchmarkTable/Figure entries. A fully
+// cached re-run does no pipeline work, so the deltas are zero and the
+// metrics are (correctly) not re-measured.
 func runExperiment(b *testing.B, id string) {
 	b.Helper()
 	recordBench(b)
+	docs0, scores0 := env().Totals()
 	for i := 0; i < b.N; i++ {
 		var buf bytes.Buffer
 		if err := experiments.RunSuite(env(), &buf, id); err != nil {
@@ -66,6 +72,15 @@ func runExperiment(b *testing.B, id string) {
 		}
 		if i == 0 {
 			b.Log("\n" + buf.String())
+		}
+	}
+	docs1, scores1 := env().Totals()
+	if el := b.Elapsed(); el > 0 {
+		if d := scores1 - scores0; d > 0 {
+			recordBenchMetric(b, "ns/score", float64(el.Nanoseconds())/float64(d))
+		}
+		if d := docs1 - docs0; d > 0 {
+			recordBenchMetric(b, "docs/sec", float64(d)/el.Seconds())
 		}
 	}
 }

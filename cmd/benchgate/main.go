@@ -1,0 +1,66 @@
+// Command benchgate compares a fresh benchmark run against the
+// repository's committed performance trajectory and fails when a gated
+// metric regressed. It is the enforcement half of the -bench-out harness:
+// CI regenerates the scoring benchmarks into a temporary file and this
+// command diffs it against BENCH_scoring.json.
+//
+// Usage:
+//
+//	benchgate -baseline BENCH_scoring.json -current fresh.json [-threshold 0.15]
+//
+// The exit status is 0 when every gated metric is within the threshold,
+// 1 when a regression (or a benchmark missing from the current run) was
+// found, and 2 when either file is missing or malformed. See
+// internal/benchgate for the per-metric gating rules and README
+// "Performance" for how to refresh the baseline intentionally.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"adaptiverank/internal/benchgate"
+)
+
+func main() { os.Exit(run(os.Args[1:])) }
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	baseline := fs.String("baseline", "BENCH_scoring.json", "committed baseline trajectory file")
+	current := fs.String("current", "", "freshly generated trajectory file to gate")
+	threshold := fs.Float64("threshold", 0.15, "allowed relative regression per gated metric")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *current == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -current is required")
+		return 2
+	}
+	if *threshold <= 0 || *threshold >= 1 {
+		fmt.Fprintf(os.Stderr, "benchgate: threshold %g out of range (0, 1)\n", *threshold)
+		return 2
+	}
+	base, err := benchgate.Load(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	cur, err := benchgate.Load(*current)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	findings := benchgate.Compare(base, cur, *threshold)
+	if len(findings) > 0 {
+		for _, f := range findings {
+			fmt.Fprintln(os.Stdout, f)
+		}
+		fmt.Fprintf(os.Stderr, "benchgate: %d regression(s) against %s (threshold %.0f%%)\n",
+			len(findings), *baseline, *threshold*100)
+		return 1
+	}
+	fmt.Fprintf(os.Stdout, "benchgate: %d benchmark(s) within %.0f%% of %s\n",
+		len(base.Results), *threshold*100, *baseline)
+	return 0
+}

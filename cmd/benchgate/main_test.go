@@ -1,0 +1,121 @@
+package main_test
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildBenchgate compiles the benchgate binary into a temp dir, mirroring
+// the cmd/adaptlint integration-test pattern.
+func buildBenchgate(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "benchgate")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building benchgate: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func exitCode(t *testing.T, err error) int {
+	t.Helper()
+	if err == nil {
+		return 0
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("benchgate did not run: %v", err)
+	}
+	return ee.ExitCode()
+}
+
+func runGate(t *testing.T, bin string, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.CombinedOutput()
+	return string(out), exitCode(t, err)
+}
+
+// TestBenchgateExitCodes drives the built binary over the fixture
+// trajectory: exit 0 within threshold, exit 1 on regression, exit 2 on
+// malformed or missing inputs.
+func TestBenchgateExitCodes(t *testing.T) {
+	bin := buildBenchgate(t)
+	td := func(name string) string { return filepath.Join("testdata", name) }
+
+	out, code := runGate(t, bin,
+		"-baseline", td("baseline.json"), "-current", td("current_ok.json"))
+	if code != 0 {
+		t.Fatalf("within-threshold run exit = %d, want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "within 15%") {
+		t.Errorf("clean run output missing summary:\n%s", out)
+	}
+
+	out, code = runGate(t, bin,
+		"-baseline", td("baseline.json"), "-current", td("current_regressed.json"))
+	if code != 1 {
+		t.Fatalf("regressed run exit = %d, want 1\n%s", code, out)
+	}
+	for _, wantFrag := range []string{
+		"BenchmarkScoringRSVMIEPacked: ns/score regressed",
+		"BenchmarkScoringRSVMIEPacked: docs/sec regressed",
+		"BenchmarkScoringRSVMIEPacked: allocs/op regressed",
+		"BenchmarkScoringRSVMIEPacked: B/op regressed",
+		"BenchmarkScoringBAggIEPacked: benchmark missing from current run",
+		"regression(s) against",
+	} {
+		if !strings.Contains(out, wantFrag) {
+			t.Errorf("regression output missing %q:\n%s", wantFrag, out)
+		}
+	}
+
+	// A generous threshold turns the metric regressions back to green —
+	// but the missing benchmark and the 0-alloc budget still fail, since
+	// neither is threshold-relative.
+	out, code = runGate(t, bin, "-threshold", "0.99",
+		"-baseline", td("baseline.json"), "-current", td("current_regressed.json"))
+	if code != 1 {
+		t.Fatalf("missing-benchmark run exit = %d, want 1\n%s", code, out)
+	}
+	if strings.Contains(out, "ns/score regressed") {
+		t.Errorf("threshold 0.99 still flagged ns/score:\n%s", out)
+	}
+	if !strings.Contains(out, "allocs/op regressed") {
+		t.Errorf("0-alloc budget not enforced at high threshold:\n%s", out)
+	}
+
+	for _, tc := range []struct {
+		name string
+		args []string
+	}{
+		{"malformed baseline", []string{"-baseline", td("malformed.json"), "-current", td("current_ok.json")}},
+		{"malformed current", []string{"-baseline", td("baseline.json"), "-current", td("malformed.json")}},
+		{"missing baseline", []string{"-baseline", td("absent.json"), "-current", td("current_ok.json")}},
+		{"no -current", []string{"-baseline", td("baseline.json")}},
+		{"bad threshold", []string{"-threshold", "7", "-baseline", td("baseline.json"), "-current", td("current_ok.json")}},
+	} {
+		out, code = runGate(t, bin, tc.args...)
+		if code != 2 {
+			t.Errorf("%s: exit = %d, want 2\n%s", tc.name, code, out)
+		}
+	}
+}
+
+// TestBenchgateSelf gates the repository's committed baseline against
+// itself: identical files must always pass, so a bad schema change or an
+// accidentally empty BENCH_scoring.json is caught by `go test ./...`
+// before CI ever reruns the benches.
+func TestBenchgateSelf(t *testing.T) {
+	bin := buildBenchgate(t)
+	baseline, err := filepath.Abs(filepath.Join("..", "..", "BENCH_scoring.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, code := runGate(t, bin, "-baseline", baseline, "-current", baseline)
+	if code != 0 {
+		t.Fatalf("self-comparison of BENCH_scoring.json exit = %d, want 0\n%s", code, out)
+	}
+}

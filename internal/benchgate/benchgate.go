@@ -1,0 +1,167 @@
+// Package benchgate defines the machine-readable benchmark trajectory
+// format written by the root test package's -bench-out flag and the
+// comparison rules that gate performance regressions in CI. A committed
+// baseline file (BENCH_scoring.json) is the repository's perf contract:
+// cmd/benchgate re-compares a fresh run against it and fails the build
+// when a gated metric regresses beyond the threshold.
+package benchgate
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Result is one benchmark's final (largest-N) measurement.
+type Result struct {
+	Name    string  `json:"name"`
+	N       int     `json:"n"`
+	NsPerOp float64 `json:"ns_per_op"`
+	// Elapsed is the total measured time of the final run, nanoseconds.
+	Elapsed int64 `json:"elapsed_ns"`
+	// Metrics holds the gated measurements, reported through
+	// testing.B.ReportMetric and mirrored here: ratio metrics such as
+	// "ns/score" and "docs/sec" (from the shared experiment env) and the
+	// allocation budgets "allocs/op" and "B/op" (from the scoring
+	// microbenches). See Compare for the per-name gating rules.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is the -bench-out document: one benchmark trajectory snapshot.
+type File struct {
+	Go      string   `json:"go"`
+	GOOS    string   `json:"goos"`
+	GOARCH  string   `json:"goarch"`
+	Scale   string   `json:"scale,omitempty"` // ADAPTIVERANK_BENCH at write time
+	Results []Result `json:"results"`
+}
+
+// Lookup finds a result by benchmark name.
+func (f *File) Lookup(name string) (Result, bool) {
+	for _, r := range f.Results {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return Result{}, false
+}
+
+// Load reads and validates a trajectory file. Malformed JSON, an empty
+// result list, or results without names are errors: a gate that silently
+// compares nothing would pass forever.
+func Load(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("benchgate: %w", err)
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("benchgate: %s: %w", path, err)
+	}
+	if len(f.Results) == 0 {
+		return nil, fmt.Errorf("benchgate: %s: no benchmark results", path)
+	}
+	for _, r := range f.Results {
+		if r.Name == "" {
+			return nil, fmt.Errorf("benchgate: %s: result with empty name", path)
+		}
+	}
+	return &f, nil
+}
+
+// Finding is one gated-metric regression (or a missing benchmark).
+type Finding struct {
+	Bench  string
+	Metric string
+	// Baseline and Current are the compared values; both are zero for a
+	// missing-benchmark finding.
+	Baseline, Current float64
+	// Limit is the value Current crossed.
+	Limit float64
+}
+
+// MetricMissing is the Finding.Metric value for a benchmark present in
+// the baseline but absent from the current run.
+const MetricMissing = "missing"
+
+func (f Finding) String() string {
+	if f.Metric == MetricMissing {
+		return fmt.Sprintf("%s: benchmark missing from current run", f.Bench)
+	}
+	return fmt.Sprintf("%s: %s regressed: baseline %.4g, current %.4g (limit %.4g)",
+		f.Bench, f.Metric, f.Baseline, f.Current, f.Limit)
+}
+
+// allocSlack absorbs sub-allocation measurement jitter: an alloc budget
+// of 0 still requires 0 (the first whole allocation trips the gate), and
+// background fractions below half an allocation per op do not.
+const allocSlack = 0.5
+
+// bytesSlack is the absolute B/op headroom added on top of the relative
+// threshold, so a 0 B/op baseline tolerates stray sub-op runtime bytes
+// without letting a real per-op allocation (16 B+) through.
+const bytesSlack = 8.0
+
+// Compare gates current against baseline. For every baseline benchmark:
+//
+//   - a benchmark absent from current is a finding (the committed
+//     trajectory must not silently lose coverage);
+//   - each metric recorded in both files is gated by name:
+//     "allocs/op" near-exactly (current > baseline + 0.5 fails, so a
+//     0-alloc budget stays 0); "B/op" at threshold plus a small absolute
+//     slack; names ending "/sec" (docs/sec) regress downward at
+//     threshold; everything else (ns/score) regresses upward at
+//     threshold.
+//
+// Raw NsPerOp is deliberately not gated: the ratio metrics cover time
+// per unit of real work, while an experiment-suite op spans a whole
+// render whose cost moves with cache state and scale knobs. Metrics in
+// the baseline but not re-measured in current (a fully cached rerun
+// records no ns/score) are skipped, and benchmarks present only in
+// current are ignored — adding coverage never fails the gate.
+func Compare(baseline, current *File, threshold float64) []Finding {
+	var out []Finding
+	for _, base := range baseline.Results {
+		cur, ok := current.Lookup(base.Name)
+		if !ok {
+			out = append(out, Finding{Bench: base.Name, Metric: MetricMissing})
+			continue
+		}
+		names := make([]string, 0, len(base.Metrics))
+		//lint:allow detrand collection order is erased by the sort below
+		for name := range base.Metrics {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			bv := base.Metrics[name]
+			cv, ok := cur.Metrics[name]
+			if !ok {
+				continue // not re-measured (e.g. fully cached rerun)
+			}
+			var limit float64
+			regressed := false
+			switch {
+			case name == "allocs/op":
+				limit = bv + allocSlack
+				regressed = cv > limit
+			case name == "B/op":
+				limit = bv*(1+threshold) + bytesSlack
+				regressed = cv > limit
+			case strings.HasSuffix(name, "/sec"):
+				limit = bv * (1 - threshold)
+				regressed = bv > 0 && cv < limit
+			default:
+				limit = bv * (1 + threshold)
+				regressed = bv > 0 && cv > limit
+			}
+			if regressed {
+				out = append(out, Finding{Bench: base.Name, Metric: name,
+					Baseline: bv, Current: cv, Limit: limit})
+			}
+		}
+	}
+	return out
+}

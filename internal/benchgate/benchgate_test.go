@@ -1,0 +1,136 @@
+package benchgate
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func mkfile(results ...Result) *File {
+	return &File{Go: "go1.24", GOOS: "linux", GOARCH: "amd64", Results: results}
+}
+
+func res(name string, metrics map[string]float64) Result {
+	return Result{Name: name, N: 100, NsPerOp: 1000, Elapsed: 100000, Metrics: metrics}
+}
+
+func findingFor(fs []Finding, bench, metric string) (Finding, bool) {
+	for _, f := range fs {
+		if f.Bench == bench && f.Metric == metric {
+			return f, true
+		}
+	}
+	return Finding{}, false
+}
+
+func TestCompareClean(t *testing.T) {
+	base := mkfile(res("BenchmarkScoring", map[string]float64{
+		"ns/score": 100, "docs/sec": 5000, "allocs/op": 0, "B/op": 0,
+	}))
+	cur := mkfile(res("BenchmarkScoring", map[string]float64{
+		"ns/score": 110, "docs/sec": 4500, "allocs/op": 0, "B/op": 2,
+	}))
+	if fs := Compare(base, cur, 0.15); len(fs) != 0 {
+		t.Fatalf("within-threshold run produced findings: %v", fs)
+	}
+}
+
+func TestCompareRegressions(t *testing.T) {
+	base := mkfile(res("BenchmarkScoring", map[string]float64{
+		"ns/score": 100, "docs/sec": 5000, "allocs/op": 0, "B/op": 100,
+	}))
+	cur := mkfile(res("BenchmarkScoring", map[string]float64{
+		"ns/score":  120,  // +20% > 15% threshold
+		"docs/sec":  4000, // -20% > 15% threshold
+		"allocs/op": 1,    // budget was 0
+		"B/op":      200,  // double the bytes
+	}))
+	fs := Compare(base, cur, 0.15)
+	for _, metric := range []string{"ns/score", "docs/sec", "allocs/op", "B/op"} {
+		f, ok := findingFor(fs, "BenchmarkScoring", metric)
+		if !ok {
+			t.Errorf("no finding for regressed metric %q (got %v)", metric, fs)
+			continue
+		}
+		if f.String() == "" {
+			t.Errorf("empty rendering for %q", metric)
+		}
+	}
+	if len(fs) != 4 {
+		t.Errorf("want exactly 4 findings, got %d: %v", len(fs), fs)
+	}
+}
+
+func TestCompareDirectionality(t *testing.T) {
+	// Improvements in either direction are never findings.
+	base := mkfile(res("B", map[string]float64{"ns/score": 100, "docs/sec": 5000}))
+	cur := mkfile(res("B", map[string]float64{"ns/score": 10, "docs/sec": 50000}))
+	if fs := Compare(base, cur, 0.15); len(fs) != 0 {
+		t.Fatalf("improvements flagged as regressions: %v", fs)
+	}
+}
+
+func TestCompareMissingBenchmark(t *testing.T) {
+	base := mkfile(res("BenchmarkGone", nil), res("BenchmarkKept", nil))
+	cur := mkfile(res("BenchmarkKept", nil), res("BenchmarkNew", nil))
+	fs := Compare(base, cur, 0.15)
+	if len(fs) != 1 {
+		t.Fatalf("want 1 finding, got %v", fs)
+	}
+	if f := fs[0]; f.Bench != "BenchmarkGone" || f.Metric != MetricMissing {
+		t.Fatalf("unexpected finding %+v", f)
+	}
+}
+
+func TestCompareSkipsUnmeasuredMetrics(t *testing.T) {
+	// A cached rerun records no ratio metrics; the gate must not treat
+	// absence as a zero measurement.
+	base := mkfile(res("B", map[string]float64{"ns/score": 100, "allocs/op": 0}))
+	cur := mkfile(res("B", nil))
+	if fs := Compare(base, cur, 0.15); len(fs) != 0 {
+		t.Fatalf("unmeasured metrics flagged: %v", fs)
+	}
+}
+
+func TestLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	doc := `{"go":"go1.24","goos":"linux","goarch":"amd64","results":[
+		{"name":"BenchmarkX","n":5,"ns_per_op":12.5,"elapsed_ns":62,
+		 "metrics":{"ns/score":3.5,"docs/sec":100}}]}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := f.Lookup("BenchmarkX")
+	if !ok {
+		t.Fatal("BenchmarkX not found")
+	}
+	if r.Metrics["ns/score"] != 3.5 || r.Metrics["docs/sec"] != 100 {
+		t.Fatalf("metrics lost in round trip: %+v", r.Metrics)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"malformed.json": `{"results": [`,
+		"empty.json":     `{"results": []}`,
+		"unnamed.json":   `{"results": [{"n": 1}]}`,
+	}
+	for name, body := range cases {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(path); err == nil {
+			t.Errorf("Load(%s) succeeded on invalid input", name)
+		}
+	}
+	if _, err := Load(filepath.Join(dir, "absent.json")); err == nil {
+		t.Error("Load succeeded on missing file")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 
 	"adaptiverank/internal/corpus"
 	"adaptiverank/internal/factcrawl"
@@ -96,6 +97,11 @@ type Env struct {
 	// critical sections (QueryLists), so it must not take e.mu.
 	labelMu sync.Mutex
 	labels  map[labelCacheKey]*pipeline.Labels // disk-cache hits (LabelCacheDir)
+
+	// totalDocs/totalScores accumulate work done by uncached pipeline
+	// runs; see Totals.
+	totalDocs   atomic.Int64
+	totalScores atomic.Int64
 }
 
 type labelCacheKey struct {
@@ -387,7 +393,21 @@ func (e *Env) runOne(spec Spec, r int) (*pipeline.Result, error) {
 			InitialQueries: sampling.JoinQueries(e.QueryLists(spec.Rel, r)),
 		}
 	}
-	return e.runPipeline(opts)
+	res, err := e.runPipeline(opts)
+	if err == nil && res != nil {
+		e.totalDocs.Add(int64(res.SampleSize + len(res.Order)))
+		e.totalScores.Add(int64(res.ScoredDocs))
+	}
+	return res, err
+}
+
+// Totals reports the cumulative number of documents processed and
+// individual document-scoring operations across every uncached pipeline
+// run of this environment. The bench harness differences these around
+// its benchmark loop to derive the docs/sec and ns/score metrics; cached
+// repetitions add nothing, so the deltas reflect work actually done.
+func (e *Env) Totals() (docs, scores int64) {
+	return e.totalDocs.Load(), e.totalScores.Load()
 }
 
 // afcRerankEvery batches A-FC's re-ranking: one re-rank per this many

@@ -71,6 +71,19 @@ func (m *OnlineSVM) Prob(x vector.Sparse) float64 {
 	return 1 / (1 + math.Exp(-m.Margin(x)))
 }
 
+// MarginPacked returns w·x + b through the weight vector's dense-mirror
+// fast path. Bitwise identical to Margin on the Sparse equivalent of x;
+// allocation-free once the mirror is built for the current model state.
+func (m *OnlineSVM) MarginPacked(x vector.Packed) float64 {
+	return m.w.MarginPacked(x, m.bias)
+}
+
+// ProbPacked is Prob over the packed fast path, with the same bitwise
+// parity and allocation guarantees as MarginPacked.
+func (m *OnlineSVM) ProbPacked(x vector.Packed) float64 {
+	return 1 / (1 + math.Exp(-m.MarginPacked(x)))
+}
+
 // Step performs one online update on example x with label y in {-1,+1}:
 // a Pegasos gradient step on the hinge loss with learning rate
 // eta_t = 1/(lambda*t), followed by the proximal elastic-net shrinkage

@@ -20,7 +20,13 @@ import (
 //  3. order-dependent folds over map iteration — a float accumulation or
 //     slice append inside `for ... range m` where m is a map leaks Go's
 //     randomized iteration order into the result (float addition is not
-//     associative; appended order is observable).
+//     associative; appended order is observable);
+//  4. sync.Pool Get/Put — which buffer Get returns depends on GC timing
+//     and goroutine scheduling, so any value read from a pooled object
+//     before it is overwritten is nondeterministic. Pooled-buffer reuse
+//     in the scoring fast paths is legitimate precisely because the
+//     buffers are fully overwritten before use; each site must say so
+//     with a reasoned //lint:allow directive.
 //
 // Per-key map writes, integer counters, and commutative integer folds
 // (XOR hashing) are order-independent and deliberately not flagged.
@@ -64,6 +70,10 @@ func runDetRand(p *Pass) {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.CallExpr:
+				// The pool rule applies package-wide (like the map-fold
+				// rule): a pooled buffer is as nondeterministic in
+				// pipeline.go as anywhere else.
+				detRandPool(p, n)
 				if !clockRules {
 					return true
 				}
@@ -108,6 +118,20 @@ func detRandGlobalRand(p *Pass, sel *ast.SelectorExpr) {
 	}
 	if globalRandFuncs[fn.Name()] {
 		p.Reportf(sel.Pos(), "global math/rand source (rand.%s): use an explicitly seeded rand.New(rand.NewSource(seed))", fn.Name())
+	}
+}
+
+// detRandPool flags sync.Pool Get and Put calls: pool contents survive
+// (or vanish) across GC cycles and goroutine handoffs, so any state that
+// leaks out of a recycled buffer is scheduling-dependent. Fast paths that
+// fully overwrite pooled buffers before use are exempt via a reasoned
+// //lint:allow directive at the call site.
+func detRandPool(p *Pass, call *ast.CallExpr) {
+	for _, method := range []string{"Get", "Put"} {
+		if receiverNamed(p, call, "sync", "Pool", method) {
+			p.Reportf(call.Pos(), "sync.Pool.%s in determinism-critical package: pooled-buffer identity depends on GC and scheduling; allow only if the buffer is fully overwritten before use", method)
+			return
+		}
 	}
 }
 

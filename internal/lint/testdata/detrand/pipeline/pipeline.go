@@ -1,9 +1,32 @@
 // Fixture: in the pipeline package the clock rules apply only to the
 // journal/replay path; measuring wall-clock phase durations elsewhere is
-// by design.
+// by design. The sync.Pool rule, like the map-fold rule, applies
+// package-wide.
 package pipeline
 
-import "time"
+import (
+	"sync"
+	"time"
+)
 
 // Measure reads the clock outside the journal path: not flagged.
 func Measure() time.Time { return time.Now() }
+
+var bufPool = sync.Pool{New: func() any { s := make([]float64, 0, 8); return &s }}
+
+// Recycle uses the pool bare: both the Get and the Put are flagged even
+// though this file is outside the journal path.
+func Recycle() {
+	b := bufPool.Get().(*[]float64) // want `sync\.Pool\.Get in determinism-critical package`
+	bufPool.Put(b)                  // want `sync\.Pool\.Put in determinism-critical package`
+}
+
+// RecycleAllowed carries the reasoned directives the real fast paths use:
+// a fully-overwritten pooled buffer never leaks stale state.
+func RecycleAllowed() {
+	//lint:allow detrand buffer fully overwritten before every use
+	b := bufPool.Get().(*[]float64)
+	*b = append((*b)[:0], 1, 2, 3)
+	//lint:allow detrand buffer cleared before recycling
+	bufPool.Put(b)
+}

@@ -137,6 +137,10 @@ const (
 // Worker-panic sites: the Name of KindWorkerPanic events.
 const (
 	PanicSiteScore = "score"
+	// PanicSiteScoreBatch marks a panic inside a batch-scoring fast path;
+	// the chunk is re-scored per-document, so the event has no Doc and the
+	// offending document is attributed by a follow-up PanicSiteScore event.
+	PanicSiteScoreBatch = "score-batch"
 )
 
 // Watchdog rule names, used as the Name of alert events.

@@ -147,6 +147,11 @@ type Result struct {
 	// PoolSize is the final pending-pool size (differs from len(Order)
 	// in the search-interface scenario or with MaxDocs).
 	PoolSize int
+	// ScoredDocs counts individual document-scoring operations across all
+	// (re-)rankings of the run: each rank pass scores the whole pending
+	// pool once. It is deterministic for a given configuration and is the
+	// denominator of the benchmark suite's ns/score metric.
+	ScoredDocs int
 	// Tuples are the distinct tuples discovered, in discovery order
 	// (sample first, then the ranked phase).
 	Tuples []relation.Tuple
@@ -533,21 +538,63 @@ func RunContext(ctx context.Context, opts Options) (*Result, error) {
 		}()
 		return opts.Strategy.Score(d)
 	}
+	// scoreChunk scores one contiguous slice of pending documents into the
+	// matching out slice. Strategies with a batch fast path (BatchScorer)
+	// score the whole chunk through pooled buffers; a panic inside the
+	// batch path — or a strategy without one — falls back to per-document
+	// score, whose own recovery attributes the offending document. Both
+	// paths produce bitwise-identical scores (the BatchScorer contract),
+	// so chunk boundaries and fallbacks never change the ranking.
+	batcher, _ := opts.Strategy.(BatchScorer)
+	scoreChunk := func(docs []*corpus.Document, out []float64) {
+		if batcher != nil {
+			ok := func() (ok bool) {
+				defer func() {
+					if p := recover(); p != nil {
+						ok = false
+						if rec.Enabled() {
+							rec.Record(obs.Event{Kind: obs.KindWorkerPanic,
+								Name: obs.PanicSiteScoreBatch})
+						}
+					}
+				}()
+				return batcher.ScoreBatch(docs, out)
+			}()
+			if ok {
+				return
+			}
+		}
+		for i, d := range docs {
+			out[i] = score(d)
+		}
+	}
+	// scoreRange walks [lo, hi) in fixed sub-chunks so batch scoring,
+	// cancellation checks, and worker partitioning all share one shape:
+	// the values written to out depend only on the model state, never on
+	// chunk or worker boundaries (worker-count invariance).
+	const scoreChunkSize = 256
+	scoreRange := func(lo, hi int, out []float64) {
+		for a := lo; a < hi; a += scoreChunkSize {
+			if ctx.Err() != nil {
+				return // cancelled: the main loop exits right after
+			}
+			b := a + scoreChunkSize
+			if b > hi {
+				b = hi
+			}
+			scoreChunk(pending[a:b], out[a:b])
+		}
+	}
 	rank := func() {
 		spRank := tr.Start(obs.SpanRank)
 		if rec.Enabled() {
 			rec.Record(obs.Event{Kind: obs.KindRankStarted, N: len(pending)})
 		}
 		t := time.Now()
+		out := make([]float64, len(pending))
 		if workers == 1 || len(pending) < 256 {
-			for _, d := range pending {
-				if ctx.Err() != nil {
-					break // cancelled: the main loop exits right after
-				}
-				scores[d.ID] = score(d)
-			}
+			scoreRange(0, len(pending), out)
 		} else {
-			out := make([]float64, len(pending))
 			var wg sync.WaitGroup
 			chunk := (len(pending) + workers - 1) / workers
 			for w := 0; w < workers; w++ {
@@ -562,19 +609,15 @@ func RunContext(ctx context.Context, opts Options) (*Result, error) {
 				wg.Add(1)
 				go func(lo, hi int) {
 					defer wg.Done()
-					for i := lo; i < hi; i++ {
-						if ctx.Err() != nil {
-							return // cancelled: drain this worker early
-						}
-						out[i] = score(pending[i])
-					}
+					scoreRange(lo, hi, out)
 				}(lo, hi)
 			}
 			wg.Wait()
-			for i, d := range pending {
-				scores[d.ID] = out[i]
-			}
 		}
+		for i, d := range pending {
+			scores[d.ID] = out[i]
+		}
+		res.ScoredDocs += len(pending)
 		sort.SliceStable(pending, func(i, j int) bool {
 			si, sj := scores[pending[i].ID], scores[pending[j].ID]
 			if si != sj {

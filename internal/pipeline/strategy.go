@@ -1,6 +1,8 @@
 package pipeline
 
 import (
+	"sync"
+
 	"adaptiverank/internal/corpus"
 	"adaptiverank/internal/factcrawl"
 	"adaptiverank/internal/obs"
@@ -81,9 +83,61 @@ func (s *Learned) Init(sample []LabeledDoc) {
 	}
 }
 
-// Score implements Strategy.
+// Score implements Strategy. Rankers with a packed fast path
+// (ranking.PackedScorer) are scored through it on the zero-copy packed
+// view of the cached feature vector; the result is bitwise identical to
+// the map-based Score, so per-document scoring (the batch panic
+// fallback) and batch scoring are interchangeable mid-run.
 func (s *Learned) Score(d *corpus.Document) float64 {
+	if ps, ok := s.R.(ranking.PackedScorer); ok {
+		return ps.ScorePacked(s.F.FeaturesPacked(d))
+	}
 	return s.R.Score(s.F.Features(d))
+}
+
+// BatchScorer is implemented by strategies with an allocation-free batch
+// scoring fast path. ScoreBatch reports false when the strategy cannot
+// batch-score (e.g. a Learned wrapping a ranker without a packed path);
+// the caller then falls back to per-document Score. When it reports
+// true, out[i] holds the score of docs[i] and is bitwise identical to
+// Score(docs[i]).
+type BatchScorer interface {
+	ScoreBatch(docs []*corpus.Document, out []float64) bool
+}
+
+// packedScratch is the reusable per-batch buffer of packed feature views;
+// a sync.Pool recycles it across the pipeline's score workers so
+// steady-state batch scoring allocates nothing per chunk.
+type packedScratch struct {
+	xs []vector.Packed
+}
+
+// The pooled scratch holds only per-batch views, fully overwritten
+// before each use; the detrand allow directives at the Get/Put sites
+// below carry the determinism argument.
+var scratchPool = sync.Pool{New: func() any { return new(packedScratch) }}
+
+// ScoreBatch implements BatchScorer: featurize docs into a pooled slice
+// of packed views and score them through the ranker's batch fast path.
+// The scratch is cleared before being returned to the pool so it does not
+// retain references to a finished run's feature cache.
+func (s *Learned) ScoreBatch(docs []*corpus.Document, out []float64) bool {
+	ps, ok := s.R.(ranking.PackedScorer)
+	if !ok {
+		return false
+	}
+	//lint:allow detrand pool reuse only affects buffer identity, never score values
+	sc := scratchPool.Get().(*packedScratch)
+	xs := sc.xs[:0]
+	for _, d := range docs {
+		xs = append(xs, s.F.FeaturesPacked(d))
+	}
+	ps.ScoreBatch(xs, out)
+	clear(xs)
+	sc.xs = xs[:0]
+	//lint:allow detrand pool reuse only affects buffer identity, never score values
+	scratchPool.Put(sc)
+	return true
 }
 
 // Observe implements Strategy: learned models only change at updates.

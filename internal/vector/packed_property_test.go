@@ -1,0 +1,162 @@
+package vector
+
+// Fixed-seed property tests pinning the Packed fast-path kernels to the
+// map/Sparse reference implementations: dot, scale, sub, normalize, and
+// the Weights.MarginPacked dense accumulator must agree with their Sparse
+// counterparts to within 1e-12 across 1k random vectors, including the
+// empty, single-element, and duplicate-index corners. A divergence means
+// the zero-alloc scoring path no longer computes the same ranking as the
+// representation every parity oracle is written against.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+const packedTrials = 1000
+
+// packedTolerance is the satellite budget: the fast path replicates the
+// Sparse arithmetic order, so in practice deltas are exactly zero and the
+// bound only absorbs benign compiler-level reassociation.
+const packedTolerance = 1e-12
+
+func packedEq(a, b float64) bool {
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) <= packedTolerance*scale
+}
+
+// packedCase draws one input vector: mostly random sparse vectors (with
+// duplicate indices folded by NewSparse), plus forced empty,
+// single-element, and heavily duplicated-index corners early in the
+// trial sequence so they always run.
+func packedCase(t *testing.T, rng *rand.Rand, trial int) Sparse {
+	t.Helper()
+	switch trial {
+	case 0:
+		return Sparse{} // empty
+	case 1:
+		return NewSparse([]int32{7}, []float64{3.5}) // single element
+	case 2:
+		// Duplicate indices: NewSparse folds them; the packed view must
+		// see the folded result.
+		return NewSparse([]int32{4, 4, 4, 9, 9}, []float64{1, 2, -3, 0.5, 0.25})
+	case 3:
+		// Duplicates that cancel to zero exactly drop out entirely.
+		return NewSparse([]int32{2, 2, 5}, []float64{1, -1, 2})
+	}
+	return randSparse(rng, 40, 128)
+}
+
+func TestPropertyPackedMatchesSparse(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < packedTrials; trial++ {
+		s := packedCase(t, rng, trial)
+		u := packedCase(t, rng, packedTrials-1-trial)
+		ps, pu := s.Packed(), u.Packed()
+
+		// The view is exact: same entries, same order.
+		if ps.NNZ() != s.NNZ() {
+			t.Fatalf("trial %d: Packed NNZ %d != Sparse %d", trial, ps.NNZ(), s.NNZ())
+		}
+		s.Range(func(i int32, v float64) {
+			if ps.At(i) != v {
+				t.Fatalf("trial %d: Packed.At(%d) = %g, Sparse %g", trial, i, ps.At(i), v)
+			}
+		})
+		if !ps.ToSparse().Equal(s) {
+			t.Fatalf("trial %d: ToSparse round-trip lost entries", trial)
+		}
+
+		// Dot agrees both ways (merge loop is not symmetric in code path).
+		if got, want := ps.Dot(pu), s.Dot(u); !packedEq(got, want) {
+			t.Fatalf("trial %d: Packed dot %g != Sparse %g", trial, got, want)
+		}
+		if got, want := pu.Dot(ps), u.Dot(s); !packedEq(got, want) {
+			t.Fatalf("trial %d: reversed Packed dot %g != Sparse %g", trial, got, want)
+		}
+
+		// Norms.
+		if !packedEq(ps.L1(), s.L1()) || !packedEq(ps.L2(), s.L2()) {
+			t.Fatalf("trial %d: norms L1 %g/%g L2 %g/%g",
+				trial, ps.L1(), s.L1(), ps.L2(), s.L2())
+		}
+
+		// Scale on an owned copy against Sparse.Scale.
+		a := rng.NormFloat64()
+		if trial%17 == 0 {
+			a = 0 // the empty-the-vector corner
+		}
+		sc := PackInto(Packed{}, s)
+		sc.Scale(a)
+		want := s.Scale(a)
+		if sc.NNZ() != want.NNZ() {
+			t.Fatalf("trial %d: scaled NNZ %d != %d", trial, sc.NNZ(), want.NNZ())
+		}
+		want.Range(func(i int32, v float64) {
+			if got := sc.At(i); !packedEq(got, v) {
+				t.Fatalf("trial %d: scaled At(%d) = %g, want %g", trial, i, got, v)
+			}
+		})
+
+		// Sub into a reused destination against Sparse.Sub.
+		dst := Packed{Idx: make([]int32, 0, 4), Val: make([]float64, 0, 4)}
+		diff := ps.Sub(pu, dst)
+		wantDiff := s.Sub(u)
+		if !diff.ToSparse().Equal(wantDiff) {
+			t.Fatalf("trial %d: Packed sub %v != Sparse %v", trial, diff.ToSparse(), wantDiff)
+		}
+		if self := ps.Sub(ps, Packed{}); self.NNZ() != 0 {
+			t.Fatalf("trial %d: p - p = %v, want empty", trial, self.ToSparse())
+		}
+
+		// Normalize on an owned copy against Sparse.Normalize.
+		nc := PackInto(Packed{}, s)
+		nc.Normalize()
+		wantN := s.Normalize()
+		wantN.Range(func(i int32, v float64) {
+			if got := nc.At(i); !packedEq(got, v) {
+				t.Fatalf("trial %d: normalized At(%d) = %g, want %g", trial, i, got, v)
+			}
+		})
+		if s.NNZ() > 0 && !packedEq(nc.L2(), 1) {
+			t.Fatalf("trial %d: normalized L2 = %g", trial, nc.L2())
+		}
+	}
+}
+
+// TestPropertyMarginPackedMatchesDot pins the dense-accumulator margin to
+// the map-based Weights.Dot across random models and documents, through
+// mutation/rebuild cycles.
+func TestPropertyMarginPackedMatchesDot(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	w := NewWeights()
+	for trial := 0; trial < packedTrials; trial++ {
+		// Mutate the model a little each trial so the mirror is rebuilt
+		// across many generations, including shrinks back to empty.
+		switch rng.Intn(5) {
+		case 0:
+			w.Scale(0)
+		case 1:
+			w.Scale(float64(rng.Intn(3)))
+		default:
+			w.AddSparse(rng.NormFloat64(), randSparse(rng, 20, 256))
+		}
+		x := packedCase(t, rng, trial)
+		got := w.MarginPacked(x.Packed(), 0)
+		want := w.Dot(x)
+		if got != want && !packedEq(got, want) {
+			t.Fatalf("trial %d: MarginPacked %g != Dot %g (support %d)",
+				trial, got, want, w.NNZ())
+		}
+		bias := rng.NormFloat64()
+		if got, want := w.MarginPacked(x.Packed(), bias), w.Dot(x)+bias; !packedEq(got, want) {
+			t.Fatalf("trial %d: biased margin %g != %g", trial, got, want)
+		}
+		// A second call with no interleaved mutation hits the cached
+		// mirror and must return the identical bits.
+		if again := w.MarginPacked(x.Packed(), 0); again != got {
+			t.Fatalf("trial %d: cached-mirror margin %g != first call %g", trial, again, got)
+		}
+	}
+}

@@ -3,19 +3,48 @@ package vector
 import (
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // Weights is a mutable sparse weight vector backed by a map. It is the
 // representation of linear-model parameters whose feature space grows as
 // the extraction process observes new documents.
+//
+// For the scoring hot path, Weights additionally maintains a lazily built
+// dense mirror of the map (see MarginPacked): a flat []float64 indexed by
+// feature id that turns the per-feature map probe of Dot into one array
+// load. The mirror is invalidated by a generation counter bumped on every
+// mutation and rebuilt — reusing its previous capacity — on the next
+// MarginPacked call, so training pays one O(support) rebuild per update
+// epoch instead of a per-step maintenance cost, and steady-state scoring
+// allocates nothing.
+//
+// Concurrency: mutation (Set/Add/Scale/AddSparse) is single-threaded, as
+// before. MarginPacked may be called from many goroutines concurrently
+// with each other (the pipeline's score workers do), but never
+// concurrently with a mutation — the same contract the underlying map
+// already imposes.
 type Weights struct {
 	w map[int32]float64
+
+	// gen counts mutations; mirror is fresh while its gen matches.
+	gen      uint64
+	mirror   atomic.Pointer[denseMirror]
+	mirrorMu sync.Mutex
+}
+
+// denseMirror is one immutable-once-published dense snapshot of the map.
+type denseMirror struct {
+	gen  uint64
+	vals []float64
 }
 
 // NewWeights returns an empty weight vector.
 func NewWeights() *Weights { return &Weights{w: make(map[int32]float64)} }
 
-// Clone returns a deep copy of w.
+// Clone returns a deep copy of w. The clone starts without a dense
+// mirror; it is rebuilt on the clone's first MarginPacked call.
 func (w *Weights) Clone() *Weights {
 	c := &Weights{w: make(map[int32]float64, len(w.w))}
 	for i, v := range w.w {
@@ -45,6 +74,7 @@ func (w *Weights) At(i int32) float64 { return w.w[i] }
 // Set assigns the weight of feature i; setting 0 removes the entry so that
 // the model stays sparse (the basis of in-training feature selection).
 func (w *Weights) Set(i int32, v float64) {
+	w.gen++
 	if v == 0 {
 		delete(w.w, i)
 		return
@@ -63,6 +93,7 @@ func (w *Weights) Scale(a float64) {
 	if a == 1 {
 		return
 	}
+	w.gen++
 	if a == 0 {
 		w.w = make(map[int32]float64)
 		return
@@ -135,6 +166,71 @@ func (w *Weights) Cosine(o *Weights) float64 {
 		}
 	}
 	return dot / (nw * no)
+}
+
+// MarginPacked returns w·x + bias through the dense-accumulator fast
+// path: one array load per stored document feature instead of one map
+// probe. Because x's indices are sorted ascending, the loop breaks at the
+// first index beyond the mirror (every later index is absent from the
+// model too), so the per-element branch is uniformly predictable.
+//
+// The result is bitwise identical to Dot(x)+bias: both fold the matching
+// features in ascending index order, and the extra terms the dense path
+// adds for absent features are exact zeros (0·v), which cannot perturb an
+// IEEE sum.
+func (w *Weights) MarginPacked(x Packed, bias float64) float64 {
+	d := w.denseVals()
+	n := int32(len(d))
+	var sum float64
+	idx := x.Idx
+	val := x.Val
+	for k, i := range idx {
+		if i >= n {
+			break
+		}
+		sum += d[i] * val[k]
+	}
+	return sum + bias
+}
+
+// denseVals returns a dense snapshot of the map, rebuilding it only when
+// a mutation has happened since the last build. The double-checked
+// atomic/mutex dance makes concurrent first calls after an update race-
+// free; the steady-state path is one atomic load and one comparison.
+func (w *Weights) denseVals() []float64 {
+	gen := w.gen
+	if m := w.mirror.Load(); m != nil && m.gen == gen {
+		return m.vals
+	}
+	w.mirrorMu.Lock()
+	defer w.mirrorMu.Unlock()
+	if m := w.mirror.Load(); m != nil && m.gen == gen {
+		return m.vals
+	}
+	// Reusing the stale mirror's capacity is safe: a stale mirror implies
+	// a mutation happened, and mutations are never concurrent with
+	// readers, so no goroutine can still be walking the old snapshot.
+	var vals []float64
+	if old := w.mirror.Load(); old != nil {
+		vals = old.vals
+	}
+	need := 0
+	for i := range w.w {
+		if int(i) >= need {
+			need = int(i) + 1
+		}
+	}
+	if cap(vals) < need {
+		vals = make([]float64, need)
+	} else {
+		vals = vals[:need]
+		clear(vals)
+	}
+	for i, v := range w.w {
+		vals[i] = v
+	}
+	w.mirror.Store(&denseMirror{gen: gen, vals: vals})
+	return vals
 }
 
 // Range calls f for every stored (index, weight) pair in unspecified order.
