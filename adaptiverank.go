@@ -432,6 +432,15 @@ func RunContext(ctx context.Context, coll *Collection, ex Extractor, opts Option
 	}, nil
 }
 
+// Fingerprint returns the run-configuration digest of a (collection,
+// extractor, options) triple — the same string the crash-safe journal
+// binds to. The CLIs embed it in profiling manifests and postmortem
+// bundles, so every artifact of a run traces back to exactly one
+// configuration.
+func Fingerprint(coll *Collection, ex Extractor, opts Options) string {
+	return runFingerprint(coll, ex, opts)
+}
+
 // runFingerprint identifies a run configuration for checkpoint files:
 // resuming a journal written by a different configuration (or corpus)
 // would replay wrong outcomes, so OpenJournal rejects a mismatch. Only

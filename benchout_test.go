@@ -93,10 +93,11 @@ func writeBenchOut(path string) error {
 	benchMu.Lock()
 	defer benchMu.Unlock()
 	doc := benchgate.File{
-		Go:     runtime.Version(),
-		GOOS:   runtime.GOOS,
-		GOARCH: runtime.GOARCH,
-		Scale:  os.Getenv("ADAPTIVERANK_BENCH"),
+		Go:         runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scale:      os.Getenv("ADAPTIVERANK_BENCH"),
 	}
 	// Map iteration order is erased by the sort below; JSON marshalling
 	// sorts the metric keys itself.

@@ -13,9 +13,12 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"adaptiverank"
 	"adaptiverank/internal/obs"
+	"adaptiverank/internal/obs/blackbox"
+	"adaptiverank/internal/obs/prof"
 	"adaptiverank/internal/relation"
 )
 
@@ -59,6 +62,10 @@ func run() (code int) {
 
 		extractTimeout = flag.Duration("extract-timeout", 0, "resilience: per-attempt extraction timeout (0 = default)")
 		extractRetries = flag.Int("extract-retries", 0, "resilience: max extraction attempts per document (0 = default)")
+
+		profDir    = flag.String("prof-dir", "", "continuous profiling: write phase-scoped CPU windows, heap/goroutine snapshots, runtime-metrics samples and a JSONL manifest under this directory (inspect with profreport -dir)")
+		profCPUWin = flag.Duration("prof-cpu-window", 10*time.Second, "continuous profiling: CPU profile window length; phase boundaries rotate windows early (0 disables CPU windows)")
+		blackboxD  = flag.String("blackbox", "", "flight recorder: keep a bounded ring of recent events in memory and flush postmortem bundles to this directory on worker panic, SLO alert, or SIGQUIT (inspect with profreport -bundle)")
 	)
 	flag.Parse()
 
@@ -109,8 +116,45 @@ func run() (code int) {
 		return 2
 	}
 
+	// The run fingerprint embedded in profiling manifests and postmortem
+	// bundles covers every result-affecting option, so the corpus and the
+	// fault/resilience configuration must be settled before the
+	// observability sinks are assembled.
+	if *flakyError > 0 || *flakyPanic > 0 || *flakyHang > 0 || *flakyLatency > 0 || *flakyPoison > 0 {
+		fseed := *flakySeed
+		if fseed == 0 {
+			fseed = *seed
+		}
+		opts.Flaky = &adaptiverank.FaultInjection{
+			Seed: fseed, ErrorRate: *flakyError, PanicRate: *flakyPanic,
+			HangRate: *flakyHang, LatencyRate: *flakyLatency, Latency: *flakyDelay,
+			PoisonRate: *flakyPoison,
+		}
+	}
+	if *extractTimeout > 0 || *extractRetries > 0 {
+		opts.Resilience = &adaptiverank.Resilience{
+			AttemptTimeout: *extractTimeout, MaxAttempts: *extractRetries,
+		}
+	}
+	opts.Checkpoint = *checkpoint
+	opts.Resume = *resume
+	if *resume && *checkpoint == "" {
+		fmt.Fprintln(os.Stderr, "-resume requires -checkpoint")
+		return 2
+	}
+
+	fmt.Printf("generating %d documents (seed %d)...\n", *docs, *seed)
+	coll, err := adaptiverank.GenerateCorpus(*seed, *docs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	ex := adaptiverank.BuiltinExtractor(rel)
+	fingerprint := adaptiverank.Fingerprint(coll, ex, opts)
+	runID := fmt.Sprintf("%s-%d", time.Now().UTC().Format("20060102-150405"), os.Getpid())
+
 	var reg *obs.Registry
-	if *metrics || *serve != "" {
+	if *metrics || *serve != "" || *profDir != "" || *blackboxD != "" {
 		reg = obs.NewRegistry()
 		opts.Metrics = reg
 	}
@@ -145,6 +189,42 @@ func run() (code int) {
 		runs = &obs.RunTracker{}
 		sinks = append(sinks, stream, runs)
 	}
+	var box *blackbox.Ring
+	if *blackboxD != "" {
+		box, err = blackbox.New(blackbox.Options{
+			Dir: *blackboxD, RunID: runID, Fingerprint: fingerprint, Registry: reg,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		sinks = append(sinks, box)
+	}
+	var profiler *prof.Profiler
+	if *profDir != "" {
+		profiler, err = prof.Start(prof.Options{
+			Dir: *profDir, RunID: runID, Fingerprint: fingerprint,
+			CPUWindow: *profCPUWin, Registry: reg,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		// Stop profiling and fsync+close the manifest on every exit path —
+		// signal-driven ones included — so a cut-short run still leaves a
+		// readable profile directory behind.
+		defer func() {
+			if err := profiler.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "prof:", err)
+				if code == 0 {
+					code = 1
+				}
+			} else {
+				fmt.Printf("profiles written to %s (inspect with profreport -dir %s)\n", *profDir, *profDir)
+			}
+		}()
+		sinks = append(sinks, profiler.Recorder())
+	}
 
 	// The SLO watchdog wraps the Tee from above: pipeline events flow
 	// through it into the sinks, and any alerts it raises follow the same
@@ -168,53 +248,57 @@ func run() (code int) {
 	}
 
 	if *serve != "" {
-		srv := obs.NewServer(obs.ServerOptions{Registry: reg, Stream: stream, Runs: runs, Watchdog: wd})
+		srvOpts := obs.ServerOptions{Registry: reg, Stream: stream, Runs: runs, Watchdog: wd}
+		if box != nil {
+			srvOpts.Blackbox = box.Handler()
+		}
+		if *profDir != "" {
+			srvOpts.Profiles = prof.DirHandler(*profDir)
+		}
+		srv := obs.NewServer(srvOpts)
 		addr, err := srv.Start(*serve)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
 		defer srv.Close()
-		fmt.Printf("observability server on http://%s (/metrics /events /runs /alerts /healthz /debug/pprof)\n", addr)
+		fmt.Printf("observability server on http://%s (/metrics /events /runs /alerts /healthz /debug/pprof /debug/blackbox /profiles)\n", addr)
 	}
 
-	fmt.Printf("generating %d documents (seed %d)...\n", *docs, *seed)
-	coll, err := adaptiverank.GenerateCorpus(*seed, *docs)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		return 1
-	}
-	ex := adaptiverank.BuiltinExtractor(rel)
-
-	if *flakyError > 0 || *flakyPanic > 0 || *flakyHang > 0 || *flakyLatency > 0 || *flakyPoison > 0 {
-		fseed := *flakySeed
-		if fseed == 0 {
-			fseed = *seed
+	// SIGQUIT is the operator's postmortem trigger: flush a black-box
+	// bundle (when armed), then cancel the run context so the pipeline
+	// drains and every deferred close above — trace fsync, profiling
+	// manifest fsync — runs before the process exits through run().
+	runCtx, cancelRun := context.WithCancel(ctx)
+	defer cancelRun()
+	sigq := make(chan os.Signal, 1)
+	signal.Notify(sigq, syscall.SIGQUIT)
+	defer signal.Stop(sigq)
+	go func() {
+		for range sigq {
+			if box != nil {
+				if dir, err := box.Dump(obs.DumpReasonSignal); err != nil {
+					fmt.Fprintln(os.Stderr, "blackbox:", err)
+				} else {
+					fmt.Fprintf(os.Stderr, "SIGQUIT: postmortem bundle written to %s\n", dir)
+				}
+			}
+			cancelRun()
 		}
-		opts.Flaky = &adaptiverank.FaultInjection{
-			Seed: fseed, ErrorRate: *flakyError, PanicRate: *flakyPanic,
-			HangRate: *flakyHang, LatencyRate: *flakyLatency, Latency: *flakyDelay,
-			PoisonRate: *flakyPoison,
-		}
-	}
-	if *extractTimeout > 0 || *extractRetries > 0 {
-		opts.Resilience = &adaptiverank.Resilience{
-			AttemptTimeout: *extractTimeout, MaxAttempts: *extractRetries,
-		}
-	}
-	opts.Checkpoint = *checkpoint
-	opts.Resume = *resume
-	if *resume && *checkpoint == "" {
-		fmt.Fprintln(os.Stderr, "-resume requires -checkpoint")
-		return 2
-	}
+	}()
 
 	fmt.Printf("extracting %s with %s + %s...\n", rel.Name(), *strategy, *detector)
 
-	res, err := adaptiverank.RunContext(ctx, coll, ex, opts)
+	res, err := adaptiverank.RunContext(runCtx, coll, ex, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
+	}
+	if box != nil {
+		if bundles, err := blackbox.Bundles(*blackboxD); err == nil && len(bundles) > 0 {
+			fmt.Fprintf(os.Stderr, "postmortem: %d bundle(s) in %s (inspect with profreport -bundle %s/%s)\n",
+				len(bundles), *blackboxD, *blackboxD, bundles[len(bundles)-1])
+		}
 	}
 	if *metrics {
 		fmt.Fprintln(os.Stderr, "--- metrics ---")

@@ -51,6 +51,11 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
+	// Environment drift between the committed baseline and this run is
+	// worth knowing but never worth failing over: print it and move on.
+	for _, w := range benchgate.EnvMismatch(base, cur) {
+		fmt.Fprintf(os.Stderr, "benchgate: warning: %s\n", w)
+	}
 	findings := benchgate.Compare(base, cur, *threshold)
 	if len(findings) > 0 {
 		for _, f := range findings {

@@ -1,6 +1,8 @@
 package main_test
 
 import (
+	"encoding/json"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
@@ -101,6 +103,49 @@ func TestBenchgateExitCodes(t *testing.T) {
 		if code != 2 {
 			t.Errorf("%s: exit = %d, want 2\n%s", tc.name, code, out)
 		}
+	}
+}
+
+// TestBenchgateEnvDrift rewrites the within-threshold current file with a
+// different environment header: the gate must warn about every drifted
+// field on stderr yet still exit 0 — hardware drift is context for the
+// reader, not a regression.
+func TestBenchgateEnvDrift(t *testing.T) {
+	bin := buildBenchgate(t)
+	data, err := os.ReadFile(filepath.Join("testdata", "current_ok.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	doc["go"] = "go1.99"
+	doc["gomaxprocs"] = 64
+	drifted, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := filepath.Join(t.TempDir(), "drifted.json")
+	if err := os.WriteFile(cur, drifted, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out, code := runGate(t, bin,
+		"-baseline", filepath.Join("testdata", "baseline.json"), "-current", cur)
+	if code != 0 {
+		t.Fatalf("env-drift run exit = %d, want 0 (drift warns, never fails)\n%s", code, out)
+	}
+	if !strings.Contains(out, "warning: go version differs") {
+		t.Errorf("missing go-version drift warning:\n%s", out)
+	}
+	// The baseline fixture has no gomaxprocs field, so that drift must be
+	// skipped rather than warned about.
+	if strings.Contains(out, "GOMAXPROCS") {
+		t.Errorf("warned about GOMAXPROCS despite baseline not recording it:\n%s", out)
+	}
+	if !strings.Contains(out, "within 15%") {
+		t.Errorf("drifted run lost its pass summary:\n%s", out)
 	}
 }
 

@@ -18,6 +18,8 @@ import (
 
 	"adaptiverank/internal/experiments"
 	"adaptiverank/internal/obs"
+	"adaptiverank/internal/obs/blackbox"
+	"adaptiverank/internal/obs/prof"
 )
 
 func main() {
@@ -44,6 +46,10 @@ func run() (code int) {
 		sloWin   = flag.Int("slo-window", 0, "SLO watchdog: override the rules' trailing-window sizes (0 = per-rule defaults)")
 		sloFault = flag.Float64("slo-max-fault-rate", 0, "SLO watchdog: alert when the extraction fault rate over the trailing window exceeds this ceiling (0 = rule off)")
 		labelDir = flag.String("label-cache", "", "checkpoint whole-collection oracle labels as journal files in this directory; a restarted suite reloads them instead of re-extracting")
+
+		profDir    = flag.String("prof-dir", "", "continuous profiling: write phase-scoped CPU windows, heap/goroutine snapshots, runtime-metrics samples and a JSONL manifest under this directory (inspect with profreport -dir)")
+		profCPUWin = flag.Duration("prof-cpu-window", 10*time.Second, "continuous profiling: CPU profile window length; phase boundaries rotate windows early (0 disables CPU windows)")
+		blackboxD  = flag.String("blackbox", "", "flight recorder: keep a bounded ring of recent events in memory and flush postmortem bundles to this directory on worker panic, SLO alert, or SIGQUIT (inspect with profreport -bundle)")
 	)
 	flag.Parse()
 
@@ -83,10 +89,9 @@ func run() (code int) {
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}
-	if *metrics || *serve != "" {
+	if *metrics || *serve != "" || *profDir != "" || *blackboxD != "" {
 		cfg.Metrics = obs.NewRegistry()
 	}
-	cfg.Ctx = ctx
 	cfg.LabelCacheDir = *labelDir
 
 	var sinks []obs.Recorder
@@ -116,6 +121,49 @@ func run() (code int) {
 		sinks = append(sinks, stream, runTracker)
 	}
 
+	// Suite identity for profile manifests and postmortem bundles: there
+	// is no single run fingerprint across a suite, so the configuration
+	// summary stands in for it.
+	suiteID := fmt.Sprintf("%s-%d", time.Now().UTC().Format("20060102-150405"), os.Getpid())
+	suiteFP := fmt.Sprintf("experiments/v1 scale=%s runs=%d seed=%d sel=%q", *scale, cfg.Runs, cfg.Seed, *runSel)
+	var box *blackbox.Ring
+	if *blackboxD != "" {
+		var err error
+		box, err = blackbox.New(blackbox.Options{
+			Dir: *blackboxD, RunID: suiteID, Fingerprint: suiteFP, Registry: cfg.Metrics,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		sinks = append(sinks, box)
+	}
+	var profiler *prof.Profiler
+	if *profDir != "" {
+		var err error
+		profiler, err = prof.Start(prof.Options{
+			Dir: *profDir, RunID: suiteID, Fingerprint: suiteFP,
+			CPUWindow: *profCPUWin, Registry: cfg.Metrics,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		// Stop profiling and fsync+close the manifest on every exit path —
+		// signal-driven ones included.
+		defer func() {
+			if err := profiler.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "prof:", err)
+				if code == 0 {
+					code = 1
+				}
+			} else {
+				fmt.Fprintf(os.Stderr, "profiles written to %s (inspect with profreport -dir %s)\n", *profDir, *profDir)
+			}
+		}()
+		sinks = append(sinks, profiler.Recorder())
+	}
+
 	// The SLO watchdog wraps the Tee from above so alerts flow into every
 	// sink exactly like pipeline events (see cmd/adaptiverank). Across a
 	// suite the watchdog resets its windows at each run-started event, so
@@ -138,15 +186,43 @@ func run() (code int) {
 	}
 
 	if *serve != "" {
-		srv := obs.NewServer(obs.ServerOptions{Registry: cfg.Metrics, Stream: stream, Runs: runTracker, Watchdog: wd})
+		srvOpts := obs.ServerOptions{Registry: cfg.Metrics, Stream: stream, Runs: runTracker, Watchdog: wd}
+		if box != nil {
+			srvOpts.Blackbox = box.Handler()
+		}
+		if *profDir != "" {
+			srvOpts.Profiles = prof.DirHandler(*profDir)
+		}
+		srv := obs.NewServer(srvOpts)
 		addr, err := srv.Start(*serve)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "observability server on http://%s (/metrics /events /runs /alerts /healthz /debug/pprof)\n", addr)
+		fmt.Fprintf(os.Stderr, "observability server on http://%s (/metrics /events /runs /alerts /healthz /debug/pprof /debug/blackbox /profiles)\n", addr)
 	}
+
+	// SIGQUIT: flush a black-box bundle (when armed), then cancel the
+	// suite so the deferred trace and manifest closes run before exit.
+	suiteCtx, cancelSuite := context.WithCancel(ctx)
+	defer cancelSuite()
+	cfg.Ctx = suiteCtx
+	sigq := make(chan os.Signal, 1)
+	signal.Notify(sigq, syscall.SIGQUIT)
+	defer signal.Stop(sigq)
+	go func() {
+		for range sigq {
+			if box != nil {
+				if dir, err := box.Dump(obs.DumpReasonSignal); err != nil {
+					fmt.Fprintln(os.Stderr, "blackbox:", err)
+				} else {
+					fmt.Fprintf(os.Stderr, "SIGQUIT: postmortem bundle written to %s\n", dir)
+				}
+			}
+			cancelSuite()
+		}
+	}()
 
 	var ids []string
 	if *runSel != "" {
@@ -156,7 +232,7 @@ func run() (code int) {
 	start := time.Now()
 	env := experiments.NewEnv(cfg)
 	if err := experiments.RunSuite(env, os.Stdout, ids...); err != nil {
-		if ctx.Err() != nil {
+		if suiteCtx.Err() != nil {
 			fmt.Fprintln(os.Stderr, "interrupted: suite stopped by signal; completed label checkpoints are kept")
 			return 130
 		}

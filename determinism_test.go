@@ -5,8 +5,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"testing"
+	"time"
 
 	"adaptiverank"
+	"adaptiverank/internal/obs/blackbox"
+	"adaptiverank/internal/obs/prof"
 )
 
 // The byte-identical determinism contract: two runs with identical
@@ -86,5 +89,75 @@ func TestRunWorkerCountInvariant(t *testing.T) {
 	par := runOnceJSON(t, adaptiverank.Options{Seed: 9, Workers: 8})
 	if !bytes.Equal(seq, par) {
 		t.Errorf("1-worker and 8-worker runs diverged:\nw1: %.200s\nw8: %.200s", seq, par)
+	}
+}
+
+// runOnceInstrumented is runOnceJSON with the full observability stack
+// attached: a continuous profiler (CPU windows, snapshots, runtime
+// metrics) and a black-box flight recorder tee'd into the run. It also
+// sanity-checks that the instrumentation really was live — a silently
+// disabled profiler would make the determinism claim vacuous.
+func runOnceInstrumented(t *testing.T, opts adaptiverank.Options) []byte {
+	t.Helper()
+	profDir := t.TempDir()
+	profiler, err := prof.Start(prof.Options{
+		Dir: profDir, RunID: "determinism", CPUWindow: 150 * time.Millisecond,
+		MetricsInterval: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	box, err := blackbox.New(blackbox.Options{Dir: t.TempDir(), RunID: "determinism"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Recorder = adaptiverank.TeeRecorder(box, profiler.Recorder())
+	opts.Metrics = adaptiverank.NewMetrics()
+	out := runOnceJSON(t, opts)
+	if err := profiler.Close(); err != nil {
+		t.Fatal(err)
+	}
+	man, err := prof.ReadManifest(profDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(man.Artifacts) == 0 {
+		t.Fatal("profiler wrote no artifacts — instrumentation was not live")
+	}
+	if box.State().Events == 0 {
+		t.Fatal("black-box ring saw no events — instrumentation was not live")
+	}
+	return out
+}
+
+// TestRunByteIdenticalInstrumented re-states the byte-identical contract
+// with continuous profiling and the flight recorder enabled: the
+// observability stack is a passive tee and must not perturb the result,
+// not by a byte, even while CPU profiling windows rotate mid-run. The
+// runs are sequential because the runtime allows one CPU profile at a
+// time.
+func TestRunByteIdenticalInstrumented(t *testing.T) {
+	opts := adaptiverank.Options{Strategy: adaptiverank.RSVMIE, Detector: adaptiverank.ModC, Seed: 5, Workers: 4}
+	first := runOnceInstrumented(t, opts)
+	second := runOnceInstrumented(t, opts)
+	if !bytes.Equal(first, second) {
+		t.Errorf("two instrumented runs diverged:\nrun1: %.200s\nrun2: %.200s", first, second)
+	}
+	// The bare-run result must match the instrumented one as well: the
+	// tee changes nothing relative to no recorder at all.
+	bare := runOnceJSON(t, opts)
+	if !bytes.Equal(first, bare) {
+		t.Errorf("instrumented run diverged from bare run:\ninst: %.200s\nbare: %.200s", first, bare)
+	}
+}
+
+// TestRunWorkerCountInvariantInstrumented: worker-count invariance also
+// holds under profiling — snapshot timing varies with scheduling, the
+// ranked order must not.
+func TestRunWorkerCountInvariantInstrumented(t *testing.T) {
+	seq := runOnceInstrumented(t, adaptiverank.Options{Seed: 9, Workers: 1})
+	par := runOnceInstrumented(t, adaptiverank.Options{Seed: 9, Workers: 8})
+	if !bytes.Equal(seq, par) {
+		t.Errorf("instrumented 1-worker and 8-worker runs diverged:\nw1: %.200s\nw8: %.200s", seq, par)
 	}
 }

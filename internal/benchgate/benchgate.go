@@ -30,12 +30,16 @@ type Result struct {
 }
 
 // File is the -bench-out document: one benchmark trajectory snapshot.
+// The environment header (Go, GOOS, GOARCH, GOMAXPROCS) records where the
+// trajectory was measured; EnvMismatch compares headers so a gate failure
+// on different hardware can be read for what it is.
 type File struct {
-	Go      string   `json:"go"`
-	GOOS    string   `json:"goos"`
-	GOARCH  string   `json:"goarch"`
-	Scale   string   `json:"scale,omitempty"` // ADAPTIVERANK_BENCH at write time
-	Results []Result `json:"results"`
+	Go         string   `json:"go"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	GOMAXPROCS int      `json:"gomaxprocs,omitempty"`
+	Scale      string   `json:"scale,omitempty"` // ADAPTIVERANK_BENCH at write time
+	Results    []Result `json:"results"`
 }
 
 // Lookup finds a result by benchmark name.
@@ -69,6 +73,32 @@ func Load(path string) (*File, error) {
 		}
 	}
 	return &f, nil
+}
+
+// EnvMismatch compares the environment headers of two trajectory files
+// and describes every difference in human-readable form. Mismatches are
+// warnings, never gate failures: a threshold tuned on one machine still
+// catches gross regressions on another, but the reader of a borderline
+// finding should know the numbers came from different worlds. Fields the
+// baseline never recorded (older files predate GOMAXPROCS, for example)
+// are skipped rather than reported, so refreshing the toolchain does not
+// spam every run.
+func EnvMismatch(baseline, current *File) []string {
+	var out []string
+	diff := func(field, b, c string) {
+		if b != "" && c != "" && b != c {
+			out = append(out, fmt.Sprintf("%s differs: baseline %s, current %s", field, b, c))
+		}
+	}
+	diff("go version", baseline.Go, current.Go)
+	diff("GOOS", baseline.GOOS, current.GOOS)
+	diff("GOARCH", baseline.GOARCH, current.GOARCH)
+	if baseline.GOMAXPROCS != 0 && current.GOMAXPROCS != 0 && baseline.GOMAXPROCS != current.GOMAXPROCS {
+		out = append(out, fmt.Sprintf("GOMAXPROCS differs: baseline %d, current %d",
+			baseline.GOMAXPROCS, current.GOMAXPROCS))
+	}
+	diff("scale", baseline.Scale, current.Scale)
+	return out
 }
 
 // Finding is one gated-metric regression (or a missing benchmark).

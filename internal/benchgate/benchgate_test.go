@@ -3,6 +3,7 @@ package benchgate
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -21,6 +22,38 @@ func findingFor(fs []Finding, bench, metric string) (Finding, bool) {
 		}
 	}
 	return Finding{}, false
+}
+
+func TestEnvMismatch(t *testing.T) {
+	base := &File{Go: "go1.24.0", GOOS: "linux", GOARCH: "amd64", GOMAXPROCS: 8, Scale: "test"}
+
+	if ws := EnvMismatch(base, &File{Go: "go1.24.0", GOOS: "linux", GOARCH: "amd64", GOMAXPROCS: 8, Scale: "test"}); len(ws) != 0 {
+		t.Fatalf("identical env produced warnings: %v", ws)
+	}
+
+	cur := &File{Go: "go1.25.1", GOOS: "darwin", GOARCH: "arm64", GOMAXPROCS: 4, Scale: "bench"}
+	ws := EnvMismatch(base, cur)
+	if len(ws) != 5 {
+		t.Fatalf("EnvMismatch = %d warnings, want 5: %v", len(ws), ws)
+	}
+	for i, frag := range []string{
+		"go version differs: baseline go1.24.0, current go1.25.1",
+		"GOOS differs",
+		"GOARCH differs",
+		"GOMAXPROCS differs: baseline 8, current 4",
+		"scale differs",
+	} {
+		if !strings.Contains(ws[i], frag) {
+			t.Errorf("warning[%d] = %q, want substring %q", i, ws[i], frag)
+		}
+	}
+
+	// Fields the baseline never recorded are skipped, not reported: old
+	// trajectory files predate GOMAXPROCS and Scale.
+	old := &File{Go: "go1.24.0", GOOS: "linux", GOARCH: "amd64"}
+	if ws := EnvMismatch(old, cur); len(ws) != 3 {
+		t.Fatalf("legacy-baseline warnings = %v, want only go/GOOS/GOARCH", ws)
+	}
 }
 
 func TestCompareClean(t *testing.T) {

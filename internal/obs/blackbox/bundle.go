@@ -1,0 +1,253 @@
+package blackbox
+
+// Bundle layout: one directory per postmortem, named
+// bundle-NNNN-<reason>, containing
+//
+//	events.jsonl    the event ring, oldest first (stamped Seq/T)
+//	decisions.jsonl the last-K detector decisions
+//	spans.json      the active-span stack at dump time
+//	goroutines.txt  full goroutine dump (runtime.Stack, all=true)
+//	metrics.txt     registry snapshot (obs Registry.Dump text format)
+//	runtime.json    memory/GC/scheduler stats and process identity
+//	meta.json       reason, trigger event, run id, fingerprint
+//
+// meta.json is written last and fsynced, then the bundle directory
+// itself is fsynced: a bundle with meta.json present is complete, and
+// readers treat its absence as a partial bundle from a dying process.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"adaptiverank/internal/obs"
+)
+
+// MetaName is the bundle-completeness marker file.
+const MetaName = "meta.json"
+
+// Meta is the decoded form of a bundle's meta.json.
+type Meta struct {
+	RunID       string     `json:"run_id,omitempty"`
+	Fingerprint string     `json:"fingerprint,omitempty"`
+	Reason      string     `json:"reason"`
+	Trigger     *obs.Event `json:"trigger,omitempty"`
+	T           int64      `json:"t"`
+	Events      int64      `json:"events"`
+	Dropped     int64      `json:"dropped"`
+	Go          string     `json:"go"`
+	PID         int        `json:"pid"`
+}
+
+// runtimeStats is the runtime.json schema: the numbers an autopsy
+// reaches for first, without requiring a heap profile parser.
+type runtimeStats struct {
+	Goroutines   int    `json:"goroutines"`
+	GOMAXPROCS   int    `json:"gomaxprocs"`
+	NumCPU       int    `json:"num_cpu"`
+	HeapAlloc    uint64 `json:"heap_alloc_bytes"`
+	HeapSys      uint64 `json:"heap_sys_bytes"`
+	HeapObjects  uint64 `json:"heap_objects"`
+	StackInuse   uint64 `json:"stack_inuse_bytes"`
+	TotalAlloc   uint64 `json:"total_alloc_bytes"`
+	Mallocs      uint64 `json:"mallocs"`
+	Frees        uint64 `json:"frees"`
+	NumGC        uint32 `json:"num_gc"`
+	PauseTotalNs uint64 `json:"gc_pause_total_ns"`
+	NextGC       uint64 `json:"next_gc_bytes"`
+}
+
+// dump writes one bundle and returns its directory.
+func (r *Ring) dump(reason string, trigger *obs.Event) (string, error) {
+	s := r.snapshot()
+
+	r.dumpMu.Lock()
+	defer r.dumpMu.Unlock()
+	var dir string
+	for {
+		r.bundleSeq++
+		dir = filepath.Join(r.opts.Dir, fmt.Sprintf("bundle-%04d-%s", r.bundleSeq, reason))
+		if _, err := os.Stat(dir); os.IsNotExist(err) {
+			break
+		}
+		if r.bundleSeq > 9999 {
+			return "", fmt.Errorf("blackbox: bundle namespace exhausted in %s", r.opts.Dir)
+		}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+
+	if err := writeJSONL(filepath.Join(dir, "events.jsonl"), s.events); err != nil {
+		return dir, err
+	}
+	if err := writeJSONL(filepath.Join(dir, "decisions.jsonl"), s.decisions); err != nil {
+		return dir, err
+	}
+	if err := writeJSONFile(filepath.Join(dir, "spans.json"), s.spans); err != nil {
+		return dir, err
+	}
+
+	// Full goroutine dump; the buffer doubles until everything fits.
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	if err := writeFileSync(filepath.Join(dir, "goroutines.txt"), buf); err != nil {
+		return dir, err
+	}
+
+	if r.opts.Registry != nil {
+		f, err := os.Create(filepath.Join(dir, "metrics.txt"))
+		if err != nil {
+			return dir, err
+		}
+		err = r.opts.Registry.Dump(f)
+		if serr := f.Sync(); err == nil {
+			err = serr
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return dir, err
+		}
+	}
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if err := writeJSONFile(filepath.Join(dir, "runtime.json"), runtimeStats{
+		Goroutines:   runtime.NumGoroutine(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		NumCPU:       runtime.NumCPU(),
+		HeapAlloc:    ms.HeapAlloc,
+		HeapSys:      ms.HeapSys,
+		HeapObjects:  ms.HeapObjects,
+		StackInuse:   ms.StackInuse,
+		TotalAlloc:   ms.TotalAlloc,
+		Mallocs:      ms.Mallocs,
+		Frees:        ms.Frees,
+		NumGC:        ms.NumGC,
+		PauseTotalNs: ms.PauseTotalNs,
+		NextGC:       ms.NextGC,
+	}); err != nil {
+		return dir, err
+	}
+
+	// Completeness marker, last.
+	if err := writeJSONFile(filepath.Join(dir, MetaName), Meta{
+		RunID:       r.opts.RunID,
+		Fingerprint: r.opts.Fingerprint,
+		Reason:      reason,
+		Trigger:     trigger,
+		T:           time.Now().UnixNano(),
+		Events:      s.total,
+		Dropped:     s.dropped,
+		Go:          runtime.Version(),
+		PID:         os.Getpid(),
+	}); err != nil {
+		return dir, err
+	}
+	if err := syncDir(dir); err != nil {
+		return dir, err
+	}
+	r.cDumps.Inc()
+	return dir, nil
+}
+
+// ReadMeta loads a bundle's meta.json.
+func ReadMeta(bundleDir string) (*Meta, error) {
+	data, err := os.ReadFile(filepath.Join(bundleDir, MetaName))
+	if err != nil {
+		return nil, err
+	}
+	m := &Meta{}
+	if err := json.Unmarshal(data, m); err != nil {
+		return nil, fmt.Errorf("blackbox: %s: %w", filepath.Join(bundleDir, MetaName), err)
+	}
+	return m, nil
+}
+
+// Bundles lists the complete bundles (those with meta.json) under dir,
+// sorted by name, i.e. creation order.
+func Bundles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		if _, err := os.Stat(filepath.Join(dir, e.Name(), MetaName)); err == nil {
+			out = append(out, e.Name())
+		}
+	}
+	return out, nil
+}
+
+func writeJSONL[T any](path string, items []T) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	for _, it := range items {
+		if err := enc.Encode(it); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	err = f.Sync()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func writeJSONFile(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return writeFileSync(path, append(data, '\n'))
+}
+
+func writeFileSync(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	_, err = f.Write(data)
+	if serr := f.Sync(); err == nil {
+		err = serr
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

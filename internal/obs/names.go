@@ -71,6 +71,17 @@ const (
 
 	// internal/experiments harness.
 	MetricExperimentsLabelCacheErrors = "experiments.label_cache_errors"
+
+	// internal/obs/blackbox flight recorder.
+	MetricBlackboxEvents        = "blackbox.events"
+	MetricBlackboxEventsDropped = "blackbox.events_dropped"
+	MetricBlackboxDumps         = "blackbox.dumps"
+	MetricBlackboxDumpErrors    = "blackbox.dump_errors"
+
+	// internal/obs/prof continuous-profiling harness.
+	MetricProfCPUWindows = "prof.cpu_windows"
+	MetricProfSnapshots  = "prof.snapshots"
+	MetricProfErrors     = "prof.errors"
 )
 
 // Span names: the vocabulary of Tracer.Start. The span tree of one run
@@ -98,6 +109,40 @@ const (
 	PhaseDetectorPrime   = "detector-prime"
 	PhaseDetection       = "detection"
 	PhaseStrategyObserve = "strategy-observe"
+)
+
+// Profile-phase labels: the phase attribution vocabulary of the
+// internal/obs/prof manifest. Named phase spans (SpanSample,
+// SpanTrainInit, SpanDetectorPrime, SpanRank, SpanTrainUpdate) label
+// artifacts with their own span name; the gaps are labelled explicitly:
+// ProfPhaseExtract is the document-extraction loop between phase spans
+// of an open run, ProfPhaseIdle is everything outside a run (process
+// start-up, between experiment-suite runs, shutdown).
+const (
+	ProfPhaseExtract = "extract"
+	ProfPhaseIdle    = "idle"
+)
+
+// Profile artifact kinds: the Artifact field of internal/obs/prof
+// manifest records, naming what each captured file contains.
+const (
+	ProfArtifactCPU       = "cpu"
+	ProfArtifactHeap      = "heap"
+	ProfArtifactAllocs    = "allocs"
+	ProfArtifactGoroutine = "goroutine"
+	ProfArtifactBlock     = "block"
+	ProfArtifactMutex     = "mutex"
+	ProfArtifactMetrics   = "metrics"
+)
+
+// Blackbox dump-trigger reasons: the Reason recorded in a postmortem
+// bundle's meta.json, naming what flushed the flight recorder.
+const (
+	DumpReasonWorkerPanic  = "worker-panic"
+	DumpReasonExtractPanic = "extract-panic"
+	DumpReasonAlert        = "slo-alert"
+	DumpReasonSignal       = "signal"
+	DumpReasonManual       = "manual"
 )
 
 // CPU-time account keys: the map keys of PhaseTotals and

@@ -1,0 +1,60 @@
+package prof
+
+// HTTP exposure of a profile directory, mounted by the obs server at
+// /profiles/. The root lists the manifest as JSON (so tooling can
+// discover artifacts and their phase attribution without filesystem
+// access); any path below it serves the named artifact file, which
+// `go tool pprof http://host/profiles/<file>` consumes directly.
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"path"
+	"path/filepath"
+	"strings"
+)
+
+// DirHandler serves the profile directory dir. It is safe to mount
+// while a Profiler is still writing: the manifest is re-read per
+// request and only completed artifacts appear in it.
+func DirHandler(dir string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		name := strings.Trim(path.Clean("/"+r.URL.Path), "/")
+		if name == "" || name == "." {
+			m, err := ReadManifest(dir)
+			if err != nil {
+				if os.IsNotExist(err) {
+					http.Error(w, "no manifest (profiling not enabled?)", http.StatusNotFound)
+					return
+				}
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(struct {
+				Header    Record   `json:"header"`
+				Artifacts []Record `json:"artifacts"`
+			}{m.Header, m.Artifacts})
+			return
+		}
+		// Only flat file names — the cleaned path must not escape dir.
+		if strings.Contains(name, "/") {
+			http.NotFound(w, r)
+			return
+		}
+		full := filepath.Join(dir, name)
+		if _, err := os.Stat(full); err != nil {
+			http.NotFound(w, r)
+			return
+		}
+		if strings.HasSuffix(name, ".jsonl") {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+		} else {
+			w.Header().Set("Content-Type", "application/octet-stream")
+		}
+		http.ServeFile(w, r, full)
+	})
+}

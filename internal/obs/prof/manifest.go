@@ -1,0 +1,178 @@
+package prof
+
+// The profile-directory manifest: one JSONL file keying every captured
+// artifact to run id, phase, span id, and wall-clock window, so profiles
+// join against the event trace (span ids and UnixNano timestamps are the
+// same vocabulary obs.Event uses). The first record is a header carrying
+// the run identity and environment; every subsequent record describes
+// one artifact file in the same directory.
+//
+// The writer appends and flushes per record and fsyncs on close — the
+// same crash-safety contract as the event trace and the resume journal —
+// and the reader tolerates a truncated final line, so a manifest cut off
+// by a crash still yields every completed artifact.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// ManifestName is the manifest's file name inside a profile directory.
+const ManifestName = "manifest.jsonl"
+
+// Record kinds.
+const (
+	RecordHeader   = "header"
+	RecordArtifact = "artifact"
+)
+
+// Record is one line of the manifest.
+type Record struct {
+	Kind string `json:"kind"`
+
+	// Header fields: run identity and capture environment.
+	RunID       string `json:"run_id,omitempty"`
+	Fingerprint string `json:"fingerprint,omitempty"`
+	Go          string `json:"go,omitempty"`
+	GOOS        string `json:"goos,omitempty"`
+	GOARCH      string `json:"goarch,omitempty"`
+	GOMAXPROCS  int    `json:"gomaxprocs,omitempty"`
+
+	// Artifact fields. Artifact is an obs.ProfArtifact* kind; File is the
+	// artifact's name inside the directory; Phase is the profile-phase
+	// label (a span name, obs.ProfPhaseExtract, or obs.ProfPhaseIdle);
+	// Span is the id of the span the window is attributed to (0 when the
+	// window is outside any phase span); T0/T1 bound the capture window
+	// in UnixNano.
+	Artifact string `json:"artifact,omitempty"`
+	File     string `json:"file,omitempty"`
+	Phase    string `json:"phase,omitempty"`
+	Span     int64  `json:"span,omitempty"`
+	T0       int64  `json:"t0,omitempty"`
+	T1       int64  `json:"t1,omitempty"`
+}
+
+// Manifest is the decoded form of one profile directory's manifest.
+type Manifest struct {
+	Header    Record
+	Artifacts []Record
+}
+
+// ByArtifact returns the artifact records of one kind, in capture order.
+func (m *Manifest) ByArtifact(kind string) []Record {
+	var out []Record
+	for _, r := range m.Artifacts {
+		if r.Artifact == kind {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// PhaseWindows sums each phase's total captured CPU-window wall-clock
+// time (T1-T0 across that phase's CPU artifacts), in nanoseconds.
+func (m *Manifest) PhaseWindows() map[string]int64 {
+	out := map[string]int64{}
+	for _, r := range m.ByArtifact("cpu") {
+		out[r.Phase] += r.T1 - r.T0
+	}
+	return out
+}
+
+// ReadManifest loads dir's manifest. A truncated final line (crash while
+// appending) is ignored; a malformed line elsewhere is an error.
+func ReadManifest(dir string) (*Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return nil, err
+	}
+	m := &Manifest{}
+	lines := bytes.Split(data, []byte("\n"))
+	for i, line := range lines {
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 {
+			continue
+		}
+		var r Record
+		if err := json.Unmarshal(line, &r); err != nil {
+			if i == len(lines)-1 {
+				break // torn tail: keep everything before it
+			}
+			return nil, fmt.Errorf("prof: manifest line %d: %w", i+1, err)
+		}
+		if r.Kind == RecordHeader && m.Header.Kind == "" {
+			m.Header = r
+			continue
+		}
+		m.Artifacts = append(m.Artifacts, r)
+	}
+	if m.Header.Kind == "" {
+		return nil, fmt.Errorf("prof: manifest in %s has no header record", dir)
+	}
+	return m, nil
+}
+
+// manifestWriter appends manifest records crash-safely: every append is
+// flushed to the OS, and close fsyncs before returning.
+type manifestWriter struct {
+	mu sync.Mutex
+	f  *os.File
+	w  *bufio.Writer
+}
+
+func newManifestWriter(dir string, header Record) (*manifestWriter, error) {
+	f, err := os.OpenFile(filepath.Join(dir, ManifestName),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	mw := &manifestWriter{f: f, w: bufio.NewWriter(f)}
+	header.Kind = RecordHeader
+	if err := mw.append(header); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return mw, nil
+}
+
+func (mw *manifestWriter) append(r Record) error {
+	if r.Kind == "" {
+		r.Kind = RecordArtifact
+	}
+	line, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	mw.mu.Lock()
+	defer mw.mu.Unlock()
+	if _, err := mw.w.Write(line); err != nil {
+		return err
+	}
+	if err := mw.w.WriteByte('\n'); err != nil {
+		return err
+	}
+	return mw.w.Flush()
+}
+
+// close flushes, fsyncs, and closes the manifest — the postmortem exit
+// paths (SIGQUIT, watchdog dump) rely on this running before the
+// process exits so the manifest survives.
+func (mw *manifestWriter) close() error {
+	mw.mu.Lock()
+	defer mw.mu.Unlock()
+	err := mw.w.Flush()
+	if serr := mw.f.Sync(); err == nil {
+		err = serr
+	}
+	if cerr := mw.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func readFile(path string) ([]byte, error) { return os.ReadFile(path) }

@@ -1,0 +1,423 @@
+// Package prof is the continuous-profiling harness: phase-scoped CPU
+// profile windows, heap/allocs/goroutine/block/mutex snapshots at run
+// and phase boundaries, and periodic runtime/metrics samples, all
+// captured into one directory whose JSONL manifest keys every artifact
+// to run id, phase, span id, and wall-clock window — the join keys the
+// event trace uses, so profiles line up against spans.
+//
+// The harness learns phases by listening to the span stream: wire it as
+// a Tee sink next to the trace file (Profiler.Recorder), and it sees the
+// same KindSpanStart/KindSpanEnd events the trace records. A named
+// phase span (sample, train-init, detector-prime, rank, train-update)
+// opening or closing rotates the running CPU window so each window
+// belongs to exactly one phase; the gap between phase spans inside an
+// open run is attributed to obs.ProfPhaseExtract (the document loop),
+// and time outside any run to obs.ProfPhaseIdle.
+//
+// It is a passive observer: it never mutates events, so enabling
+// profiling cannot perturb the byte-identical trace contract.
+package prof
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+	"time"
+
+	"adaptiverank/internal/obs"
+)
+
+// Options configures Start.
+type Options struct {
+	// Dir is the profile directory; created if absent. Required.
+	Dir string
+	// RunID labels the manifest header. Defaults to a timestamp-pid id.
+	RunID string
+	// Fingerprint is the config/corpus fingerprint recorded in the
+	// header (the same string the resume journal binds to), so a profile
+	// directory is traceable to exactly one configuration.
+	Fingerprint string
+	// CPUWindow enables rotating CPU profile windows of this length.
+	// Zero disables CPU profiling; boundaries still rotate windows early,
+	// so a window never spans two phases.
+	CPUWindow time.Duration
+	// MetricsInterval is the runtime/metrics sampling period. Zero means
+	// 5s; negative disables sampling.
+	MetricsInterval time.Duration
+	// BlockProfileRate/MutexProfileFraction, when positive, are installed
+	// at Start and the corresponding profiles captured at run boundaries.
+	BlockProfileRate     int
+	MutexProfileFraction int
+	// Registry receives the prof.* counters (nil is fine).
+	Registry *obs.Registry
+}
+
+// phaseSpans is the set of span names treated as profile phases.
+var phaseSpans = map[string]bool{
+	obs.SpanSample:        true,
+	obs.SpanTrainInit:     true,
+	obs.SpanDetectorPrime: true,
+	obs.SpanRank:          true,
+	obs.SpanTrainUpdate:   true,
+}
+
+type phaseFrame struct {
+	id   int64
+	name string
+}
+
+// Profiler captures profiles into one directory. Create with Start,
+// feed span events via Recorder, and Close before reading the results.
+type Profiler struct {
+	opts Options
+	man  *manifestWriter
+
+	cWindows *obs.Counter
+	cSnaps   *obs.Counter
+	cErrs    *obs.Counter
+
+	metF     *os.File
+	metW     *bufio.Writer
+	metDescs []metricDesc
+	metT0    int64
+
+	mu       sync.Mutex
+	seq      int
+	runDepth int
+	phases   []phaseFrame
+	cpuF     *os.File
+	cpuFile  string
+	cpuT0    int64
+	cpuPhase string
+	cpuSpan  int64
+	closed   bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// Start creates the profile directory, writes the manifest header,
+// captures the run-start snapshot set, and begins the CPU window and
+// metrics loops.
+func Start(opts Options) (*Profiler, error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("prof: Options.Dir is required")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	if opts.RunID == "" {
+		opts.RunID = fmt.Sprintf("%s-%d", time.Now().UTC().Format("20060102-150405"), os.Getpid())
+	}
+	if opts.MetricsInterval == 0 {
+		opts.MetricsInterval = 5 * time.Second
+	}
+	man, err := newManifestWriter(opts.Dir, Record{
+		RunID:       opts.RunID,
+		Fingerprint: opts.Fingerprint,
+		Go:          runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+	})
+	if err != nil {
+		return nil, err
+	}
+	p := &Profiler{
+		opts:     opts,
+		man:      man,
+		cWindows: opts.Registry.Counter(obs.MetricProfCPUWindows),
+		cSnaps:   opts.Registry.Counter(obs.MetricProfSnapshots),
+		cErrs:    opts.Registry.Counter(obs.MetricProfErrors),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	if opts.BlockProfileRate > 0 {
+		runtime.SetBlockProfileRate(opts.BlockProfileRate)
+	}
+	if opts.MutexProfileFraction > 0 {
+		runtime.SetMutexProfileFraction(opts.MutexProfileFraction)
+	}
+	if opts.MetricsInterval > 0 {
+		f, err := os.OpenFile(filepath.Join(opts.Dir, "metrics.jsonl"),
+			os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			man.close()
+			return nil, err
+		}
+		p.metF = f
+		p.metW = bufio.NewWriter(f)
+		p.metDescs = metricDescs()
+		p.metT0 = time.Now().UnixNano()
+	}
+	p.mu.Lock()
+	p.snapshotLocked(obs.ProfPhaseIdle, 0, snapshotBoundary(opts))
+	if opts.CPUWindow > 0 {
+		p.startCPULocked()
+	}
+	p.mu.Unlock()
+	if p.metW != nil {
+		p.sampleMetrics()
+	}
+	go p.loop()
+	return p, nil
+}
+
+// snapshotBoundary returns the profile set captured at run boundaries:
+// the full set, including block/mutex when their rates are installed.
+func snapshotBoundary(opts Options) []string {
+	kinds := []string{obs.ProfArtifactHeap, obs.ProfArtifactAllocs, obs.ProfArtifactGoroutine}
+	if opts.BlockProfileRate > 0 {
+		kinds = append(kinds, obs.ProfArtifactBlock)
+	}
+	if opts.MutexProfileFraction > 0 {
+		kinds = append(kinds, obs.ProfArtifactMutex)
+	}
+	return kinds
+}
+
+// phaseSnapshot is the cheaper set captured at every phase boundary.
+var phaseSnapshot = []string{obs.ProfArtifactHeap, obs.ProfArtifactGoroutine}
+
+// Recorder returns a Tee sink that feeds span events to the profiler.
+// It observes and never forwards — add it alongside the other sinks.
+func (p *Profiler) Recorder() obs.Recorder { return profRecorder{p} }
+
+type profRecorder struct{ p *Profiler }
+
+func (r profRecorder) Enabled() bool { return true }
+
+func (r profRecorder) Record(e obs.Event) {
+	if e.Kind != obs.KindSpanStart && e.Kind != obs.KindSpanEnd {
+		return
+	}
+	if e.Name != obs.SpanRun && !phaseSpans[e.Name] {
+		return
+	}
+	r.p.spanEvent(e)
+}
+
+// spanEvent updates the phase state machine: CPU windows rotate at
+// every phase change (so each window maps to one phase), named phase
+// spans get a heap+goroutine snapshot when they close, and run spans
+// get the full boundary set on open and close.
+func (p *Profiler) spanEvent(e obs.Event) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	switch {
+	case e.Name == obs.SpanRun && e.Kind == obs.KindSpanStart:
+		p.runDepth++
+		p.snapshotLocked(obs.SpanRun, e.Span, snapshotBoundary(p.opts))
+	case e.Name == obs.SpanRun && e.Kind == obs.KindSpanEnd:
+		if p.runDepth > 0 {
+			p.runDepth--
+		}
+		p.snapshotLocked(obs.SpanRun, e.Span, snapshotBoundary(p.opts))
+	case e.Kind == obs.KindSpanStart:
+		p.phases = append(p.phases, phaseFrame{id: e.Span, name: e.Name})
+	case e.Kind == obs.KindSpanEnd:
+		for i := len(p.phases) - 1; i >= 0; i-- {
+			if p.phases[i].id == e.Span {
+				p.phases = append(p.phases[:i], p.phases[i+1:]...)
+				break
+			}
+		}
+		p.snapshotLocked(e.Name, e.Span, phaseSnapshot)
+	}
+	if p.cpuF != nil && p.cpuPhase != p.phaseLocked() {
+		p.stopCPULocked()
+		p.startCPULocked()
+	}
+}
+
+// phaseLocked names the phase the process is in right now.
+func (p *Profiler) phaseLocked() string {
+	if n := len(p.phases); n > 0 {
+		return p.phases[n-1].name
+	}
+	if p.runDepth > 0 {
+		return obs.ProfPhaseExtract
+	}
+	return obs.ProfPhaseIdle
+}
+
+func (p *Profiler) phaseSpanLocked() int64 {
+	if n := len(p.phases); n > 0 {
+		return p.phases[n-1].id
+	}
+	return 0
+}
+
+// snapshotLocked captures one profile file per kind, attributed to the
+// given phase and span.
+func (p *Profiler) snapshotLocked(phase string, span int64, kinds []string) {
+	now := time.Now().UnixNano()
+	for _, kind := range kinds {
+		prof := pprof.Lookup(kind)
+		if prof == nil {
+			p.cErrs.Inc()
+			continue
+		}
+		p.seq++
+		name := fmt.Sprintf("%04d-%s.pb.gz", p.seq, kind)
+		f, err := os.Create(filepath.Join(p.opts.Dir, name))
+		if err != nil {
+			p.cErrs.Inc()
+			continue
+		}
+		err = prof.WriteTo(f, 0)
+		if serr := f.Sync(); err == nil {
+			err = serr
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			p.cErrs.Inc()
+			continue
+		}
+		p.cSnaps.Inc()
+		if err := p.man.append(Record{
+			Artifact: kind, File: name, Phase: phase, Span: span, T0: now, T1: now,
+		}); err != nil {
+			p.cErrs.Inc()
+		}
+	}
+}
+
+// startCPULocked opens the next CPU window, stamping it with the
+// current phase. On failure (another CPU profile active, disk error)
+// it counts the error and leaves the window off; the next rotation
+// retries.
+func (p *Profiler) startCPULocked() {
+	p.seq++
+	name := fmt.Sprintf("%04d-cpu.pb.gz", p.seq)
+	f, err := os.Create(filepath.Join(p.opts.Dir, name))
+	if err != nil {
+		p.cErrs.Inc()
+		return
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		p.cErrs.Inc()
+		return
+	}
+	p.cpuF = f
+	p.cpuFile = name
+	p.cpuT0 = time.Now().UnixNano()
+	p.cpuPhase = p.phaseLocked()
+	p.cpuSpan = p.phaseSpanLocked()
+}
+
+// stopCPULocked closes the running CPU window and records it in the
+// manifest under the phase that was active when it started.
+func (p *Profiler) stopCPULocked() {
+	if p.cpuF == nil {
+		return
+	}
+	pprof.StopCPUProfile()
+	f := p.cpuF
+	p.cpuF = nil
+	err := f.Sync()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		p.cErrs.Inc()
+		return
+	}
+	p.cWindows.Inc()
+	if err := p.man.append(Record{
+		Artifact: obs.ProfArtifactCPU, File: p.cpuFile, Phase: p.cpuPhase,
+		Span: p.cpuSpan, T0: p.cpuT0, T1: time.Now().UnixNano(),
+	}); err != nil {
+		p.cErrs.Inc()
+	}
+}
+
+// loop drives the time-based work: CPU window rotation and periodic
+// runtime/metrics samples.
+func (p *Profiler) loop() {
+	defer close(p.done)
+	var cpuC, metC <-chan time.Time
+	if p.opts.CPUWindow > 0 {
+		t := time.NewTicker(p.opts.CPUWindow)
+		defer t.Stop()
+		cpuC = t.C
+	}
+	if p.metW != nil {
+		t := time.NewTicker(p.opts.MetricsInterval)
+		defer t.Stop()
+		metC = t.C
+	}
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-cpuC:
+			p.mu.Lock()
+			if !p.closed {
+				p.stopCPULocked()
+				p.startCPULocked()
+			}
+			p.mu.Unlock()
+		case <-metC:
+			p.sampleMetrics()
+		}
+	}
+}
+
+// Close stops the loops, closes the final CPU window, captures the
+// end-of-run snapshot set, and fsyncs the metrics file and manifest.
+// It is idempotent and safe to call from postmortem exit paths.
+func (p *Profiler) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		<-p.done
+		return nil
+	}
+	p.closed = true
+	close(p.stop)
+	p.stopCPULocked()
+	phase, span := p.phaseLocked(), p.phaseSpanLocked()
+	p.snapshotLocked(phase, span, snapshotBoundary(p.opts))
+	p.mu.Unlock()
+	<-p.done
+
+	var err error
+	if p.metW != nil {
+		p.sampleMetrics()
+		if merr := p.man.append(Record{
+			Artifact: obs.ProfArtifactMetrics, File: "metrics.jsonl",
+			T0: p.metT0, T1: time.Now().UnixNano(),
+		}); err == nil {
+			err = merr
+		}
+		ferr := p.metW.Flush()
+		if serr := p.metF.Sync(); ferr == nil {
+			ferr = serr
+		}
+		if cerr := p.metF.Close(); ferr == nil {
+			ferr = cerr
+		}
+		if err == nil {
+			err = ferr
+		}
+	}
+	if merr := p.man.close(); err == nil {
+		err = merr
+	}
+	return err
+}
+
+// Dir returns the profile directory.
+func (p *Profiler) Dir() string { return p.opts.Dir }

@@ -263,14 +263,20 @@ func CreateTrace(path string) (*FileRecorder, error) {
 	return &FileRecorder{JSONLRecorder: NewJSONLRecorder(f), f: f}, nil
 }
 
-// Close flushes buffered events and closes the file. Repeated calls
-// are no-ops.
+// Close flushes buffered events, syncs the file to stable storage, and
+// closes it. The fsync matters on the postmortem exit paths (SIGQUIT,
+// watchdog-triggered dumps): the trace a crash bundle will be joined
+// against must survive the exit that produced the bundle. Repeated
+// calls are no-ops.
 func (r *FileRecorder) Close() error {
 	if r.closed {
 		return nil
 	}
 	r.closed = true
 	err := r.Flush()
+	if serr := r.f.Sync(); err == nil {
+		err = serr
+	}
 	if cerr := r.f.Close(); err == nil {
 		err = cerr
 	}

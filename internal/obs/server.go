@@ -127,6 +127,14 @@ type ServerOptions struct {
 	// pause, heap, and goroutine gauges every interval (0 selects 1s);
 	// a negative interval disables the sampler. Close stops it.
 	RuntimeInterval time.Duration
+	// Blackbox backs /debug/blackbox (flight-recorder state and the
+	// manual-dump trigger). Handlers rather than concrete types, because
+	// obs cannot import its own subpackages: pass blackbox.Ring.Handler()
+	// and prof.DirHandler(dir). Nil turns the route into a 404.
+	Blackbox http.Handler
+	// Profiles backs /profiles/ (profile-directory manifest listing and
+	// artifact download).
+	Profiles http.Handler
 }
 
 // Server serves the observability endpoints of a live run:
@@ -137,6 +145,8 @@ type ServerOptions struct {
 //	/events        Server-Sent Events stream of trace events
 //	/alerts        SLO watchdog alert list (JSON)
 //	/debug/pprof/  the standard runtime profiles
+//	/debug/blackbox  flight-recorder state + POST /dump (when wired)
+//	/profiles/     profile-directory listing and artifacts (when wired)
 //
 // It replaces the ad-hoc net/http/pprof DefaultServeMux listeners the
 // CLIs used to spin up: everything is mounted on one private mux.
@@ -165,6 +175,14 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/runs", s.handleRuns)
 	mux.HandleFunc("/events", s.handleEvents)
 	mux.HandleFunc("/alerts", s.handleAlerts)
+	if s.opts.Blackbox != nil {
+		mux.Handle("/debug/blackbox", http.StripPrefix("/debug/blackbox", s.opts.Blackbox))
+		mux.Handle("/debug/blackbox/", http.StripPrefix("/debug/blackbox", s.opts.Blackbox))
+	}
+	if s.opts.Profiles != nil {
+		mux.Handle("/profiles", http.StripPrefix("/profiles", s.opts.Profiles))
+		mux.Handle("/profiles/", http.StripPrefix("/profiles", s.opts.Profiles))
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

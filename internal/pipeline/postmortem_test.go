@@ -1,0 +1,109 @@
+package pipeline
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"adaptiverank/internal/corpus"
+	"adaptiverank/internal/obs"
+	"adaptiverank/internal/obs/blackbox"
+)
+
+// TestWorkerPanicWritesPostmortemBundle drives the real pipeline with a
+// black-box flight recorder attached and a strategy that panics on one
+// specific document. The worker-panic recovery path must flush a
+// postmortem bundle, and — because the dump runs synchronously inside
+// the panicking goroutine's deferred recovery — the bundle's goroutine
+// dump must still name the panicking site, frames and all.
+func TestWorkerPanicWritesPostmortemBundle(t *testing.T) {
+	env := newTestEnv(t, 21)
+	crashDir := t.TempDir()
+	reg := obs.NewRegistry()
+	box, err := blackbox.New(blackbox.Options{
+		Dir: crashDir, RunID: "postmortem-test", Fingerprint: "pipeline/panic-test",
+		Registry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var bomb corpus.DocID = env.coll.Docs()[len(env.sample)+5].ID
+	opts := learnedOpts(env, 21)
+	opts.Strategy = &panickyStrategy{inner: opts.Strategy, bomb: bomb}
+	opts.Metrics = reg
+	opts.Recorder = obs.Tee(box)
+	opts.Workers = 4
+	res, err := RunContext(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Order) == 0 {
+		t.Fatal("run produced no order")
+	}
+
+	bundles, err := blackbox.Bundles(crashDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The bomb document is re-scored at every reranking, so the run can
+	// panic (and dump) several times; every dump must carry the reason.
+	if len(bundles) == 0 {
+		t.Fatal("worker panic produced no postmortem bundle")
+	}
+	bdir := filepath.Join(crashDir, bundles[0])
+	if !strings.Contains(filepath.Base(bdir), obs.DumpReasonWorkerPanic) {
+		t.Fatalf("bundle dir %q does not carry reason %q", bdir, obs.DumpReasonWorkerPanic)
+	}
+
+	meta, err := blackbox.ReadMeta(bdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Reason != obs.DumpReasonWorkerPanic {
+		t.Fatalf("meta reason = %q, want %q", meta.Reason, obs.DumpReasonWorkerPanic)
+	}
+	if meta.Trigger == nil || meta.Trigger.Kind != obs.KindWorkerPanic {
+		t.Fatalf("meta trigger = %+v, want a worker-panic event", meta.Trigger)
+	}
+	if meta.Trigger.Name != obs.PanicSiteScore || corpus.DocID(meta.Trigger.Doc) != bomb {
+		t.Fatalf("trigger attributes site %q doc %d, want site %q doc %d",
+			meta.Trigger.Name, meta.Trigger.Doc, obs.PanicSiteScore, bomb)
+	}
+
+	// The goroutine dump was captured while the panicking worker was still
+	// unwinding through its deferred recovery, so the stack it shows leads
+	// from the pipeline's score wrapper down into the strategy method that
+	// actually blew up.
+	gs, err := os.ReadFile(filepath.Join(bdir, "goroutines.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frame := range []string{"panickyStrategy", "internal/pipeline", "panic"} {
+		if !strings.Contains(string(gs), frame) {
+			t.Errorf("goroutine dump missing %q — panicking site not named", frame)
+		}
+	}
+
+	// The ring replay in the bundle ends at the trigger: its last events
+	// are the run leading up to the panic, and the trigger itself is in it.
+	evs, err := os.ReadFile(filepath.Join(bdir, "events.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring, err := obs.ReadEventsPartial(strings.NewReader(string(evs)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range ring {
+		if e.Kind == obs.KindWorkerPanic && corpus.DocID(e.Doc) == bomb {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("ring replay does not contain the triggering worker-panic event")
+	}
+}
