@@ -32,6 +32,7 @@ import (
 	"adaptiverank/internal/corpus"
 	"adaptiverank/internal/extract"
 	"adaptiverank/internal/obs"
+	"adaptiverank/internal/obs/explain"
 	"adaptiverank/internal/pipeline"
 	"adaptiverank/internal/ranking"
 	"adaptiverank/internal/relation"
@@ -112,6 +113,20 @@ func TeeRecorder(sinks ...Recorder) Recorder { return obs.Tee(sinks...) }
 
 // ReadTrace parses a JSONL trace back into events.
 func ReadTrace(r io.Reader) ([]TraceEvent, error) { return obs.ReadEvents(r) }
+
+// Explainer is the model-introspection substrate (see Options.Explain):
+// it captures exact per-feature score attributions for top-ranked
+// documents, a weight-drift timeline across model updates, and — when
+// its Recorder is teed into Options.Recorder — the structured evidence
+// behind every detector decision, all into a crash-safe JSONL artifact
+// (render it with cmd/explainreport) plus a live HTTP view.
+type Explainer = explain.Explainer
+
+// ExplainOptions configures NewExplainer; Dir is required.
+type ExplainOptions = explain.Options
+
+// NewExplainer opens a model-introspection artifact directory.
+func NewExplainer(opts ExplainOptions) (*Explainer, error) { return explain.New(opts) }
 
 // TracePhaseTotals folds a trace's per-event durations into the paper's
 // CPU-time accounts ("extraction", "ranking", "detection", "training",
@@ -235,6 +250,13 @@ type Options struct {
 	// Recorder, when non-nil, receives the run's structured event trace
 	// (e.g. NewTraceRecorder). nil disables tracing at zero cost.
 	Recorder Recorder
+	// Explain, when non-nil, arms model introspection: weight snapshots
+	// at every model update and score attributions for the top-ranked
+	// documents flow into the explainer's artifact directory. Tee
+	// Explain.Recorder() into Recorder to persist detector decision
+	// evidence too. Like Metrics and Recorder it never changes what the
+	// run computes.
+	Explain *Explainer
 	// Flaky, when non-nil, wraps the extractor with seeded deterministic
 	// fault injection (transient errors, panics, hangs, latency spikes,
 	// poisoned documents). Setting it implies Resilience so injected
@@ -405,6 +427,7 @@ func RunContext(ctx context.Context, coll *Collection, ex Extractor, opts Option
 		Workers:        workers(opts.Workers),
 		Metrics:        opts.Metrics,
 		Recorder:       opts.Recorder,
+		Explain:        opts.Explain,
 		Journal:        journal,
 	})
 	if cerr := journal.Close(); cerr != nil && err == nil {
@@ -444,8 +467,8 @@ func Fingerprint(coll *Collection, ex Extractor, opts Options) string {
 // runFingerprint identifies a run configuration for checkpoint files:
 // resuming a journal written by a different configuration (or corpus)
 // would replay wrong outcomes, so OpenJournal rejects a mismatch. Only
-// result-affecting options participate — Workers, Metrics, and Recorder
-// do not change what a run computes.
+// result-affecting options participate — Workers, Metrics, Recorder,
+// and Explain do not change what a run computes.
 func runFingerprint(coll *Collection, ex Extractor, opts Options) string {
 	flaky := ""
 	if opts.Flaky != nil {

@@ -1,0 +1,91 @@
+package adaptiverank_test
+
+// End-to-end pipeline benchmarks: whole adaptiverank.Run invocations —
+// featurize, score, rank, detect, retrain — measured in documents per
+// second, the unit the paper's scalability claims are stated in. These
+// join the scoring microbenches in the gated BENCH_scoring.json
+// trajectory, so a regression anywhere in the per-document path (not
+// just the scoring kernel) trips benchgate. The Explained variant runs
+// the identical configuration with the model-introspection substrate
+// armed (internal/obs/explain), putting its overhead on the same gated
+// axis as the bare pipeline. Regenerate the baseline intentionally with
+//
+//	go test -run '^$' -bench 'BenchmarkScoring|BenchmarkPipeline' -benchtime 1s -count 3 \
+//	    -bench-out BENCH_scoring.json .
+//
+// (best-of-repetitions semantics: see recordBenchMetric.)
+
+import (
+	"testing"
+
+	"adaptiverank"
+)
+
+// pipelineBenchDocs is the corpus size per op — the same scale the
+// determinism tests pin byte-identical, so the benchmark measures a
+// configuration the test suite already proves correct.
+const pipelineBenchDocs = 900
+
+// benchPipeline times full runs over a pre-generated corpus and records
+// docs/sec plus ns/doc from the documents the pipeline actually
+// processed (early termination means that can be fewer than the corpus
+// size).
+func benchPipeline(b *testing.B, opts adaptiverank.Options) {
+	b.Helper()
+	recordBench(b)
+	coll, err := adaptiverank.GenerateCorpus(11, pipelineBenchDocs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ex := adaptiverank.BuiltinExtractor(adaptiverank.PersonCharge)
+	docs := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := adaptiverank.Run(coll, ex, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		docs += res.DocsProcessed
+	}
+	b.StopTimer()
+	if el := b.Elapsed(); el > 0 && docs > 0 {
+		recordBenchMetric(b, "docs/sec", float64(docs)/el.Seconds())
+		recordBenchMetric(b, "ns/doc", float64(el.Nanoseconds())/float64(docs))
+	}
+}
+
+func BenchmarkPipelineRSVMIEModC(b *testing.B) {
+	benchPipeline(b, adaptiverank.Options{
+		Strategy: adaptiverank.RSVMIE, Detector: adaptiverank.ModC, Seed: 5, Workers: 4,
+	})
+}
+
+func BenchmarkPipelineBAggIETopK(b *testing.B) {
+	benchPipeline(b, adaptiverank.Options{
+		Strategy: adaptiverank.BAggIE, Detector: adaptiverank.TopK, Seed: 5, Workers: 4,
+	})
+}
+
+// BenchmarkPipelineExplained is BenchmarkPipelineRSVMIEModC with the
+// explain substrate armed: weight snapshots, score attributions, and
+// the detector-decision sink all writing to a real fsynced artifact.
+// The gap to the bare variant is the introspection overhead, gated so
+// it cannot silently grow.
+func BenchmarkPipelineExplained(b *testing.B) {
+	ex, err := adaptiverank.NewExplainer(adaptiverank.ExplainOptions{
+		Dir: b.TempDir(), RunID: "bench", Fingerprint: "bench-pipeline",
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		if err := ex.Close(); err != nil {
+			b.Error(err)
+		}
+	})
+	benchPipeline(b, adaptiverank.Options{
+		Strategy: adaptiverank.RSVMIE, Detector: adaptiverank.ModC, Seed: 5, Workers: 4,
+		Explain:  ex,
+		Recorder: adaptiverank.TeeRecorder(ex.Recorder()),
+	})
+}

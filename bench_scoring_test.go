@@ -4,10 +4,11 @@ package adaptiverank_test
 // BENCH_scoring.json and gated by cmd/benchgate in CI. Each strategy is
 // measured three ways — the map-based reference Score, the packed
 // single-document fast path, and the batch fast path — so the trajectory
-// shows both the absolute cost and the speedup structure. Regenerate the
-// baseline intentionally with
+// shows both the absolute cost and the speedup structure. The baseline
+// file also carries the end-to-end pipeline benchmarks (see
+// bench_pipeline_test.go); regenerate it intentionally with
 //
-//	go test -run '^$' -bench 'BenchmarkScoring' -benchtime 1s -count 3 \
+//	go test -run '^$' -bench 'BenchmarkScoring|BenchmarkPipeline' -benchtime 1s -count 3 \
 //	    -bench-out BENCH_scoring.json .
 //
 // (-count 3 because the -bench-out collector keeps the best value per

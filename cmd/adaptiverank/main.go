@@ -66,6 +66,9 @@ func run() (code int) {
 		profDir    = flag.String("prof-dir", "", "continuous profiling: write phase-scoped CPU windows, heap/goroutine snapshots, runtime-metrics samples and a JSONL manifest under this directory (inspect with profreport -dir)")
 		profCPUWin = flag.Duration("prof-cpu-window", 10*time.Second, "continuous profiling: CPU profile window length; phase boundaries rotate windows early (0 disables CPU windows)")
 		blackboxD  = flag.String("blackbox", "", "flight recorder: keep a bounded ring of recent events in memory and flush postmortem bundles to this directory on worker panic, SLO alert, or SIGQUIT (inspect with profreport -bundle)")
+
+		explainDir = flag.String("explain-dir", "", "model introspection: write weight-drift snapshots, top-ranked score attributions, and detector decision evidence as a JSONL artifact under this directory (inspect with explainreport -dir; live at /model and /explain with -serve)")
+		explainTop = flag.Int("explain-top", 0, "model introspection: attribute this many top-ranked documents per (re-)ranking (0 = default)")
 	)
 	flag.Parse()
 
@@ -154,7 +157,7 @@ func run() (code int) {
 	runID := fmt.Sprintf("%s-%d", time.Now().UTC().Format("20060102-150405"), os.Getpid())
 
 	var reg *obs.Registry
-	if *metrics || *serve != "" || *profDir != "" || *blackboxD != "" {
+	if *metrics || *serve != "" || *profDir != "" || *blackboxD != "" || *explainDir != "" {
 		reg = obs.NewRegistry()
 		opts.Metrics = reg
 	}
@@ -199,6 +202,33 @@ func run() (code int) {
 			return 1
 		}
 		sinks = append(sinks, box)
+	}
+	var explainer *adaptiverank.Explainer
+	if *explainDir != "" {
+		explainer, err = adaptiverank.NewExplainer(adaptiverank.ExplainOptions{
+			Dir: *explainDir, RunID: runID, Fingerprint: fingerprint,
+			Registry: reg, AttribTopN: *explainTop,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		opts.Explain = explainer
+		// Flush and fsync the explain artifact on every exit path; a write
+		// error surfaces as a non-zero exit like the trace and profiler.
+		defer func() {
+			if err := explainer.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "explain:", err)
+				if code == 0 {
+					code = 1
+				}
+			} else {
+				fmt.Printf("explain artifact written to %s (inspect with explainreport -dir %s)\n", *explainDir, *explainDir)
+			}
+		}()
+		// The explain sink persists detector-decision evidence from the
+		// shared event stream.
+		sinks = append(sinks, explainer.Recorder())
 	}
 	var profiler *prof.Profiler
 	if *profDir != "" {
@@ -255,6 +285,9 @@ func run() (code int) {
 		if *profDir != "" {
 			srvOpts.Profiles = prof.DirHandler(*profDir)
 		}
+		if explainer != nil {
+			srvOpts.Explain = explainer.Handler()
+		}
 		srv := obs.NewServer(srvOpts)
 		addr, err := srv.Start(*serve)
 		if err != nil {
@@ -262,7 +295,7 @@ func run() (code int) {
 			return 1
 		}
 		defer srv.Close()
-		fmt.Printf("observability server on http://%s (/metrics /events /runs /alerts /healthz /debug/pprof /debug/blackbox /profiles)\n", addr)
+		fmt.Printf("observability server on http://%s (/metrics /events /runs /alerts /healthz /debug/pprof /debug/blackbox /profiles /model /explain)\n", addr)
 	}
 
 	// SIGQUIT is the operator's postmortem trigger: flush a black-box

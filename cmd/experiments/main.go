@@ -19,6 +19,7 @@ import (
 	"adaptiverank/internal/experiments"
 	"adaptiverank/internal/obs"
 	"adaptiverank/internal/obs/blackbox"
+	"adaptiverank/internal/obs/explain"
 	"adaptiverank/internal/obs/prof"
 )
 
@@ -50,6 +51,9 @@ func run() (code int) {
 		profDir    = flag.String("prof-dir", "", "continuous profiling: write phase-scoped CPU windows, heap/goroutine snapshots, runtime-metrics samples and a JSONL manifest under this directory (inspect with profreport -dir)")
 		profCPUWin = flag.Duration("prof-cpu-window", 10*time.Second, "continuous profiling: CPU profile window length; phase boundaries rotate windows early (0 disables CPU windows)")
 		blackboxD  = flag.String("blackbox", "", "flight recorder: keep a bounded ring of recent events in memory and flush postmortem bundles to this directory on worker panic, SLO alert, or SIGQUIT (inspect with profreport -bundle)")
+
+		explainDir = flag.String("explain-dir", "", "model introspection: write weight-drift snapshots, top-ranked score attributions, and detector decision evidence for every pipeline run as a JSONL artifact under this directory (inspect with explainreport -dir; live at /model and /explain with -serve)")
+		explainTop = flag.Int("explain-top", 0, "model introspection: attribute this many top-ranked documents per (re-)ranking (0 = default)")
 	)
 	flag.Parse()
 
@@ -89,7 +93,7 @@ func run() (code int) {
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}
-	if *metrics || *serve != "" || *profDir != "" || *blackboxD != "" {
+	if *metrics || *serve != "" || *profDir != "" || *blackboxD != "" || *explainDir != "" {
 		cfg.Metrics = obs.NewRegistry()
 	}
 	cfg.LabelCacheDir = *labelDir
@@ -137,6 +141,32 @@ func run() (code int) {
 			return 1
 		}
 		sinks = append(sinks, box)
+	}
+	var explainer *explain.Explainer
+	if *explainDir != "" {
+		var err error
+		explainer, err = explain.New(explain.Options{
+			Dir: *explainDir, RunID: suiteID, Fingerprint: suiteFP,
+			Registry: cfg.Metrics, AttribTopN: *explainTop,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		cfg.Explain = explainer
+		// Flush and fsync the explain artifact on every exit path; a write
+		// error surfaces as a non-zero exit like the trace and profiler.
+		defer func() {
+			if err := explainer.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "explain:", err)
+				if code == 0 {
+					code = 1
+				}
+			} else {
+				fmt.Fprintf(os.Stderr, "explain artifact written to %s (inspect with explainreport -dir %s)\n", *explainDir, *explainDir)
+			}
+		}()
+		sinks = append(sinks, explainer.Recorder())
 	}
 	var profiler *prof.Profiler
 	if *profDir != "" {
@@ -192,6 +222,9 @@ func run() (code int) {
 		}
 		if *profDir != "" {
 			srvOpts.Profiles = prof.DirHandler(*profDir)
+		}
+		if explainer != nil {
+			srvOpts.Explain = explainer.Handler()
 		}
 		srv := obs.NewServer(srvOpts)
 		addr, err := srv.Start(*serve)

@@ -1,0 +1,65 @@
+// Command explainreport renders the model-introspection artifact the
+// explain substrate (internal/obs/explain) writes: the weight-drift
+// timeline across model updates, the structured evidence behind every
+// detector fire/no-fire decision, exact per-feature score attributions
+// of top-ranked documents, and joined "why did the detector fire here"
+// reports — all from one JSONL log, no external tooling required.
+//
+//	explainreport -dir DIR                 summary: header, drift timeline, decision counts
+//	explainreport -dir DIR -provenance     every detector decision with its evidence
+//	explainreport -dir DIR -fired          joined why-did-it-fire report per model update
+//	explainreport -dir DIR -doc ID         score attribution of one document
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	var (
+		dir        = flag.String("dir", "", "explain artifact directory to report on (required)")
+		provenance = flag.Bool("provenance", false, "list every detector decision with its structured evidence")
+		fired      = flag.Bool("fired", false, "join each detector fire with the model update it triggered: evidence, drift, churn, top movers")
+		doc        = flag.Int64("doc", -1, "render the score attribution of this document id")
+		topN       = flag.Int("n", 10, "rows per table (contributions, movers, decisions)")
+	)
+	flag.Parse()
+
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "explainreport: -dir is required")
+		flag.Usage()
+		return 2
+	}
+	modes := 0
+	for _, set := range []bool{*provenance, *fired, *doc >= 0} {
+		if set {
+			modes++
+		}
+	}
+	if modes > 1 {
+		fmt.Fprintln(os.Stderr, "explainreport: at most one of -provenance, -fired, -doc")
+		flag.Usage()
+		return 2
+	}
+
+	var err error
+	switch {
+	case *provenance:
+		err = reportProvenance(os.Stdout, *dir, *topN)
+	case *fired:
+		err = reportFired(os.Stdout, *dir, *topN)
+	case *doc >= 0:
+		err = reportDoc(os.Stdout, *dir, *doc)
+	default:
+		err = reportSummary(os.Stdout, *dir, *topN)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "explainreport:", err)
+		return 1
+	}
+	return 0
+}

@@ -19,6 +19,7 @@ import (
 	"adaptiverank/internal/factcrawl"
 	"adaptiverank/internal/index"
 	"adaptiverank/internal/obs"
+	"adaptiverank/internal/obs/explain"
 	"adaptiverank/internal/pipeline"
 	"adaptiverank/internal/ranking"
 	"adaptiverank/internal/relation"
@@ -47,6 +48,10 @@ type Config struct {
 	// Recorder, when non-nil, receives the concatenated event traces of
 	// every pipeline run of the suite.
 	Recorder obs.Recorder
+	// Explain, when non-nil, arms model introspection on every pipeline
+	// run of the suite: all runs share one explain artifact, with
+	// records joined to their runs via span ids (see internal/obs/explain).
+	Explain *explain.Explainer
 	// Ctx, when non-nil, cancels every pipeline run of the suite (the
 	// CLI installs a SIGINT/SIGTERM context here). Nil means Background.
 	Ctx context.Context
@@ -386,6 +391,7 @@ func (e *Env) runOne(spec Spec, r int) (*pipeline.Result, error) {
 		MaxDocs:    spec.MaxDocs,
 		Metrics:    e.Cfg.Metrics,
 		Recorder:   e.Cfg.Recorder,
+		Explain:    e.Cfg.Explain,
 	}
 	if spec.SearchIface {
 		opts.SearchIface = &pipeline.SearchIfaceOptions{

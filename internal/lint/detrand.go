@@ -37,12 +37,17 @@ var DetRand = &Analyzer{
 	Run:  runDetRand,
 }
 
-// detRandScope lists the determinism-critical packages.
+// detRandScope lists the determinism-critical packages. The explain
+// substrate is in scope because its artifacts (drift statistics,
+// attribution folds) are compared byte-for-byte across runs by the
+// determinism tests, so a map-order or wall-clock leak there is as
+// observable as one in the detectors.
 var detRandScope = []string{
 	"internal/ranking",
 	"internal/update",
 	"internal/vector",
 	"internal/pipeline",
+	"internal/obs/explain",
 }
 
 // globalRandFuncs are the package-level math/rand functions that draw

@@ -1,0 +1,276 @@
+package explain
+
+// The explain log: one JSONL file keying every introspection record to
+// run id, fingerprint, span id, and ranked-document position — the same
+// join vocabulary the event trace and the profile manifest use, so
+// model snapshots, attributions, and detector decisions line up against
+// spans and profiles. The first record is a header carrying the run
+// identity and environment; every subsequent record is one snapshot,
+// attribution, or decision.
+//
+// The writer appends and flushes per record and fsyncs on close — the
+// crash-safety contract of the trace and the profile manifest — and the
+// reader tolerates a truncated final line, so a log cut off by a crash
+// still yields every completed record.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"adaptiverank/internal/obs"
+	"adaptiverank/internal/vector"
+)
+
+// LogName is the explain log's file name inside an explain directory.
+const LogName = "explain.jsonl"
+
+// Record kinds.
+const (
+	RecordHeader      = "header"
+	RecordSnapshot    = "snapshot"
+	RecordAttribution = "attribution"
+	RecordDecision    = "decision"
+)
+
+// Snapshot stages, matching the pipeline's training span names.
+const (
+	StageTrainInit   = "train-init"
+	StageTrainUpdate = "train-update"
+)
+
+// Feature is one named model feature with a weight — or, in a mover
+// list, a signed weight delta; in a contribution list, a per-feature
+// score contribution.
+type Feature struct {
+	Index  int32   `json:"index"`
+	Name   string  `json:"name,omitempty"`
+	Weight float64 `json:"weight"`
+}
+
+// Member is one linear member of an attributed score: summing Contribs
+// in order and adding Bias reproduces Margin bitwise (see
+// ranking.MemberAttribution, whose contract this serializes).
+type Member struct {
+	Bias     float64   `json:"bias,omitempty"`
+	Margin   float64   `json:"margin"`
+	Contribs []Feature `json:"contribs,omitempty"`
+}
+
+// Record is one line of the explain log.
+type Record struct {
+	Kind string `json:"kind"`
+
+	// Header fields: run identity and capture environment.
+	RunID       string `json:"run_id,omitempty"`
+	Fingerprint string `json:"fingerprint,omitempty"`
+	Go          string `json:"go,omitempty"`
+	GOOS        string `json:"goos,omitempty"`
+	GOARCH      string `json:"goarch,omitempty"`
+	GOMAXPROCS  int    `json:"gomaxprocs,omitempty"`
+
+	// Join keys shared across record kinds: Span is the id of the
+	// enclosing span (train-init/train-update for snapshots, rank for
+	// attributions, detect for decisions); Pos is the number of ranked
+	// documents processed when the record was captured; Seq/T carry the
+	// originating event's trace stamp on decision records.
+	Span int64 `json:"span,omitempty"`
+	Pos  int   `json:"pos,omitempty"`
+	Seq  int64 `json:"seq,omitempty"`
+	T    int64 `json:"t,omitempty"`
+
+	// Snapshot fields: one weight-vector snapshot per train-init /
+	// train-update span. Update is the snapshot ordinal (0 = init);
+	// DriftPrev/DriftInit compare against the previous and the initial
+	// snapshot (DriftPrev is nil on the init record); Movers are the
+	// top weight deltas vs the previous snapshot; Added/Removed are the
+	// pipeline's support-churn counts for the update.
+	Stage     string             `json:"stage,omitempty"`
+	Update    int                `json:"update,omitempty"`
+	NNZ       int                `json:"nnz,omitempty"`
+	L1        float64            `json:"l1,omitempty"`
+	L2        float64            `json:"l2,omitempty"`
+	Top       []Feature          `json:"top,omitempty"`
+	DriftPrev *vector.DriftStats `json:"drift_prev,omitempty"`
+	DriftInit *vector.DriftStats `json:"drift_init,omitempty"`
+	Movers    []Feature          `json:"movers,omitempty"`
+	Added     int                `json:"added,omitempty"`
+	Removed   int                `json:"removed,omitempty"`
+
+	// Attribution fields: one sampled document's exact score
+	// decomposition at rank time. Rank is the document's position in
+	// the ranking that sampled it; folding Members per the ranking
+	// attribution contract reconstructs Score bitwise.
+	Doc      int64    `json:"doc,omitempty"`
+	Rank     int      `json:"rank,omitempty"`
+	Score    float64  `json:"score,omitempty"`
+	Logistic bool     `json:"logistic,omitempty"`
+	Members  []Member `json:"members,omitempty"`
+
+	// Decision fields: one detector fire/no-fire decision with the
+	// structured evidence behind it, persisted from the event stream.
+	Detector string     `json:"detector,omitempty"`
+	Val      float64    `json:"val,omitempty"`
+	Fired    bool       `json:"fired,omitempty"`
+	Evidence []obs.Attr `json:"evidence,omitempty"`
+}
+
+// EvidenceNum returns the numeric evidence value for key (0, false when
+// absent).
+func (r *Record) EvidenceNum(key string) (float64, bool) {
+	for _, a := range r.Evidence {
+		if a.Key == key {
+			return a.Num, true
+		}
+	}
+	return 0, false
+}
+
+// EvidenceStr returns the string evidence value for key.
+func (r *Record) EvidenceStr(key string) string {
+	for _, a := range r.Evidence {
+		if a.Key == key {
+			return a.Str
+		}
+	}
+	return ""
+}
+
+// Log is the decoded form of one explain directory's log.
+type Log struct {
+	Header       Record
+	Snapshots    []Record
+	Attributions []Record
+	Decisions    []Record
+}
+
+// Records reports the total number of non-header records.
+func (l *Log) Records() int {
+	return len(l.Snapshots) + len(l.Attributions) + len(l.Decisions)
+}
+
+// Attribution returns the last attribution captured for doc, if any
+// (later rankings re-attribute the same document at fresher model
+// states, and the freshest explanation is the useful one).
+func (l *Log) Attribution(doc int64) (Record, bool) {
+	for i := len(l.Attributions) - 1; i >= 0; i-- {
+		if l.Attributions[i].Doc == doc {
+			return l.Attributions[i], true
+		}
+	}
+	return Record{}, false
+}
+
+// ReadLog loads dir's explain log. A truncated final line (crash while
+// appending) is ignored; a malformed line elsewhere is an error.
+func ReadLog(dir string) (*Log, error) {
+	data, err := os.ReadFile(filepath.Join(dir, LogName))
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{}
+	lines := bytes.Split(data, []byte("\n"))
+	for i, line := range lines {
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 {
+			continue
+		}
+		var r Record
+		if err := json.Unmarshal(line, &r); err != nil {
+			if i == len(lines)-1 {
+				break // torn tail: keep everything before it
+			}
+			return nil, fmt.Errorf("explain: log line %d: %w", i+1, err)
+		}
+		switch r.Kind {
+		case RecordHeader:
+			if l.Header.Kind == "" {
+				l.Header = r
+			}
+		case RecordSnapshot:
+			l.Snapshots = append(l.Snapshots, r)
+		case RecordAttribution:
+			l.Attributions = append(l.Attributions, r)
+		case RecordDecision:
+			l.Decisions = append(l.Decisions, r)
+		default:
+			return nil, fmt.Errorf("explain: log line %d: unknown kind %q", i+1, r.Kind)
+		}
+	}
+	if l.Header.Kind == "" {
+		return nil, fmt.Errorf("explain: log in %s has no header record", dir)
+	}
+	return l, nil
+}
+
+// logWriter appends explain records crash-safely: every append is
+// flushed to the OS, and close fsyncs before returning. The first write
+// error is retained and reported by close; later records are dropped.
+type logWriter struct {
+	mu  sync.Mutex
+	f   *os.File
+	w   *bufio.Writer
+	err error
+}
+
+func newLogWriter(dir string, header Record) (*logWriter, error) {
+	f, err := os.OpenFile(filepath.Join(dir, LogName),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	lw := &logWriter{f: f, w: bufio.NewWriter(f)}
+	header.Kind = RecordHeader
+	if err := lw.append(header); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return lw, nil
+}
+
+func (lw *logWriter) append(r Record) error {
+	line, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	if lw.err != nil {
+		return lw.err
+	}
+	if _, err := lw.w.Write(line); err != nil {
+		lw.err = err
+		return err
+	}
+	if err := lw.w.WriteByte('\n'); err != nil {
+		lw.err = err
+		return err
+	}
+	if err := lw.w.Flush(); err != nil {
+		lw.err = err
+		return err
+	}
+	return nil
+}
+
+// close flushes, fsyncs, and closes the log, returning the first error
+// seen over the writer's lifetime.
+func (lw *logWriter) close() error {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	err := lw.err
+	if ferr := lw.w.Flush(); err == nil {
+		err = ferr
+	}
+	if serr := lw.f.Sync(); err == nil {
+		err = serr
+	}
+	if cerr := lw.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -51,6 +51,13 @@ const (
 	MetricUpdateModCAngleDegrees = "update.modc.angle_degrees"
 	MetricUpdateFeatSShift       = "update.feats.shift"
 	MetricUpdateTopKFootrule     = "update.topk.footrule"
+	MetricUpdateWindFProgress    = "update.windf.progress"
+
+	// internal/obs/explain model-introspection substrate.
+	MetricExplainSnapshots    = "explain.snapshots"
+	MetricExplainAttributions = "explain.attributions"
+	MetricExplainDecisions    = "explain.decisions"
+	MetricExplainErrors       = "explain.errors"
 
 	// metrics.TimeAccount gauges.
 	MetricTimeExtractionSeconds = "time.extraction_seconds"
@@ -186,6 +193,38 @@ const (
 	// the chunk is re-scored per-document, so the event has no Doc and the
 	// offending document is attributed by a follow-up PanicSiteScore event.
 	PanicSiteScoreBatch = "score-batch"
+)
+
+// Detector-evidence attribute keys: the Attrs vocabulary of
+// KindDetectorDecision events. Every fire/no-fire decision carries the
+// evidence behind it — what the detector measured, against what
+// threshold, from what internal state — so a decision in a trace or an
+// explain log is auditable without re-running the pipeline. Keys are
+// shared across detectors where the meaning is the same (EvidenceThreshold
+// is always "the bound Val was compared against").
+const (
+	// All detectors: the threshold the decision statistic was compared to
+	// (Mod-C AlphaDeg, Top-K Tau, Feat-S Tau, Wind-F Window).
+	EvidenceThreshold = "threshold"
+	// Mod-C: support sizes of the live and shadow models at decision time,
+	// and whether this observation trained the shadow (the sampled ρ coin).
+	EvidenceLiveNNZ       = "live_nnz"
+	EvidenceShadowNNZ     = "shadow_nnz"
+	EvidenceShadowTrained = "shadow_trained"
+	// Top-K: how many features entered/left the reference top-k ranking,
+	// the k compared, and the most-displaced features ("name:Δrank" list).
+	EvidenceEntered   = "entered"
+	EvidenceLeft      = "left"
+	EvidenceK         = "k"
+	EvidenceDisplaced = "displaced"
+	// Feat-S: trailing-window state captured before the cadence reset —
+	// window length, in-distribution count, and the check cadence.
+	EvidenceWindow     = "window"
+	EvidenceInside     = "inside"
+	EvidenceCheckEvery = "check_every"
+	// Wind-F: documents seen in the current window (Window is the
+	// threshold above).
+	EvidenceSeen = "seen"
 )
 
 // Watchdog rule names, used as the Name of alert events.

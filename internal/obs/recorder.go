@@ -35,8 +35,11 @@ const (
 	KindDocExtracted Kind = "doc-extracted"
 	// KindDetectorDecision is emitted by the update detectors themselves:
 	// Name = detector, Val = its decision statistic (Mod-C cosine angle in
-	// degrees, Top-K weighted footrule, Feat-S shift fraction), Fired =
-	// whether the statistic crossed the trigger threshold.
+	// degrees, Top-K weighted footrule, Feat-S shift fraction, Wind-F
+	// window progress), Fired = whether the statistic crossed the trigger
+	// threshold, Attrs = the structured evidence behind the decision (the
+	// Evidence* keys in names.go: thresholds, model support sizes,
+	// displaced features, window state).
 	KindDetectorDecision Kind = "detector-decision"
 	// KindDetectorFired reports a pipeline-level update trigger
 	// (N = buffered documents folded into the model).
@@ -124,7 +127,8 @@ type Event struct {
 	// other events a non-zero Span names the causally enclosing span.
 	Span   int64 `json:"span,omitempty"`
 	Parent int64 `json:"parent,omitempty"`
-	// Attrs carries a span's typed attributes (span-end events only).
+	// Attrs carries typed attributes: a span's attributes on span-end
+	// events, decision evidence on detector-decision events.
 	Attrs []Attr `json:"attrs,omitempty"`
 	// Limit is the configured threshold an alert event was judged
 	// against (alert events only).

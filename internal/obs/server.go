@@ -135,6 +135,10 @@ type ServerOptions struct {
 	// Profiles backs /profiles/ (profile-directory manifest listing and
 	// artifact download).
 	Profiles http.Handler
+	// Explain backs /model/ (live model snapshots, drift timeline,
+	// detector decisions) and /explain (score attributions): pass
+	// explain.Explainer.Handler(). Nil turns the routes into 404s.
+	Explain http.Handler
 }
 
 // Server serves the observability endpoints of a live run:
@@ -147,6 +151,8 @@ type ServerOptions struct {
 //	/debug/pprof/  the standard runtime profiles
 //	/debug/blackbox  flight-recorder state + POST /dump (when wired)
 //	/profiles/     profile-directory listing and artifacts (when wired)
+//	/model/        live model snapshots, drift, decisions (when wired)
+//	/explain       live score attributions, ?doc=N (when wired)
 //
 // It replaces the ad-hoc net/http/pprof DefaultServeMux listeners the
 // CLIs used to spin up: everything is mounted on one private mux.
@@ -182,6 +188,13 @@ func (s *Server) Handler() http.Handler {
 	if s.opts.Profiles != nil {
 		mux.Handle("/profiles", http.StripPrefix("/profiles", s.opts.Profiles))
 		mux.Handle("/profiles/", http.StripPrefix("/profiles", s.opts.Profiles))
+	}
+	if s.opts.Explain != nil {
+		mux.Handle("/model", http.StripPrefix("/model", s.opts.Explain))
+		mux.Handle("/model/", http.StripPrefix("/model", s.opts.Explain))
+		// The explain handler routes by cleaned sub-path, so mounting it
+		// unstripped at /explain serves the attribution endpoint.
+		mux.Handle("/explain", s.opts.Explain)
 	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

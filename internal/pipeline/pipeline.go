@@ -14,6 +14,7 @@ import (
 	"adaptiverank/internal/index"
 	"adaptiverank/internal/metrics"
 	"adaptiverank/internal/obs"
+	"adaptiverank/internal/obs/explain"
 	"adaptiverank/internal/ranking"
 	"adaptiverank/internal/relation"
 	"adaptiverank/internal/update"
@@ -93,6 +94,14 @@ type Options struct {
 	// event trace. The default is the no-op recorder, which keeps the
 	// per-document path allocation-free.
 	Recorder obs.Recorder
+	// Explain, when non-nil, arms the model-introspection substrate: the
+	// pipeline snapshots the model weight vector at train-init and every
+	// train-update (weight-drift timeline) and attributes the scores of
+	// the top-ranked documents after each (re-)ranking. Tee
+	// Explain.Recorder() into Recorder to also persist detector decision
+	// evidence. A nil Explain takes none of these paths, so a disabled
+	// run is byte-identical to an uninstrumented one.
+	Explain *explain.Explainer
 	// Journal, when non-nil, makes the run crash-safe: every labelling
 	// outcome is appended (and flushed) before the document affects the
 	// model, and on resume journaled outcomes short-circuit extraction.
@@ -247,6 +256,25 @@ func RunContext(ctx context.Context, opts Options) (*Result, error) {
 		if in, ok := opts.Detector.(obs.TraceInstrumentable); ok {
 			in.InstrumentTracer(tr)
 		}
+	}
+	// Model introspection (internal/obs/explain): ex is nil on
+	// un-explained runs, and every capture path below is gated on it, so
+	// a disabled run takes exactly the uninstrumented code path (the
+	// byte-identity tests at the root pin this down).
+	ex := opts.Explain
+	var featName func(int32) string
+	if ex != nil && opts.Featurizer != nil {
+		featName = opts.Featurizer.FeatureName
+	}
+	explainSnapshot := func(stage string, span int64, added, removed int) {
+		if ex == nil {
+			return
+		}
+		m, ok := opts.Strategy.(Modeler)
+		if !ok {
+			return
+		}
+		ex.RecordSnapshot(stage, span, len(res.Order), m.Model(), featName, added, removed)
 	}
 	var (
 		cSample     = reg.Counter(obs.MetricPipelineSampleDocs)
@@ -455,6 +483,7 @@ func RunContext(ctx context.Context, opts Options) (*Result, error) {
 	res.Time.Training += initDur
 	spInit.SetNum("docs", float64(len(sample))).End()
 	rec.Record(obs.Event{Kind: obs.KindPhase, Name: obs.PhaseInitTrain, N: len(sample), Dur: initDur})
+	explainSnapshot(explain.StageTrainInit, spInit.ID(), 0, 0)
 
 	feats := func(d *corpus.Document) vector.Sparse {
 		if opts.Featurizer == nil {
@@ -633,6 +662,32 @@ func RunContext(ctx context.Context, opts Options) (*Result, error) {
 		if rec.Enabled() {
 			rec.Record(obs.Event{Kind: obs.KindRankFinished, N: len(pending), Dur: dt})
 		}
+		// Score attribution: decompose the freshly top-ranked documents'
+		// scores into exact per-feature contributions. This happens after
+		// the timing account closes — attribution is introspection
+		// overhead, not ranking work — and re-uses the per-document
+		// feature cache the scoring pass just filled.
+		if ex != nil {
+			if da, ok := opts.Strategy.(DocAttributor); ok {
+				n := ex.AttribTopN()
+				if n > len(pending) {
+					n = len(pending)
+				}
+				for i := 0; i < n; i++ {
+					d := pending[i]
+					a, ok := da.Attribute(d)
+					if !ok {
+						break
+					}
+					ex.RecordAttribution(explain.Record{
+						Doc: int64(d.ID), Rank: i,
+						Span: spRank.ID(), Pos: len(res.Order),
+						Score: a.Score, Logistic: a.Logistic,
+						Members: explainMembers(a, featName),
+					})
+				}
+			}
+		}
 	}
 	rank()
 
@@ -744,6 +799,11 @@ func RunContext(ctx context.Context, opts Options) (*Result, error) {
 				Useful: ld.Useful, Dur: opts.ExtractionCost, Span: spDoc.ID()})
 		}
 
+		// Keep the explain logical clock on the ranked-phase position, so
+		// detector decision records made below carry the position they
+		// were decided at.
+		ex.Advance(len(res.Order))
+
 		// Strategy self-observation (A-FC re-ranks continuously).
 		t := time.Now()
 		selfRerank := opts.Strategy.Observe(ld)
@@ -822,6 +882,7 @@ func RunContext(ctx context.Context, opts Options) (*Result, error) {
 				}
 				rec.Record(ev)
 			}
+			explainSnapshot(explain.StageTrainUpdate, spTrain.ID(), added, removed)
 
 			// Journal a model snapshot at this update position; on resume
 			// this verifies (rather than re-records) and aborts on
@@ -853,6 +914,27 @@ func RunContext(ctx context.Context, opts Options) (*Result, error) {
 	}
 	spBatch.SetNum("docs", float64(batchDocs)).End()
 	return epilogue()
+}
+
+// explainMembers converts a ranking attribution into explain log
+// members, resolving feature indices to names. Contribution order — and
+// therefore the bitwise score-reconstruction contract — is preserved.
+func explainMembers(a ranking.Attribution, name func(int32) string) []explain.Member {
+	out := make([]explain.Member, len(a.Members))
+	for i, m := range a.Members {
+		em := explain.Member{Bias: m.Bias, Margin: m.Margin}
+		if len(m.Contribs) > 0 {
+			em.Contribs = make([]explain.Feature, len(m.Contribs))
+			for j, c := range m.Contribs {
+				em.Contribs[j] = explain.Feature{Index: c.Index, Weight: c.Value}
+				if name != nil {
+					em.Contribs[j].Name = name(c.Index)
+				}
+			}
+		}
+		out[i] = em
+	}
+	return out
 }
 
 // retrieveByTopFeatures turns the strategy's strongest positive model

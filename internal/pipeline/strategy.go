@@ -46,6 +46,14 @@ type Modeler interface {
 	Model() *vector.Weights
 }
 
+// DocAttributor is implemented by strategies that can decompose a
+// document's score into exact per-feature contributions (see
+// ranking.Attribution); the explain substrate samples it for the
+// top-ranked documents after each (re-)ranking.
+type DocAttributor interface {
+	Attribute(d *corpus.Document) (ranking.Attribution, bool)
+}
+
 // Learned wraps a ranking.Ranker (plus the shared featurizer) as a
 // Strategy. This is the paper's approach: the ranker learns online from
 // each labelled document presented to it; the pipeline decides *when* to
@@ -153,6 +161,19 @@ func (s *Learned) Update(buffered []LabeledDoc) {
 
 // Model implements Modeler.
 func (s *Learned) Model() *vector.Weights { return s.R.Model() }
+
+// Attribute implements DocAttributor: decompose the document's score
+// into exact per-feature contributions through the ranker's attribution
+// path. It reports false when the wrapped ranker cannot attribute
+// (no linear members). The packed feature view is the same one scoring
+// uses, so Attribution.Score is bitwise identical to Score(d).
+func (s *Learned) Attribute(d *corpus.Document) (ranking.Attribution, bool) {
+	at, ok := s.R.(ranking.Attributor)
+	if !ok {
+		return ranking.Attribution{}, false
+	}
+	return at.Attribute(s.F.FeaturesPacked(d)), true
+}
 
 // Instrument implements obs.Instrumentable by forwarding to the wrapped
 // ranker when it is itself instrumentable.

@@ -5,7 +5,10 @@
 // documents) is likely to pay off.
 package update
 
-import "adaptiverank/internal/vector"
+import (
+	"adaptiverank/internal/obs"
+	"adaptiverank/internal/vector"
+)
 
 // Detector decides when the ranking model should be updated.
 type Detector interface {
@@ -25,6 +28,11 @@ type Detector interface {
 type WindF struct {
 	Window int
 	seen   int
+
+	// Observability hooks, nil/disabled until Instrument is called.
+	obsProg *obs.Histogram
+	rec     obs.Recorder
+	tr      *obs.Tracer
 }
 
 // NewWindF returns a fixed-window detector. The paper's configuration
@@ -39,10 +47,39 @@ func NewWindF(window int) *WindF {
 // Name implements Detector.
 func (w *WindF) Name() string { return "Wind-F" }
 
+// Instrument implements obs.Instrumentable: every decision records the
+// window-progress fraction seen/Window into a histogram and, when
+// tracing, emits a detector-decision event — the schedule-driven
+// counterpart of the content-driven detectors' statistics, so a trace
+// always explains a Wind-F fire as "the window filled".
+func (w *WindF) Instrument(reg *obs.Registry, rec obs.Recorder) {
+	w.obsProg = reg.Histogram(obs.MetricUpdateWindFProgress,
+		[]float64{0.1, 0.25, 0.5, 0.75, 0.9, 1})
+	w.rec = rec
+}
+
+// InstrumentTracer implements obs.TraceInstrumentable: decision events
+// are stamped with the tracer's current scope (see ModC).
+func (w *WindF) InstrumentTracer(tr *obs.Tracer) { w.tr = tr }
+
 // Observe implements Detector.
 func (w *WindF) Observe(vector.Sparse, bool) bool {
 	w.seen++
-	return w.seen >= w.Window
+	fired := w.seen >= w.Window
+	progress := float64(w.seen) / float64(w.Window)
+	if w.obsProg != nil {
+		w.obsProg.Observe(progress)
+	}
+	if w.rec != nil && w.rec.Enabled() {
+		w.rec.Record(obs.Event{Kind: obs.KindDetectorDecision, Name: w.Name(),
+			Val: progress, Fired: fired, Span: w.tr.ScopeID(),
+			Attrs: []obs.Attr{
+				{Key: obs.EvidenceThreshold, Num: float64(w.Window)},
+				{Key: obs.EvidenceSeen, Num: float64(w.seen)},
+				{Key: obs.EvidenceWindow, Num: float64(w.Window)},
+			}})
+	}
+	return fired
 }
 
 // Reset implements Detector.

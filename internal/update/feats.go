@@ -101,7 +101,10 @@ func (f *FeatS) Observe(x vector.Sparse, _ bool) bool {
 			insideCount++
 		}
 	}
-	s := float64(insideCount) / float64(len(f.window))
+	// Window state is evidence: capture it before the cadence reset below
+	// erases it.
+	windowLen := len(f.window)
+	s := float64(insideCount) / float64(windowLen)
 	f.window = f.window[:0]
 	f.sinceLast = 0
 	shift := 1 - s
@@ -111,7 +114,13 @@ func (f *FeatS) Observe(x vector.Sparse, _ bool) bool {
 	}
 	if f.rec != nil && f.rec.Enabled() {
 		f.rec.Record(obs.Event{Kind: obs.KindDetectorDecision, Name: f.Name(),
-			Val: shift, Fired: fired, Span: f.tr.ScopeID()})
+			Val: shift, Fired: fired, Span: f.tr.ScopeID(),
+			Attrs: []obs.Attr{
+				{Key: obs.EvidenceThreshold, Num: f.Tau},
+				{Key: obs.EvidenceWindow, Num: float64(windowLen)},
+				{Key: obs.EvidenceInside, Num: float64(insideCount)},
+				{Key: obs.EvidenceCheckEvery, Num: float64(f.CheckEvery)},
+			}})
 	}
 	return fired
 }

@@ -32,6 +32,10 @@ type ModC struct {
 	angle     float64
 	dirty     bool
 	snapDirty bool
+	// shadowNNZ caches the shadow support size alongside the angle, so
+	// decision evidence does not rebuild the shadow's summed weight
+	// vector (BAgg allocates one per Model call) on every observation.
+	shadowNNZ int
 
 	// Observability hooks, nil/disabled until Instrument is called.
 	obsAngle *obs.Histogram
@@ -93,6 +97,10 @@ func (m *ModC) Angle() float64 {
 		m.snapDirty = false
 	}
 	sw := m.shadow.Model()
+	m.shadowNNZ = 0
+	if sw != nil {
+		m.shadowNNZ = sw.NNZ()
+	}
 	m.angle = 0
 	switch {
 	case m.liveSnap == nil || sw == nil:
@@ -120,9 +128,11 @@ func (m *ModC) Angle() float64 {
 // Observe implements Detector: with probability Rho the document trains the
 // shadow model; the trigger fires when the live/shadow angle exceeds Alpha.
 func (m *ModC) Observe(x vector.Sparse, useful bool) bool {
+	trained := false
 	if m.rng.Float64() < m.Rho {
 		m.shadow.Learn(x, useful)
 		m.dirty = true
+		trained = true
 	}
 	angle := m.Angle()
 	fired := angle > m.AlphaDeg
@@ -130,8 +140,22 @@ func (m *ModC) Observe(x vector.Sparse, useful bool) bool {
 		m.obsAngle.Observe(angle)
 	}
 	if m.rec != nil && m.rec.Enabled() {
+		liveNNZ := 0
+		if m.liveSnap != nil {
+			liveNNZ = m.liveSnap.NNZ()
+		}
+		var shadowTrained float64
+		if trained {
+			shadowTrained = 1
+		}
 		m.rec.Record(obs.Event{Kind: obs.KindDetectorDecision, Name: m.Name(),
-			Val: angle, Fired: fired, Span: m.tr.ScopeID()})
+			Val: angle, Fired: fired, Span: m.tr.ScopeID(),
+			Attrs: []obs.Attr{
+				{Key: obs.EvidenceThreshold, Num: m.AlphaDeg},
+				{Key: obs.EvidenceLiveNNZ, Num: float64(liveNNZ)},
+				{Key: obs.EvidenceShadowNNZ, Num: float64(m.shadowNNZ)},
+				{Key: obs.EvidenceShadowTrained, Num: shadowTrained},
+			}})
 	}
 	return fired
 }

@@ -1,6 +1,10 @@
 package update
 
 import (
+	"fmt"
+	"sort"
+	"strings"
+
 	"adaptiverank/internal/learn"
 	"adaptiverank/internal/obs"
 	"adaptiverank/internal/vector"
@@ -135,10 +139,76 @@ func (t *TopK) Observe(x vector.Sparse, useful bool) bool {
 		t.obsDist.Observe(t.LastDistance)
 	}
 	if t.rec != nil && t.rec.Enabled() {
+		entered, left, displaced := topKEvidence(t.ref, cur)
 		t.rec.Record(obs.Event{Kind: obs.KindDetectorDecision, Name: t.Name(),
-			Val: t.LastDistance, Fired: fired, Span: t.tr.ScopeID()})
+			Val: t.LastDistance, Fired: fired, Span: t.tr.ScopeID(),
+			Attrs: []obs.Attr{
+				{Key: obs.EvidenceThreshold, Num: t.Tau},
+				{Key: obs.EvidenceK, Num: float64(t.K)},
+				{Key: obs.EvidenceEntered, Num: float64(entered)},
+				{Key: obs.EvidenceLeft, Num: float64(left)},
+				{Key: obs.EvidenceDisplaced, Str: displaced},
+			}})
 	}
 	return fired
+}
+
+// topKEvidence compares the reference and current top-K feature lists:
+// how many features entered and left the list since the last baseline,
+// and the most displaced features as a "index:refRank->curRank" list
+// (0-based ranks, -1 for absent). Displacement is ranked by rank delta
+// — absences count as a full-list move — with feature index as the
+// deterministic tiebreaker.
+func topKEvidence(ref, cur []vector.WeightedFeature) (entered, left int, displaced string) {
+	refPos := make(map[int32]int, len(ref))
+	for p, f := range ref {
+		refPos[f.Index] = p
+	}
+	maxMove := len(ref)
+	if len(cur) > maxMove {
+		maxMove = len(cur)
+	}
+	type move struct {
+		index    int32
+		from, to int
+		delta    int
+	}
+	var moves []move
+	for p, f := range cur {
+		rp, ok := refPos[f.Index]
+		if !ok {
+			entered++
+			moves = append(moves, move{index: f.Index, from: -1, to: p, delta: maxMove})
+			continue
+		}
+		delete(refPos, f.Index)
+		if d := rp - p; d != 0 {
+			if d < 0 {
+				d = -d
+			}
+			moves = append(moves, move{index: f.Index, from: rp, to: p, delta: d})
+		}
+	}
+	left = len(refPos)
+	//lint:allow detrand collection order is erased by the sort below
+	for i, p := range refPos {
+		moves = append(moves, move{index: i, from: p, to: -1, delta: maxMove})
+	}
+	sort.Slice(moves, func(a, b int) bool {
+		if moves[a].delta != moves[b].delta {
+			return moves[a].delta > moves[b].delta
+		}
+		return moves[a].index < moves[b].index
+	})
+	const topMoves = 5
+	if len(moves) > topMoves {
+		moves = moves[:topMoves]
+	}
+	parts := make([]string, len(moves))
+	for i, m := range moves {
+		parts[i] = fmt.Sprintf("%d:%d->%d", m.index, m.from, m.to)
+	}
+	return entered, left, strings.Join(parts, ",")
 }
 
 // Reset implements Detector: re-baseline the reference list.

@@ -1,0 +1,124 @@
+package vector
+
+// Model-introspection primitives for the explain substrate
+// (internal/obs/explain): exact per-feature score attribution and
+// snapshot-to-snapshot drift statistics. Everything here folds in
+// sorted index order — these numbers end up in explain artifacts that
+// the byte-identity tests compare across runs, so they are held to the
+// same determinism bar as the detector statistics (PR5 detrand rule).
+
+import (
+	"math"
+	"sort"
+)
+
+// ContributionsPacked returns w·x + bias through the same dense-mirror
+// walk as MarginPacked — same ascending-index fold, bitwise-identical
+// result — while reporting each nonzero per-feature contribution
+// w_i·x_i to f in fold order. The products it does not report are exact
+// IEEE zeros (features absent from the model), and the running sum can
+// never be −0 (it starts at +0 and cancellation yields +0 under
+// round-to-nearest), so folding the reported contributions in call
+// order and adding bias reconstructs the returned margin bit for bit.
+func (w *Weights) ContributionsPacked(x Packed, bias float64, f func(i int32, c float64)) float64 {
+	d := w.denseVals()
+	n := int32(len(d))
+	var sum float64
+	idx := x.Idx
+	val := x.Val
+	for k, i := range idx {
+		if i >= n {
+			break
+		}
+		c := d[i] * val[k]
+		sum += c
+		if c != 0 && f != nil {
+			f(i, c)
+		}
+	}
+	return sum + bias
+}
+
+// DriftStats summarizes how a weight vector moved between two training
+// snapshots: norms of the difference vector, directional similarity,
+// and support churn. All folds run in sorted index order.
+type DriftStats struct {
+	// L1 and L2 are the norms of (cur − prev).
+	L1 float64 `json:"l1"`
+	L2 float64 `json:"l2"`
+	// Cosine is the cosine similarity between prev and cur (0 when
+	// either is the zero vector) — the same statistic Mod-C thresholds.
+	Cosine float64 `json:"cosine"`
+	// Entered and Left count features present in cur but not prev, and
+	// vice versa: the support churn of the step.
+	Entered int `json:"entered"`
+	Left    int `json:"left"`
+}
+
+// Drift computes the movement from prev to cur.
+func Drift(prev, cur *Weights) DriftStats {
+	var l1, l2 float64
+	var entered, left int
+	for _, i := range unionSortedIndices(prev, cur) {
+		pv, pok := prev.w[i]
+		cv, cok := cur.w[i]
+		if cok && !pok {
+			entered++
+		}
+		if pok && !cok {
+			left++
+		}
+		d := cv - pv
+		l1 += math.Abs(d)
+		l2 += d * d
+	}
+	return DriftStats{
+		L1:      l1,
+		L2:      math.Sqrt(l2),
+		Cosine:  prev.Cosine(cur),
+		Entered: entered,
+		Left:    left,
+	}
+}
+
+// TopMovers returns the k features whose weight changed most between
+// prev and cur, ordered by decreasing |Δweight| with index as
+// tiebreaker; Weight carries the signed delta cur−prev.
+func TopMovers(prev, cur *Weights, k int) []WeightedFeature {
+	idx := unionSortedIndices(prev, cur)
+	movers := make([]WeightedFeature, 0, len(idx))
+	for _, i := range idx {
+		if d := cur.w[i] - prev.w[i]; d != 0 {
+			movers = append(movers, WeightedFeature{Index: i, Weight: d})
+		}
+	}
+	sort.Slice(movers, func(a, b int) bool {
+		av, bv := math.Abs(movers[a].Weight), math.Abs(movers[b].Weight)
+		if av != bv {
+			return av > bv
+		}
+		return movers[a].Index < movers[b].Index
+	})
+	if k < len(movers) {
+		movers = movers[:k]
+	}
+	return movers
+}
+
+// unionSortedIndices returns the union of both support sets in
+// increasing index order.
+func unionSortedIndices(a, b *Weights) []int32 {
+	idx := make([]int32, 0, len(a.w)+len(b.w))
+	//lint:allow detrand index collection is sorted immediately below
+	for i := range a.w {
+		idx = append(idx, i)
+	}
+	//lint:allow detrand index collection is sorted immediately below
+	for i := range b.w {
+		if _, ok := a.w[i]; !ok {
+			idx = append(idx, i)
+		}
+	}
+	sort.Slice(idx, func(x, y int) bool { return idx[x] < idx[y] })
+	return idx
+}
