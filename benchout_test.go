@@ -15,6 +15,7 @@ package adaptiverank_test
 // ./internal/... test binaries.
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -27,6 +28,7 @@ import (
 	"time"
 
 	"adaptiverank/internal/benchgate"
+	"adaptiverank/internal/durable"
 )
 
 var benchOut = flag.String("bench-out", "", "write benchmark results as JSON to this file")
@@ -108,17 +110,15 @@ func writeBenchOut(path string) error {
 		doc.Results = append(doc.Results, r)
 	}
 	sort.Slice(doc.Results, func(i, j int) bool { return doc.Results[i].Name < doc.Results[j].Name })
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	enc := json.NewEncoder(f)
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(doc); err != nil {
-		f.Close()
 		return err
 	}
-	return f.Close()
+	// Atomic: benchgate reads this file; a half-written baseline would
+	// fail its parse rather than report a regression honestly.
+	return durable.WriteFileAtomic(nil, path, buf.Bytes(), 0o644, "bench")
 }
 
 func TestMain(m *testing.M) {

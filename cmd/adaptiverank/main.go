@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"adaptiverank"
+	"adaptiverank/internal/durable"
 	"adaptiverank/internal/obs"
 	"adaptiverank/internal/obs/blackbox"
 	"adaptiverank/internal/obs/prof"
@@ -23,6 +24,9 @@ import (
 )
 
 func main() {
+	// Arm a chaos kill point when cmd/crashtest asked for one; a no-op
+	// in every normal run.
+	durable.ArmFromEnv()
 	os.Exit(run())
 }
 
@@ -409,7 +413,10 @@ func writeResult(path string, res *adaptiverank.Result) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(b, '\n'), 0o644)
+	// Atomic: the CI smoke tests and the crash harness diff result files
+	// byte-for-byte, so a half-written result after a kill would read as
+	// a spurious mismatch instead of "no result yet".
+	return durable.WriteFileAtomic(nil, path, append(b, '\n'), 0o644, "result")
 }
 
 func max(a, b int) int {

@@ -3,7 +3,9 @@
 // internal/lint enforces invariants generic linters cannot know about —
 // determinism of the ranking pipeline, the closed observability name
 // registry, context propagation through the cancellable core, lock
-// hygiene in the recording fan-out, and the CLI exit-path discipline.
+// hygiene in the recording fan-out, the CLI exit-path discipline, and
+// the artifact-durability boundary (file creation in artifact packages
+// goes through internal/durable).
 //
 // Usage:
 //

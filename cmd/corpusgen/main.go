@@ -49,21 +49,14 @@ func run() int {
 
 	coll, gt := textgen.Generate(textgen.DefaultConfig(*seed, *docs))
 
-	w := os.Stdout
 	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
+		// SaveJSONL stages and renames, so an interrupted corpusgen never
+		// leaves a half-written corpus at -out.
+		if err := corpus.SaveJSONL(*out, coll); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
-		defer func() {
-			if err := f.Close(); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-			}
-		}()
-		w = f
-	}
-	if err := corpus.WriteJSONL(w, coll); err != nil {
+	} else if err := corpus.WriteJSONL(os.Stdout, coll); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}

@@ -16,6 +16,7 @@ import (
 	"syscall"
 	"time"
 
+	"adaptiverank/internal/durable"
 	"adaptiverank/internal/experiments"
 	"adaptiverank/internal/obs"
 	"adaptiverank/internal/obs/blackbox"
@@ -24,6 +25,9 @@ import (
 )
 
 func main() {
+	// Arm a chaos kill point when cmd/crashtest asked for one; a no-op
+	// in every normal run.
+	durable.ArmFromEnv()
 	os.Exit(run())
 }
 

@@ -2,10 +2,13 @@ package corpus
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
 	"os"
+
+	"adaptiverank/internal/durable"
 )
 
 // jsonDoc is the JSONL wire format: one object per line with a title and
@@ -124,15 +127,16 @@ func LoadJSONL(path string) (*Collection, error) {
 	return ReadJSONL(f)
 }
 
-// SaveJSONL writes a collection to a JSONL file.
+// SaveJSONL writes a collection to a JSONL file atomically: the bytes
+// are staged in a temp sibling and renamed over path, so a reader (or a
+// rerun after a crash) never sees a half-written corpus.
 func SaveJSONL(path string, c *Collection) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("corpus: %w", err)
-	}
-	if err := WriteJSONL(f, c); err != nil {
-		f.Close()
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, c); err != nil {
 		return err
 	}
-	return f.Close()
+	if err := durable.WriteFileAtomic(nil, path, buf.Bytes(), 0o644, "corpus"); err != nil {
+		return fmt.Errorf("corpus: %w", err)
+	}
+	return nil
 }

@@ -1,0 +1,68 @@
+package durable
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes data to path all-or-nothing: a sibling temp
+// file is written and fsynced, renamed over the target, and the
+// directory fsynced so the rename itself survives a crash. A reader
+// never observes a half-written target — after a crash at any instant
+// the path either holds its previous complete contents (or is absent)
+// or the new complete contents; at worst a stale "<path>.tmp" sibling
+// remains, which no reader looks at.
+//
+// The temp name is deterministic (path + ".tmp"), which is safe because
+// every artifact has a single writer; a leftover temp from a crashed
+// predecessor is simply truncated and replaced.
+func WriteFileAtomic(fsys FS, path string, data []byte, perm os.FileMode, label string) error {
+	fsys = fsOr(fsys)
+	tmp := path + ".tmp"
+	f, err := fsys.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, perm)
+	if err != nil {
+		return fmt.Errorf("durable: create %s temp: %w", label, err)
+	}
+	err = writeMaybeTorn(f, data, Point(label, SiteTmpTorn))
+	hit(Point(label, SiteTmpWritten))
+	if err == nil {
+		err = f.Sync()
+	}
+	hit(Point(label, SiteTmpSynced))
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fsys.Remove(tmp)
+		return fmt.Errorf("durable: write %s temp: %w", label, err)
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
+		return fmt.Errorf("durable: commit %s: %w", label, err)
+	}
+	hit(Point(label, SiteRenamed))
+	if err := SyncDir(fsys, filepath.Dir(path)); err != nil {
+		return fmt.Errorf("durable: sync %s directory: %w", label, err)
+	}
+	return nil
+}
+
+// writeMaybeTorn writes data to f in one call — or, while a kill point
+// is armed, in two halves around tornPoint so dying there leaves a
+// half-written file on disk.
+func writeMaybeTorn(f File, data []byte, tornPoint string) error {
+	if !tornSplit() {
+		_, err := f.Write(data)
+		return err
+	}
+	half := len(data) / 2
+	// The first half reaches the kernel in its own Write syscall, so a
+	// SIGKILL at the torn point leaves exactly half the file behind.
+	_, err := f.Write(data[:half])
+	hit(tornPoint)
+	if err == nil {
+		_, err = f.Write(data[half:])
+	}
+	return err
+}

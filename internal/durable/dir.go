@@ -1,0 +1,82 @@
+package durable
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Dir is a completeness-marker directory bundle: data files are written
+// and fsynced one at a time, then Commit writes a marker file last and
+// fsyncs the directory. Readers treat a directory without its marker as
+// the debris of a dying process and skip it — so a bundle is visible
+// either whole or not at all, the black-box postmortem contract.
+type Dir struct {
+	fsys  FS
+	path  string
+	label string
+}
+
+// CreateDir creates (or reuses) the bundle directory at path. label
+// names the artifact in kill points and error messages.
+func CreateDir(fsys FS, path, label string) (*Dir, error) {
+	fsys = fsOr(fsys)
+	if err := fsys.MkdirAll(path, 0o755); err != nil {
+		return nil, fmt.Errorf("durable: create %s bundle: %w", label, err)
+	}
+	return &Dir{fsys: fsys, path: path, label: label}, nil
+}
+
+// Path returns the bundle directory path.
+func (d *Dir) Path() string { return d.path }
+
+// WriteFile writes one data file into the bundle, fsynced before
+// returning.
+func (d *Dir) WriteFile(name string, data []byte) error {
+	if err := d.writeFile(name, data); err != nil {
+		return err
+	}
+	hit(Point(d.label, SiteFileWritten))
+	return nil
+}
+
+func (d *Dir) writeFile(name string, data []byte) error {
+	f, err := d.fsys.OpenFile(filepath.Join(d.path, name), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("durable: create %s/%s: %w", d.label, name, err)
+	}
+	err = writeMaybeTorn(f, data, Point(d.label, SiteFileTorn))
+	if serr := SyncClose(f); err == nil {
+		err = serr
+	}
+	if err != nil {
+		return fmt.Errorf("durable: write %s/%s: %w", d.label, name, err)
+	}
+	return nil
+}
+
+// Create opens one data file inside the bundle for streaming writers
+// (profile WriteTo, metrics dumps). The caller finishes it with
+// SyncClose so the file is durable before the bundle commits.
+func (d *Dir) Create(name string) (File, error) {
+	f, err := d.fsys.OpenFile(filepath.Join(d.path, name), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("durable: create %s/%s: %w", d.label, name, err)
+	}
+	return f, nil
+}
+
+// Commit writes the completeness marker (last) and fsyncs the bundle
+// directory. Only after Commit returns may readers consider the bundle
+// complete.
+func (d *Dir) Commit(markerName string, markerData []byte) error {
+	hit(Point(d.label, SiteBeforeMarker))
+	if err := d.writeFile(markerName, markerData); err != nil {
+		return err
+	}
+	hit(Point(d.label, SiteMarkerWritten))
+	if err := SyncDir(d.fsys, d.path); err != nil {
+		return fmt.Errorf("durable: sync %s bundle: %w", d.label, err)
+	}
+	return nil
+}

@@ -1,0 +1,318 @@
+package durable
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+type rec struct {
+	N int    `json:"n"`
+	S string `json:"s"`
+}
+
+func TestJSONLAppendAndScan(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a.jsonl")
+	j, err := CreateJSONL(nil, path, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := j.Append(rec{N: i, S: "x"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []int
+	end, err := ScanTornTail(data, func(_ int, raw []byte) error {
+		var r rec
+		if err := json.Unmarshal(raw, &r); err != nil {
+			return err
+		}
+		got = append(got, r.N)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != int64(len(data)) {
+		t.Fatalf("goodEnd = %d, want %d", end, len(data))
+	}
+	if len(got) != 5 || got[0] != 0 || got[4] != 4 {
+		t.Fatalf("records = %v", got)
+	}
+}
+
+func TestJSONLAppendAfterClose(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a.jsonl")
+	j, err := CreateJSONL(nil, path, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(rec{N: 1}); err == nil {
+		t.Fatal("Append after Close succeeded")
+	}
+}
+
+func TestAppendJSONLSelfHeals(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a.jsonl")
+	// Two complete records plus a torn third: exactly what a writer
+	// killed mid-append leaves behind.
+	torn := "{\"n\":0}\n{\"n\":1}\n{\"n\":2,\"s\":\"trunc"
+	if err := os.WriteFile(path, []byte(torn), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, err := AppendJSONL(nil, path, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(rec{N: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "{\"n\":0}\n{\"n\":1}\n{\"n\":9,\"s\":\"\"}\n"
+	if string(data) != want {
+		t.Fatalf("file after self-heal = %q, want %q", data, want)
+	}
+}
+
+func TestScanTornTailContract(t *testing.T) {
+	parse := func(_ int, raw []byte) error {
+		var r rec
+		return json.Unmarshal(raw, &r)
+	}
+	t.Run("torn final line swallowed", func(t *testing.T) {
+		data := []byte("{\"n\":0}\n{\"n\":1")
+		end, err := ScanTornTail(data, parse)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if end != 8 {
+			t.Fatalf("goodEnd = %d, want 8", end)
+		}
+	})
+	t.Run("valid but unterminated final line is still truncation", func(t *testing.T) {
+		// The newline never reached the disk, so the record was never
+		// committed — accepting it would diverge from RepairTail and
+		// weld the next append onto the same line.
+		data := []byte("{\"n\":0}\n{\"n\":1}")
+		seen := 0
+		end, err := ScanTornTail(data, func(_ int, raw []byte) error {
+			seen++
+			var r rec
+			return json.Unmarshal(raw, &r)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if end != 8 {
+			t.Fatalf("goodEnd = %d, want 8 (newline boundary)", end)
+		}
+		if seen != 1 {
+			t.Fatalf("parse saw %d records, want 1: the uncommitted tail must not be handed to parse", seen)
+		}
+		if end != RepairTail(data) {
+			t.Fatalf("ScanTornTail goodEnd %d != RepairTail %d: reader and writer repair disagree", end, RepairTail(data))
+		}
+	})
+	t.Run("mid-file corruption errors", func(t *testing.T) {
+		data := []byte("{\"n\":0}\nnot json\n{\"n\":2}\n")
+		if _, err := ScanTornTail(data, parse); err == nil {
+			t.Fatal("mid-file corruption not reported")
+		}
+	})
+	t.Run("blank lines advance goodEnd", func(t *testing.T) {
+		data := []byte("{\"n\":0}\n\n")
+		end, err := ScanTornTail(data, parse)
+		if err != nil || end != int64(len(data)) {
+			t.Fatalf("end=%d err=%v", end, err)
+		}
+	})
+	t.Run("crlf tolerated", func(t *testing.T) {
+		data := []byte("{\"n\":0}\r\n{\"n\":1}\r\n")
+		n := 0
+		_, err := ScanTornTail(data, func(_ int, raw []byte) error {
+			n++
+			var r rec
+			return json.Unmarshal(raw, &r)
+		})
+		if err != nil || n != 2 {
+			t.Fatalf("n=%d err=%v", n, err)
+		}
+	})
+	t.Run("fatal aborts even on final line", func(t *testing.T) {
+		sentinel := errors.New("wrong fingerprint")
+		data := []byte("{\"n\":0}\n")
+		_, err := ScanTornTail(data, func(_ int, _ []byte) error {
+			return Fatal(sentinel)
+		})
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("err = %v, want wrapped sentinel", err)
+		}
+	})
+}
+
+func TestRepairTail(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+	}{
+		{"", 0},
+		{"{\"n\":0}", 0},
+		{"{\"n\":0}\n", 8},
+		{"{\"n\":0}\n{\"n\":1", 8},
+	}
+	for _, c := range cases {
+		if got := RepairTail([]byte(c.in)); got != c.want {
+			t.Errorf("RepairTail(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := WriteFileAtomic(nil, path, []byte("v1"), 0o644, "test"); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "v1" {
+		t.Fatalf("contents = %q", got)
+	}
+	// Overwrite: the old complete contents are replaced wholesale.
+	if err := WriteFileAtomic(nil, path, []byte("version-two"), 0o644, "test"); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "version-two" {
+		t.Fatalf("contents = %q", got)
+	}
+	// No temp debris after success.
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("stale temp file: %v", err)
+	}
+}
+
+func TestWriteFileAtomicLeavesOldOnFailure(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := WriteFileAtomic(nil, path, []byte("old"), 0o644, "test"); err != nil {
+		t.Fatal(err)
+	}
+	failing := &failFS{FS: OS, failSyncOn: path + ".tmp"}
+	err := WriteFileAtomic(failing, path, []byte("new"), 0o644, "test")
+	if err == nil {
+		t.Fatal("write with failing Sync succeeded")
+	}
+	if got, _ := os.ReadFile(path); string(got) != "old" {
+		t.Fatalf("target after failed write = %q, want old contents intact", got)
+	}
+	if _, serr := os.Stat(path + ".tmp"); !os.IsNotExist(serr) {
+		t.Fatalf("temp not cleaned up after failure")
+	}
+}
+
+func TestDirCommitMarkerLast(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "bundle")
+	d, err := CreateDir(nil, dir, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteFile("data.json", []byte(`{"k":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	f, err := d.Create("stream.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("streamed")); err != nil {
+		t.Fatal(err)
+	}
+	if err := SyncClose(f); err != nil {
+		t.Fatal(err)
+	}
+	// Pre-commit: no marker on disk.
+	if _, err := os.Stat(filepath.Join(dir, "meta.json")); !os.IsNotExist(err) {
+		t.Fatal("marker exists before Commit")
+	}
+	if err := d.Commit("meta.json", []byte(`{"ok":true}`)); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"data.json", "stream.txt", "meta.json"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("missing %s after Commit: %v", name, err)
+		}
+	}
+}
+
+func TestSyncCloseSurfacesSyncError(t *testing.T) {
+	f := &fakeFile{syncErr: errors.New("EIO")}
+	err := SyncClose(f)
+	if err == nil || !strings.Contains(err.Error(), "EIO") {
+		t.Fatalf("SyncClose = %v, want the Sync error", err)
+	}
+	if !f.closed {
+		t.Fatal("file not closed after Sync error")
+	}
+}
+
+// failFS fails Sync on one specific path, modelling a disk that errors
+// while flushing.
+type failFS struct {
+	FS
+	failSyncOn string
+}
+
+func (f *failFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	inner, err := f.FS.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	if name == f.failSyncOn {
+		return &fakeFile{File: inner, syncErr: fmt.Errorf("injected sync error on %s", name)}, nil
+	}
+	return inner, nil
+}
+
+// fakeFile wraps an optional real file, overriding Sync/Close behaviour.
+type fakeFile struct {
+	File
+	syncErr error
+	closed  bool
+}
+
+func (f *fakeFile) Sync() error {
+	if f.syncErr != nil {
+		return f.syncErr
+	}
+	return f.File.Sync()
+}
+
+func (f *fakeFile) Close() error {
+	f.closed = true
+	if f.File != nil {
+		return f.File.Close()
+	}
+	return nil
+}

@@ -1,0 +1,185 @@
+// Package faultfs wraps a durable.FS with a seeded, deterministic
+// schedule of disk faults — short writes, ENOSPC, EIO on fsync, failed
+// renames — in the same idiom as extract.Flaky wraps an Extractor: each
+// fault decision is a pure function of (seed, path, op, attempt), so two
+// runs with the same seed fault identically and any failure a soak run
+// surfaces is reproducible from the printed seed alone.
+//
+// The wrapper injects errors only; it never corrupts data silently. A
+// short write reports the truncated byte count exactly as a full disk
+// would, and a Sync error leaves whatever subset of the data the kernel
+// accepted — the two failure shapes the durable writers must surface,
+// never swallow.
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"sync"
+	"sync/atomic"
+	"syscall"
+
+	"adaptiverank/internal/durable"
+)
+
+// ErrInjected marks every fault this package produces, so callers can
+// distinguish injected faults from real disk errors with errors.Is.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// Options configures the deterministic fault schedule. All rates are
+// probabilities in [0, 1], evaluated independently per (path, op,
+// attempt) from the seed alone.
+type Options struct {
+	// Seed drives the whole schedule; runs with equal seeds fault
+	// identically.
+	Seed int64
+	// OpenErrRate is the per-attempt probability that OpenFile fails
+	// with a wrapped EIO.
+	OpenErrRate float64
+	// WriteErrRate is the per-attempt probability that a Write fails
+	// with a wrapped ENOSPC after writing nothing.
+	WriteErrRate float64
+	// ShortWriteRate is the per-attempt probability that a Write stores
+	// only half its payload before reporting ENOSPC — the torn-record
+	// producer.
+	ShortWriteRate float64
+	// SyncErrRate is the per-attempt probability that Sync fails with a
+	// wrapped EIO (the data may or may not have reached the platter —
+	// exactly the ambiguity real fsync failures carry).
+	SyncErrRate float64
+	// RenameErrRate is the per-attempt probability that Rename fails
+	// with a wrapped EIO, leaving the temp file in place.
+	RenameErrRate float64
+}
+
+// Enabled reports whether the schedule can produce any fault.
+func (o Options) Enabled() bool {
+	return o.OpenErrRate > 0 || o.WriteErrRate > 0 || o.ShortWriteRate > 0 ||
+		o.SyncErrRate > 0 || o.RenameErrRate > 0
+}
+
+// FS wraps an inner durable.FS with the fault schedule. Attempt counters
+// are per (path, op), so a retrying caller walks a fixed fault sequence,
+// and Faults reports how many faults fired — a soak harness asserts it is
+// non-zero to prove the schedule actually exercised the error paths.
+type FS struct {
+	inner  durable.FS
+	opts   Options
+	faults atomic.Int64
+
+	mu       sync.Mutex
+	attempts map[string]int
+}
+
+// New wraps inner (nil selects the real filesystem) with the schedule.
+func New(inner durable.FS, opts Options) *FS {
+	if inner == nil {
+		inner = durable.OS
+	}
+	return &FS{inner: inner, opts: opts, attempts: make(map[string]int)}
+}
+
+// Faults returns how many injected faults have fired so far.
+func (f *FS) Faults() int64 { return f.faults.Load() }
+
+// OpenFile implements durable.FS.
+func (f *FS) OpenFile(name string, flag int, perm os.FileMode) (durable.File, error) {
+	if f.roll(name, "open") < f.opts.OpenErrRate {
+		f.faults.Add(1)
+		return nil, fmt.Errorf("open %s: %w: %w", name, syscall.EIO, ErrInjected)
+	}
+	inner, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &file{File: inner, fs: f, name: name}, nil
+}
+
+// Rename implements durable.FS.
+func (f *FS) Rename(oldpath, newpath string) error {
+	if f.roll(newpath, "rename") < f.opts.RenameErrRate {
+		f.faults.Add(1)
+		return fmt.Errorf("rename %s: %w: %w", newpath, syscall.EIO, ErrInjected)
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+// Remove implements durable.FS. Removal never faults: cleanup paths
+// should stay clean so a test failure always points at the write path.
+func (f *FS) Remove(name string) error { return f.inner.Remove(name) }
+
+// MkdirAll implements durable.FS.
+func (f *FS) MkdirAll(path string, perm os.FileMode) error {
+	return f.inner.MkdirAll(path, perm)
+}
+
+// ReadFile implements durable.FS. Reads never fault: the schedule
+// attacks durability, not availability.
+func (f *FS) ReadFile(name string) ([]byte, error) { return f.inner.ReadFile(name) }
+
+// Stat implements durable.FS.
+func (f *FS) Stat(name string) (os.FileInfo, error) { return f.inner.Stat(name) }
+
+// roll decides one fault for (path, op), consuming one attempt.
+func (f *FS) roll(path, op string) float64 {
+	f.mu.Lock()
+	key := path + "\x00" + op
+	f.attempts[key]++
+	attempt := f.attempts[key]
+	f.mu.Unlock()
+	// Same derivation as extract.Flaky.roll: FNV-64a over the identity
+	// tuple, top 53 bits as a uniform float in [0, 1).
+	h := fnv.New64a()
+	var buf [20]byte
+	putInt64(buf[0:8], f.opts.Seed)
+	putInt64(buf[8:16], int64(len(path))) // cheap discriminator before the strings
+	putInt64(buf[16:20], int64(attempt))
+	h.Write(buf[:])
+	h.Write([]byte(path))
+	h.Write([]byte{0})
+	h.Write([]byte(op))
+	return float64(h.Sum64()>>11) / float64(1<<53)
+}
+
+func putInt64(b []byte, v int64) {
+	for i := range b {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+// file wraps a durable.File with the write-side fault schedule.
+type file struct {
+	durable.File
+	fs   *FS
+	name string
+}
+
+// Write injects full failures (nothing stored, ENOSPC) and short writes
+// (half stored, ENOSPC) per the schedule.
+func (f *file) Write(p []byte) (int, error) {
+	if f.fs.roll(f.name, "write") < f.fs.opts.WriteErrRate {
+		f.fs.faults.Add(1)
+		return 0, fmt.Errorf("write %s: %w: %w", f.name, syscall.ENOSPC, ErrInjected)
+	}
+	if f.fs.roll(f.name, "short-write") < f.fs.opts.ShortWriteRate {
+		f.fs.faults.Add(1)
+		half := len(p) / 2
+		n, err := f.File.Write(p[:half])
+		if err != nil {
+			return n, err
+		}
+		return n, fmt.Errorf("write %s: %w: %w", f.name, syscall.ENOSPC, ErrInjected)
+	}
+	return f.File.Write(p)
+}
+
+// Sync injects fsync failures per the schedule.
+func (f *file) Sync() error {
+	if f.fs.roll(f.name, "sync") < f.fs.opts.SyncErrRate {
+		f.fs.faults.Add(1)
+		return fmt.Errorf("sync %s: %w: %w", f.name, syscall.EIO, ErrInjected)
+	}
+	return f.File.Sync()
+}

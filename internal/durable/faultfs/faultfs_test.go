@@ -1,0 +1,181 @@
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+
+	"adaptiverank/internal/durable"
+)
+
+// TestDeterministic proves the core property: two FS values with the
+// same seed produce the same fault sequence over the same operations.
+func TestDeterministic(t *testing.T) {
+	opts := Options{Seed: 42, WriteErrRate: 0.3, SyncErrRate: 0.3, ShortWriteRate: 0.2}
+	// Faults key on the full path string, so determinism is compared for
+	// two FS values over the SAME directory.
+	dir := t.TempDir()
+	runIn := func() []string {
+		fs := New(nil, opts)
+		var out []string
+		for i := 0; i < 20; i++ {
+			name := fmt.Sprintf("f%d.jsonl", i%4)
+			j, err := durable.CreateJSONL(fs, filepath.Join(dir, name), name)
+			if err != nil {
+				out = append(out, "create-err")
+				continue
+			}
+			if err := j.Append(map[string]int{"i": i}); err != nil {
+				out = append(out, "append-err")
+			}
+			if err := j.Close(); err != nil {
+				out = append(out, "close-err")
+			} else {
+				out = append(out, "ok")
+			}
+		}
+		return out
+	}
+	a, b := runIn(), runIn()
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %q vs %q\n%v\n%v", i, a[i], b[i], a, b)
+		}
+	}
+}
+
+func TestFaultsFireAndAreMarked(t *testing.T) {
+	dir := t.TempDir()
+	fs := New(nil, Options{Seed: 7, WriteErrRate: 0.5, SyncErrRate: 0.5})
+	var sawInjected bool
+	for i := 0; i < 30; i++ {
+		j, err := durable.CreateJSONL(fs, filepath.Join(dir, "x.jsonl"), "x")
+		if err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("non-injected create error: %v", err)
+			}
+			sawInjected = true
+			continue
+		}
+		if err := j.Append(map[string]int{"i": i}); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("non-injected append error: %v", err)
+			}
+			sawInjected = true
+		}
+		if err := j.Close(); err != nil && !errors.Is(err, ErrInjected) {
+			t.Fatalf("non-injected close error: %v", err)
+		}
+	}
+	if !sawInjected {
+		t.Fatal("no injected faults at 50% rates over 30 iterations")
+	}
+	if fs.Faults() == 0 {
+		t.Fatal("Faults() = 0 despite observed faults")
+	}
+}
+
+func TestErrnoWrapping(t *testing.T) {
+	dir := t.TempDir()
+	fs := New(nil, Options{Seed: 1, WriteErrRate: 1})
+	j, err := durable.CreateJSONL(fs, filepath.Join(dir, "x.jsonl"), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	werr := j.Append(map[string]int{"i": 1})
+	if !errors.Is(werr, syscall.ENOSPC) {
+		t.Fatalf("write fault does not wrap ENOSPC: %v", werr)
+	}
+	if !errors.Is(werr, ErrInjected) {
+		t.Fatalf("write fault does not wrap ErrInjected: %v", werr)
+	}
+}
+
+func TestShortWriteLeavesHalf(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.bin")
+	fs := New(nil, Options{Seed: 3, ShortWriteRate: 1})
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("0123456789")
+	n, werr := f.Write(payload)
+	if werr == nil {
+		t.Fatal("short write did not error")
+	}
+	if n != len(payload)/2 {
+		t.Fatalf("short write stored %d bytes, want %d", n, len(payload)/2)
+	}
+	f.Close()
+	data, _ := os.ReadFile(path)
+	if string(data) != "01234" {
+		t.Fatalf("on-disk after short write = %q", data)
+	}
+}
+
+func TestAtomicWriteNeverTearsTarget(t *testing.T) {
+	// Under any fault schedule, WriteFileAtomic either succeeds fully or
+	// leaves the previous contents intact — the target is never torn.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := durable.WriteFileAtomic(nil, path, []byte("v0"), 0o644, "soak"); err != nil {
+		t.Fatal(err)
+	}
+	last := "v0"
+	for seed := int64(0); seed < 40; seed++ {
+		fs := New(nil, Options{
+			Seed: seed, WriteErrRate: 0.2, ShortWriteRate: 0.2,
+			SyncErrRate: 0.2, RenameErrRate: 0.2, OpenErrRate: 0.1,
+		})
+		next := fmt.Sprintf("v%d", seed+1)
+		err := durable.WriteFileAtomic(fs, path, []byte(next), 0o644, "soak")
+		got, rerr := os.ReadFile(path)
+		if rerr != nil {
+			t.Fatalf("seed %d: target unreadable: %v", seed, rerr)
+		}
+		// On success the target holds the new contents. On failure it
+		// holds either the old contents (fault before the rename) or the
+		// new ones (the rename landed, only the directory sync failed) —
+		// both complete; a torn mix is the one forbidden outcome.
+		switch string(got) {
+		case next:
+			last = next
+		case last:
+			if err == nil {
+				t.Fatalf("seed %d: clean write left old contents %q", seed, got)
+			}
+		default:
+			t.Fatalf("seed %d: target = %q, want %q or %q (err=%v) — torn write observed", seed, got, last, next, err)
+		}
+	}
+}
+
+func TestDisabledScheduleIsTransparent(t *testing.T) {
+	dir := t.TempDir()
+	fs := New(nil, Options{Seed: 5})
+	if fs.opts.Enabled() {
+		t.Fatal("zero options report Enabled")
+	}
+	j, err := durable.CreateJSONL(fs, filepath.Join(dir, "x.jsonl"), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := j.Append(map[string]int{"i": i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Faults() != 0 {
+		t.Fatalf("disabled schedule fired %d faults", fs.Faults())
+	}
+}

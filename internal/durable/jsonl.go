@@ -1,0 +1,174 @@
+package durable
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// JSONL is the append-mode JSONL artifact writer: one JSON record per
+// line, each Append flushed to the kernel before it returns, the file
+// fsynced on Close. A process killed at any instant loses at most the
+// record being written, and readers built on ScanTornTail drop exactly
+// that torn tail.
+//
+// The first write error is retained: later records are dropped, and Err
+// and Close report it. All methods are safe for concurrent use.
+type JSONL struct {
+	mu    sync.Mutex
+	f     File
+	w     *bufio.Writer
+	label string
+	err   error
+}
+
+// CreateJSONL creates (truncating) a fresh JSONL artifact at path. label
+// names the artifact in kill points and error messages.
+func CreateJSONL(fsys FS, path, label string) (*JSONL, error) {
+	f, err := fsOr(fsys).OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("durable: create %s: %w", label, err)
+	}
+	return Adopt(f, label), nil
+}
+
+// AppendJSONL opens path for appending, creating it if absent. A torn
+// final line left by a killed writer is truncated away first, so the
+// artifact self-heals: the new records always follow a complete one.
+func AppendJSONL(fsys FS, path, label string) (*JSONL, error) {
+	fsys = fsOr(fsys)
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("durable: open %s: %w", label, err)
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("durable: read %s: %w", label, err)
+	}
+	good := RepairTail(data)
+	if good < int64(len(data)) {
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("durable: repair %s tail: %w", label, err)
+		}
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("durable: seek %s: %w", label, err)
+	}
+	return Adopt(f, label), nil
+}
+
+// Adopt wraps an already-open, already-positioned file (the resume
+// journal opens, repairs, and seeks its file itself before handing it
+// over). The JSONL takes ownership: Close closes f.
+func Adopt(f File, label string) *JSONL {
+	return &JSONL{f: f, w: bufio.NewWriter(f), label: label}
+}
+
+// Append marshals v and appends it as one line, flushed through to the
+// kernel before returning. After a write error every further Append
+// returns (and is absorbed into) the first error.
+func (j *JSONL) Append(v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("durable: marshal %s record: %w", j.label, err)
+	}
+	return j.AppendLine(b)
+}
+
+// AppendLine appends one pre-encoded record (no trailing newline).
+func (j *JSONL) AppendLine(rec []byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	if j.f == nil {
+		j.err = fmt.Errorf("durable: %s: append after close", j.label)
+		return j.err
+	}
+	line := make([]byte, 0, len(rec)+1)
+	line = append(line, rec...)
+	line = append(line, '\n')
+	var err error
+	if tornSplit() {
+		// A kill point is armed: split the record across two flushes so
+		// dying at SiteAppendTorn leaves a genuinely torn tail on disk.
+		half := len(line) / 2
+		if _, err = j.w.Write(line[:half]); err == nil {
+			err = j.w.Flush()
+		}
+		hit(Point(j.label, SiteAppendTorn))
+		if err == nil {
+			if _, err = j.w.Write(line[half:]); err == nil {
+				err = j.w.Flush()
+			}
+		}
+	} else {
+		if _, err = j.w.Write(line); err == nil {
+			err = j.w.Flush()
+		}
+	}
+	hit(Point(j.label, SiteAppendFull))
+	if err != nil {
+		j.err = fmt.Errorf("durable: write %s: %w", j.label, err)
+	}
+	return j.err
+}
+
+// Err returns the first write error, if any.
+func (j *JSONL) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Sync flushes buffered bytes and fsyncs the file without closing it.
+func (j *JSONL) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return j.err
+	}
+	err := j.err
+	if ferr := j.w.Flush(); err == nil && ferr != nil {
+		err = fmt.Errorf("durable: flush %s: %w", j.label, ferr)
+	}
+	if serr := j.f.Sync(); err == nil && serr != nil {
+		err = fmt.Errorf("durable: sync %s: %w", j.label, serr)
+	}
+	if j.err == nil {
+		j.err = err
+	}
+	return err
+}
+
+// Close flushes, fsyncs, and closes the artifact, returning the first
+// error seen over the writer's lifetime. Repeated calls are no-ops.
+func (j *JSONL) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return j.err
+	}
+	err := j.err
+	if ferr := j.w.Flush(); err == nil && ferr != nil {
+		err = fmt.Errorf("durable: flush %s: %w", j.label, ferr)
+	}
+	if serr := j.f.Sync(); err == nil && serr != nil {
+		err = fmt.Errorf("durable: sync %s: %w", j.label, serr)
+	}
+	if cerr := j.f.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("durable: close %s: %w", j.label, cerr)
+	}
+	j.f = nil
+	if j.err == nil {
+		j.err = err
+	}
+	return err
+}

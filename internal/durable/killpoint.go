@@ -1,0 +1,193 @@
+package durable
+
+// Kill points name the instants inside durable's write paths where a
+// crash is most damaging: half a record written, a temp file written but
+// not yet renamed, a bundle full of data files with no completeness
+// marker. The chaos harness (cmd/crashtest) arms exactly one point and
+// runs the real pipeline; when a writer reaches the armed point the
+// process dies — by panic in-process, or by delivering itself SIGKILL in
+// subprocess mode — and the harness then verifies that every reader
+// recovers per the package contract.
+//
+// A point is "<label>:<site>": the label names the artifact (each writer
+// is constructed with one — "journal", "explain", "result", ...) and the
+// site names the write-path instant, one of the Site* constants. Arming
+// is process-global; the disarmed fast path is a single atomic load, so
+// production runs pay nothing.
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Write-path sites, grouped by writer shape.
+const (
+	// JSONL append-writer sites.
+
+	// SiteAppendTorn fires after the first half of a record has reached
+	// the kernel and before the rest: dying here leaves a torn tail.
+	SiteAppendTorn = "append-torn"
+	// SiteAppendFull fires after a record has been fully written and
+	// flushed: dying here leaves a complete, unsynced record.
+	SiteAppendFull = "append-full"
+
+	// Atomic whole-file-writer sites.
+
+	// SiteTmpTorn fires with half the temp file written.
+	SiteTmpTorn = "tmp-torn"
+	// SiteTmpWritten fires after the temp file is fully written, before
+	// its fsync.
+	SiteTmpWritten = "tmp-written"
+	// SiteTmpSynced fires after the temp-file fsync, before the rename:
+	// dying here leaves a complete .tmp and no target.
+	SiteTmpSynced = "tmp-synced"
+	// SiteRenamed fires after the rename, before the directory fsync.
+	SiteRenamed = "renamed"
+
+	// Marker-bundle directory sites.
+
+	// SiteFileTorn fires with half a bundle data file written.
+	SiteFileTorn = "file-torn"
+	// SiteFileWritten fires after each bundle data file is written and
+	// synced: dying here leaves a markerless partial bundle.
+	SiteFileWritten = "file-written"
+	// SiteBeforeMarker fires with every data file durable but the
+	// completeness marker not yet begun.
+	SiteBeforeMarker = "before-marker"
+	// SiteMarkerWritten fires after the marker file is written and
+	// synced, before the directory fsync.
+	SiteMarkerWritten = "marker-written"
+)
+
+// Site lists per writer shape, in write order. cmd/crashtest composes
+// its kill-point matrix from these and the artifact labels it arms.
+var (
+	JSONLSites  = []string{SiteAppendTorn, SiteAppendFull}
+	AtomicSites = []string{SiteTmpTorn, SiteTmpWritten, SiteTmpSynced, SiteRenamed}
+	DirSites    = []string{SiteFileTorn, SiteFileWritten, SiteBeforeMarker, SiteMarkerWritten}
+)
+
+// Point composes a kill-point name from an artifact label and a site.
+func Point(label, site string) string { return label + ":" + site }
+
+// Kill modes.
+const (
+	// KillModePanic dies by panicking with a *Killed value; callers that
+	// recover can identify the injected death with errors.As.
+	KillModePanic = "panic"
+	// KillModeKill dies by delivering SIGKILL to the own process: no
+	// deferred cleanup, no buffer flushes — the closest in-process stand-in
+	// for power loss.
+	KillModeKill = "kill"
+)
+
+// Environment variables ArmFromEnv reads, set by cmd/crashtest on its
+// child processes.
+const (
+	EnvKillPoint = "ADAPTIVERANK_KILL_POINT"
+	EnvKillMode  = "ADAPTIVERANK_KILL_MODE"
+	EnvKillSkip  = "ADAPTIVERANK_KILL_SKIP"
+)
+
+// Killed is the panic value of a KillModePanic death.
+type Killed struct{ Point string }
+
+func (k *Killed) Error() string { return fmt.Sprintf("durable: killed at %s", k.Point) }
+
+var (
+	killArmed atomic.Bool // fast-path gate; true only while a point is armed
+
+	killMu    sync.Mutex
+	killPoint string
+	killMode  string
+	killSkip  int
+
+	pointsMu sync.Mutex
+	points   = map[string]bool{} // every point passed or registered this process
+)
+
+// Arm schedules death at the skip+1-th time the process reaches point.
+// mode is KillModePanic or KillModeKill. Only one point is armed at a
+// time; Arm replaces any previous arming.
+func Arm(point, mode string, skip int) {
+	killMu.Lock()
+	killPoint, killMode, killSkip = point, mode, skip
+	killMu.Unlock()
+	killArmed.Store(point != "")
+}
+
+// Disarm cancels any armed kill point.
+func Disarm() { Arm("", KillModePanic, 0) }
+
+// ArmFromEnv arms a kill point from the ADAPTIVERANK_KILL_* environment
+// variables; it is a no-op when ADAPTIVERANK_KILL_POINT is unset. CLIs
+// call it at startup so cmd/crashtest can aim at their write sites.
+func ArmFromEnv() {
+	point := os.Getenv(EnvKillPoint)
+	if point == "" {
+		return
+	}
+	mode := os.Getenv(EnvKillMode)
+	if mode == "" {
+		mode = KillModeKill
+	}
+	skip, _ := strconv.Atoi(os.Getenv(EnvKillSkip))
+	Arm(point, mode, skip)
+}
+
+// Points returns every kill point this process has registered or passed,
+// sorted. Mostly useful to harness code enumerating what a run exercised.
+func Points() []string {
+	pointsMu.Lock()
+	defer pointsMu.Unlock()
+	out := make([]string, 0, len(points))
+	//lint:allow detrand collection order is erased by the sort below
+	for p := range points {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// hit is called by the writers at each registered site. Disarmed, it is
+// a single atomic load. Armed, it records the point and dies when the
+// point matches and its skip count is exhausted.
+func hit(point string) {
+	if !killArmed.Load() {
+		return
+	}
+	pointsMu.Lock()
+	points[point] = true
+	pointsMu.Unlock()
+	killMu.Lock()
+	if point != killPoint {
+		killMu.Unlock()
+		return
+	}
+	if killSkip > 0 {
+		killSkip--
+		killMu.Unlock()
+		return
+	}
+	mode := killMode
+	killMu.Unlock()
+	if mode == KillModeKill {
+		// Self-delivered SIGKILL: the kernel tears the process down with
+		// no user-space cleanup, exactly like the OOM killer would. The
+		// block below never returns.
+		if p, err := os.FindProcess(os.Getpid()); err == nil {
+			p.Kill()
+		}
+		select {}
+	}
+	panic(&Killed{Point: point})
+}
+
+// tornSplit reports whether writers should take the two-stage
+// (half-write, hit, half-write) path. It is true only while a kill point
+// is armed, so production appends stay a single buffered write.
+func tornSplit() bool { return killArmed.Load() }

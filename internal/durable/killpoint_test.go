@@ -1,0 +1,190 @@
+package durable
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// killAt runs fn with point armed in panic mode and reports whether the
+// injected death fired.
+func killAt(t *testing.T, point string, skip int, fn func()) (died bool) {
+	t.Helper()
+	Arm(point, KillModePanic, skip)
+	defer Disarm()
+	defer func() {
+		if r := recover(); r != nil {
+			var k *Killed
+			if err, ok := r.(error); ok && errors.As(err, &k) {
+				if k.Point != point {
+					t.Fatalf("died at %s, armed %s", k.Point, point)
+				}
+				died = true
+				return
+			}
+			panic(r)
+		}
+	}()
+	fn()
+	return false
+}
+
+func TestKillPointTornAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a.jsonl")
+	j, err := CreateJSONL(nil, path, "kp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(rec{N: 0}); err != nil {
+		t.Fatal(err)
+	}
+	died := killAt(t, Point("kp", SiteAppendTorn), 0, func() {
+		j.Append(rec{N: 1, S: "this record will be torn"})
+	})
+	if !died {
+		t.Fatal("armed kill point did not fire")
+	}
+	// The first half of the record was flushed before the kill: the file
+	// must end mid-record, and AppendJSONL must repair it back to the
+	// last complete record.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[len(data)-1] == '\n' {
+		t.Fatalf("file ends on a record boundary; expected a torn tail: %q", data)
+	}
+	j2, err := AppendJSONL(nil, path, "kp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	repaired, _ := os.ReadFile(path)
+	if string(repaired) != "{\"n\":0,\"s\":\"\"}\n" {
+		t.Fatalf("repaired file = %q", repaired)
+	}
+}
+
+func TestKillPointAtomicBeforeRename(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	died := killAt(t, Point("kp2", SiteTmpSynced), 0, func() {
+		WriteFileAtomic(nil, path, []byte("payload"), 0o644, "kp2")
+	})
+	if !died {
+		t.Fatal("armed kill point did not fire")
+	}
+	// Death before rename: no target, complete temp.
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("target exists despite dying before rename")
+	}
+	if got, err := os.ReadFile(path + ".tmp"); err != nil || string(got) != "payload" {
+		t.Fatalf("temp = %q, %v", got, err)
+	}
+}
+
+func TestKillPointDirBeforeMarker(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "bundle")
+	d, err := CreateDir(nil, dir, "kp3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteFile("data.json", []byte("{}")); err != nil {
+		t.Fatal(err)
+	}
+	died := killAt(t, Point("kp3", SiteBeforeMarker), 0, func() {
+		d.Commit("meta.json", []byte("{}"))
+	})
+	if !died {
+		t.Fatal("armed kill point did not fire")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "meta.json")); !os.IsNotExist(err) {
+		t.Fatal("marker written despite dying before it")
+	}
+}
+
+func TestKillSkipCounts(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a.jsonl")
+	j, err := CreateJSONL(nil, path, "kp4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	appended := 0
+	died := killAt(t, Point("kp4", SiteAppendFull), 2, func() {
+		for i := 0; i < 10; i++ {
+			if err := j.Append(rec{N: i}); err != nil {
+				t.Fatal(err)
+			}
+			appended++
+		}
+	})
+	if !died {
+		t.Fatal("armed kill point did not fire")
+	}
+	// skip=2 means the third pass dies: two appends returned cleanly.
+	if appended != 2 {
+		t.Fatalf("completed appends = %d, want 2", appended)
+	}
+}
+
+func TestArmFromEnv(t *testing.T) {
+	t.Setenv(EnvKillPoint, Point("envkp", SiteAppendFull))
+	t.Setenv(EnvKillMode, KillModePanic)
+	t.Setenv(EnvKillSkip, "1")
+	ArmFromEnv()
+	defer Disarm()
+
+	path := filepath.Join(t.TempDir(), "a.jsonl")
+	j, err := CreateJSONL(nil, path, "envkp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(rec{N: 0}); err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("second append did not die")
+			}
+		}()
+		j.Append(rec{N: 1})
+	}()
+}
+
+func TestArmFromEnvNoop(t *testing.T) {
+	t.Setenv(EnvKillPoint, "")
+	ArmFromEnv()
+	if killArmed.Load() {
+		t.Fatal("ArmFromEnv armed with no env var set")
+	}
+}
+
+func TestPointsRecorded(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a.jsonl")
+	// Arm an unreachable point so hit() records traffic without dying.
+	Arm("never:never", KillModePanic, 0)
+	defer Disarm()
+	j, err := CreateJSONL(nil, path, "ptrec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(rec{N: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, p := range Points() {
+		if p == Point("ptrec", SiteAppendFull) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Points() = %v, missing ptrec:append-full", Points())
+	}
+}

@@ -1,0 +1,99 @@
+package durable
+
+import (
+	"bytes"
+	"errors"
+)
+
+// Fatal wraps an error so ScanTornTail aborts immediately instead of
+// treating it as a possibly-torn record. Parse callbacks use it for
+// records that decoded fine but are semantically unacceptable (wrong
+// version, wrong fingerprint): those are never truncation debris, so the
+// torn-tail tolerance must not swallow them even on the final line.
+func Fatal(err error) error { return &fatalError{err} }
+
+type fatalError struct{ err error }
+
+func (e *fatalError) Error() string { return e.err.Error() }
+func (e *fatalError) Unwrap() error { return e.err }
+
+// ScanTornTail walks JSONL data line by line, invoking parse for each
+// non-blank line (with the trailing \r of CRLF input trimmed), under the
+// repository-wide torn-tail contract shared by every crash-safe JSONL
+// reader:
+//
+//   - a record is committed only once its trailing newline is on disk:
+//     an unterminated final line is truncation debris — even if it
+//     happens to parse — and is never handed to parse;
+//   - a parse error on the FINAL record is truncation — the signature of
+//     a writer killed mid-append — and is swallowed;
+//   - a parse error with complete records after it is corruption and is
+//     returned;
+//   - an error wrapped with Fatal aborts immediately, final line or not.
+//
+// It returns the byte offset just past the last accepted record — always
+// a newline boundary — which append-mode writers use to truncate the
+// torn debris before continuing (the repair OpenJournal and AppendJSONL
+// perform). Accepting a valid-but-unterminated final record would split
+// readers from writers: RepairTail truncates it, and appending after it
+// without the repair would weld two records onto one line.
+func ScanTornTail(data []byte, parse func(line int, raw []byte) error) (goodEnd int64, err error) {
+	var (
+		offset     int64
+		pendingErr error
+		line       int
+	)
+	for len(data) > 0 {
+		line++
+		raw := data
+		consumed := len(data)
+		terminated := false
+		if i := bytes.IndexByte(data, '\n'); i >= 0 {
+			raw = data[:i]
+			consumed = i + 1
+			terminated = true
+		}
+		data = data[consumed:]
+		offset += int64(consumed)
+		if len(raw) > 0 && raw[len(raw)-1] == '\r' {
+			raw = raw[:len(raw)-1]
+		}
+		if len(bytes.TrimSpace(raw)) == 0 {
+			if terminated {
+				goodEnd = offset
+			}
+			continue
+		}
+		if pendingErr != nil {
+			// A further record followed the bad one: real corruption.
+			return goodEnd, pendingErr
+		}
+		if !terminated {
+			// Unterminated final line: the newline never reached the
+			// disk, so the record was never committed. Truncation.
+			break
+		}
+		if perr := parse(line, raw); perr != nil {
+			var fe *fatalError
+			if errors.As(perr, &fe) {
+				return goodEnd, perr
+			}
+			pendingErr = perr
+			continue
+		}
+		goodEnd = offset
+	}
+	// pendingErr on the final line is truncation: drop the partial record.
+	return goodEnd, nil
+}
+
+// RepairTail returns the prefix length of data ending at the last
+// newline: everything after it is, at most, one torn record (a JSON
+// record never contains a raw newline, so a torn append can never span
+// one). Append-mode writers truncate to this length before continuing.
+func RepairTail(data []byte) int64 {
+	if i := bytes.LastIndexByte(data, '\n'); i >= 0 {
+		return int64(i + 1)
+	}
+	return 0
+}

@@ -13,6 +13,7 @@ var All = []*Analyzer{
 	CtxFlow,
 	LockSafe,
 	ErrPath,
+	DuraFS,
 }
 
 // Main loads the packages matching patterns from dir, runs every

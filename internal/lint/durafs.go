@@ -1,0 +1,65 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// DuraFS enforces the artifact-durability boundary established by
+// internal/durable: the packages that write crash-recoverable artifacts
+// (the pipeline journal, explain logs, profile manifests, blackbox
+// bundles, corpus dumps) must create those files through the durable
+// writers, never with bare os calls. A bare os.Create has no fsync, no
+// atomic rename, and no torn-tail contract — a crash mid-write leaves a
+// half-file the recovery path cannot distinguish from corruption.
+//
+// Flagged in scope: os.Create, os.OpenFile, os.WriteFile. Reads
+// (os.Open, os.ReadFile, os.Stat, os.ReadDir) and directory calls
+// (os.MkdirAll, os.Remove) are deliberately not flagged: reads cannot
+// tear an artifact, and directory creation/removal has no payload to
+// lose. Deliberately non-durable sites (dev-only dumps, files owned by a
+// durable.Dir bundle mid-build) carry a reasoned //lint:allow durafs
+// directive.
+var DuraFS = &Analyzer{
+	Name: "durafs",
+	Doc:  "artifact packages must create files through internal/durable, not bare os calls",
+	Run:  runDuraFS,
+}
+
+// duraFSScope lists the artifact-writing packages. internal/obs covers
+// its subpackages (explain, prof, blackbox) via pathMatches; the durable
+// package itself is out of scope — it is the one place the raw os calls
+// are supposed to live.
+var duraFSScope = []string{
+	"internal/pipeline",
+	"internal/obs",
+	"internal/corpus",
+}
+
+// duraFSFuncs maps each flagged os function to the durable replacement
+// named in the diagnostic.
+var duraFSFuncs = []struct{ name, fix string }{
+	{"Create", "durable.OpenTrunc + durable.SyncClose for streams, or durable.WriteFileAtomic"},
+	{"OpenFile", "durable.CreateJSONL/AppendJSONL for logs, or durable.OS.OpenFile behind a durable writer"},
+	{"WriteFile", "durable.WriteFileAtomic (or Dir.WriteFile inside a bundle)"},
+}
+
+func runDuraFS(p *Pass) {
+	if !pathMatches(p.ImportPath, duraFSScope...) {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, fn := range duraFSFuncs {
+				if isPkgFunc(p, call, "os", fn.name) {
+					p.Reportf(call.Pos(), "os.%s in an artifact package bypasses the durability layer (no fsync, no atomic rename, no torn-tail contract): use %s", fn.name, fn.fix)
+					return true
+				}
+			}
+			return true
+		})
+	}
+}

@@ -152,6 +152,13 @@ func TestErrPathGolden(t *testing.T) {
 	})
 }
 
+func TestDuraFSGolden(t *testing.T) {
+	runGolden(t, lint.DuraFS, []lint.Fixture{
+		{Path: "fixture.example/internal/obs", Dir: "testdata/durafs/obs"},
+		{Path: "fixture.example/internal/extract", Dir: "testdata/durafs/extract"},
+	})
+}
+
 // TestDirectiveHygiene checks that malformed //lint:allow directives are
 // themselves diagnostics: a missing reason and an unknown analyzer name
 // must both be reported, and a well-formed directive must not be.

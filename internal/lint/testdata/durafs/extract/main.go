@@ -1,0 +1,9 @@
+// Fixture proving the durafs scope gate: internal/extract is not an
+// artifact package, so bare os calls are fine here.
+package extract
+
+import "os"
+
+func scratchFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,46 @@
+// Fixture for the durafs analyzer: artifact packages must create files
+// through internal/durable, never with bare os calls.
+package obs
+
+import "os"
+
+// writeArtifact trips all three flagged creation calls.
+func writeArtifact(path string, data []byte) error {
+	if err := os.WriteFile(path, data, 0o644); err != nil { // want `os.WriteFile in an artifact package bypasses the durability layer`
+		return err
+	}
+	f, err := os.Create(path) // want `os.Create in an artifact package bypasses the durability layer`
+	if err != nil {
+		return err
+	}
+	f.Close()
+	g, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644) // want `os.OpenFile in an artifact package bypasses the durability layer`
+	if err != nil {
+		return err
+	}
+	return g.Close()
+}
+
+// readArtifact shows that reads and stats are out of scope: they cannot
+// tear an artifact.
+func readArtifact(path string) ([]byte, error) {
+	if _, err := os.Stat(path); err != nil {
+		return nil, err
+	}
+	return os.ReadFile(path)
+}
+
+// makeDirs shows that directory calls are out of scope: no payload to
+// lose.
+func makeDirs(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return os.Remove(dir)
+}
+
+// debugDump is deliberately non-durable and says so.
+func debugDump(path string, data []byte) error {
+	//lint:allow durafs dev-only scratch dump, not a recovery artifact
+	return os.WriteFile(path, data, 0o644)
+}

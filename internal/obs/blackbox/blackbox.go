@@ -24,6 +24,7 @@ import (
 	"sync"
 	"time"
 
+	"adaptiverank/internal/durable"
 	"adaptiverank/internal/obs"
 )
 
@@ -49,6 +50,9 @@ type Options struct {
 	// Registry receives the blackbox.* counters and is snapshotted into
 	// each bundle (nil is fine).
 	Registry *obs.Registry
+	// FS is the filesystem bundles are written through; nil selects the
+	// real one. Tests inject fault schedules (durable/faultfs) here.
+	FS durable.FS
 }
 
 type spanInfo struct {

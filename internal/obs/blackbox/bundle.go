@@ -16,6 +16,7 @@ package blackbox
 // readers treat its absence as a partial bundle from a dying process.
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -23,6 +24,7 @@ import (
 	"runtime"
 	"time"
 
+	"adaptiverank/internal/durable"
 	"adaptiverank/internal/obs"
 )
 
@@ -77,17 +79,18 @@ func (r *Ring) dump(reason string, trigger *obs.Event) (string, error) {
 			return "", fmt.Errorf("blackbox: bundle namespace exhausted in %s", r.opts.Dir)
 		}
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	b, err := durable.CreateDir(r.opts.FS, dir, "blackbox")
+	if err != nil {
 		return "", err
 	}
 
-	if err := writeJSONL(filepath.Join(dir, "events.jsonl"), s.events); err != nil {
+	if err := writeJSONL(b, "events.jsonl", s.events); err != nil {
 		return dir, err
 	}
-	if err := writeJSONL(filepath.Join(dir, "decisions.jsonl"), s.decisions); err != nil {
+	if err := writeJSONL(b, "decisions.jsonl", s.decisions); err != nil {
 		return dir, err
 	}
-	if err := writeJSONFile(filepath.Join(dir, "spans.json"), s.spans); err != nil {
+	if err := writeJSONFile(b, "spans.json", s.spans); err != nil {
 		return dir, err
 	}
 
@@ -101,21 +104,18 @@ func (r *Ring) dump(reason string, trigger *obs.Event) (string, error) {
 		}
 		buf = make([]byte, 2*len(buf))
 	}
-	if err := writeFileSync(filepath.Join(dir, "goroutines.txt"), buf); err != nil {
+	if err := b.WriteFile("goroutines.txt", buf); err != nil {
 		return dir, err
 	}
 
 	if r.opts.Registry != nil {
-		f, err := os.Create(filepath.Join(dir, "metrics.txt"))
+		f, err := b.Create("metrics.txt")
 		if err != nil {
 			return dir, err
 		}
 		err = r.opts.Registry.Dump(f)
-		if serr := f.Sync(); err == nil {
-			err = serr
-		}
-		if cerr := f.Close(); err == nil {
-			err = cerr
+		if scErr := durable.SyncClose(f); err == nil {
+			err = scErr
 		}
 		if err != nil {
 			return dir, err
@@ -124,7 +124,7 @@ func (r *Ring) dump(reason string, trigger *obs.Event) (string, error) {
 
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
-	if err := writeJSONFile(filepath.Join(dir, "runtime.json"), runtimeStats{
+	if err := writeJSONFile(b, "runtime.json", runtimeStats{
 		Goroutines:   runtime.NumGoroutine(),
 		GOMAXPROCS:   runtime.GOMAXPROCS(0),
 		NumCPU:       runtime.NumCPU(),
@@ -142,8 +142,9 @@ func (r *Ring) dump(reason string, trigger *obs.Event) (string, error) {
 		return dir, err
 	}
 
-	// Completeness marker, last.
-	if err := writeJSONFile(filepath.Join(dir, MetaName), Meta{
+	// Completeness marker, last: durable.Dir.Commit writes meta.json
+	// after every data file is synced, then fsyncs the bundle directory.
+	meta, err := json.MarshalIndent(Meta{
 		RunID:       r.opts.RunID,
 		Fingerprint: r.opts.Fingerprint,
 		Reason:      reason,
@@ -153,10 +154,11 @@ func (r *Ring) dump(reason string, trigger *obs.Event) (string, error) {
 		Dropped:     s.dropped,
 		Go:          runtime.Version(),
 		PID:         os.Getpid(),
-	}); err != nil {
+	}, "", "  ")
+	if err != nil {
 		return dir, err
 	}
-	if err := syncDir(dir); err != nil {
+	if err := b.Commit(MetaName, append(meta, '\n')); err != nil {
 		return dir, err
 	}
 	r.cDumps.Inc()
@@ -198,56 +200,21 @@ func Bundles(dir string) ([]string, error) {
 	return out, nil
 }
 
-func writeJSONL[T any](path string, items []T) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	enc := json.NewEncoder(f)
+func writeJSONL[T any](b *durable.Dir, name string, items []T) error {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
 	for _, it := range items {
 		if err := enc.Encode(it); err != nil {
-			f.Close()
 			return err
 		}
 	}
-	err = f.Sync()
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	return err
+	return b.WriteFile(name, buf.Bytes())
 }
 
-func writeJSONFile(path string, v any) error {
+func writeJSONFile(b *durable.Dir, name string, v any) error {
 	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		return err
 	}
-	return writeFileSync(path, append(data, '\n'))
-}
-
-func writeFileSync(path string, data []byte) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	_, err = f.Write(data)
-	if serr := f.Sync(); err == nil {
-		err = serr
-	}
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	return err
-}
-
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	err = d.Sync()
-	if cerr := d.Close(); err == nil {
-		err = cerr
-	}
-	return err
+	return b.WriteFile(name, append(data, '\n'))
 }

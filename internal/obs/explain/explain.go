@@ -23,6 +23,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"adaptiverank/internal/durable"
 	"adaptiverank/internal/obs"
 	"adaptiverank/internal/vector"
 )
@@ -42,6 +43,9 @@ type Options struct {
 	Fingerprint string
 	// Registry receives the explain.* health counters; nil is fine.
 	Registry *obs.Registry
+	// FS is the filesystem the log is written through; nil selects the
+	// real one. Tests inject fault schedules (durable/faultfs) here.
+	FS durable.FS
 
 	// TopFeatures bounds the top-weight and top-mover lists on each
 	// snapshot (default 15).
@@ -74,7 +78,7 @@ type Explainer struct {
 	// pipeline; decision records are stamped from it outside any lock.
 	pos atomic.Int64
 
-	lw *logWriter
+	lw *durable.JSONL
 
 	mu        sync.Mutex
 	closed    bool
@@ -113,7 +117,7 @@ func New(opts Options) (*Explainer, error) {
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("explain: %w", err)
 	}
-	lw, err := newLogWriter(opts.Dir, Record{
+	lw, err := newLogWriter(opts.FS, opts.Dir, Record{
 		RunID:       opts.RunID,
 		Fingerprint: opts.Fingerprint,
 		Go:          runtime.Version(),
@@ -282,7 +286,7 @@ func (e *Explainer) RecordAttribution(r Record) {
 // write errors: introspection must never fail the run. The first error
 // is still surfaced by Close.
 func (e *Explainer) append(r Record) {
-	if err := e.lw.append(r); err != nil {
+	if err := e.lw.Append(r); err != nil {
 		e.cErrs.Inc()
 	}
 }
@@ -312,7 +316,7 @@ func (e *Explainer) Close() error {
 	}
 	e.closed = true
 	e.mu.Unlock()
-	return e.lw.close()
+	return e.lw.Close()
 }
 
 // toFeatures resolves a weighted-feature list to named log features.

@@ -14,14 +14,12 @@ package explain
 // still yields every completed record.
 
 import (
-	"bufio"
-	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
-	"sync"
 
+	"adaptiverank/internal/durable"
 	"adaptiverank/internal/obs"
 	"adaptiverank/internal/vector"
 )
@@ -165,26 +163,20 @@ func (l *Log) Attribution(doc int64) (Record, bool) {
 	return Record{}, false
 }
 
-// ReadLog loads dir's explain log. A truncated final line (crash while
-// appending) is ignored; a malformed line elsewhere is an error.
+// ReadLog loads dir's explain log under the durable.ScanTornTail
+// contract: a truncated final line (crash while appending) is ignored; a
+// malformed line elsewhere — or a well-formed record of unknown kind
+// anywhere — is an error.
 func ReadLog(dir string) (*Log, error) {
 	data, err := os.ReadFile(filepath.Join(dir, LogName))
 	if err != nil {
 		return nil, err
 	}
 	l := &Log{}
-	lines := bytes.Split(data, []byte("\n"))
-	for i, line := range lines {
-		line = bytes.TrimSpace(line)
-		if len(line) == 0 {
-			continue
-		}
+	if _, err := durable.ScanTornTail(data, func(line int, raw []byte) error {
 		var r Record
-		if err := json.Unmarshal(line, &r); err != nil {
-			if i == len(lines)-1 {
-				break // torn tail: keep everything before it
-			}
-			return nil, fmt.Errorf("explain: log line %d: %w", i+1, err)
+		if err := json.Unmarshal(raw, &r); err != nil {
+			return fmt.Errorf("explain: log line %d: %w", line, err)
 		}
 		switch r.Kind {
 		case RecordHeader:
@@ -198,8 +190,13 @@ func ReadLog(dir string) (*Log, error) {
 		case RecordDecision:
 			l.Decisions = append(l.Decisions, r)
 		default:
-			return nil, fmt.Errorf("explain: log line %d: unknown kind %q", i+1, r.Kind)
+			// An unknown kind decoded fine, so it is not truncation
+			// debris: reject it even on the final line.
+			return durable.Fatal(fmt.Errorf("explain: log line %d: unknown kind %q", line, r.Kind))
 		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	if l.Header.Kind == "" {
 		return nil, fmt.Errorf("explain: log in %s has no header record", dir)
@@ -207,70 +204,18 @@ func ReadLog(dir string) (*Log, error) {
 	return l, nil
 }
 
-// logWriter appends explain records crash-safely: every append is
-// flushed to the OS, and close fsyncs before returning. The first write
-// error is retained and reported by close; later records are dropped.
-type logWriter struct {
-	mu  sync.Mutex
-	f   *os.File
-	w   *bufio.Writer
-	err error
-}
-
-func newLogWriter(dir string, header Record) (*logWriter, error) {
-	f, err := os.OpenFile(filepath.Join(dir, LogName),
-		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+// newLogWriter opens dir's explain log for appending via durable.JSONL
+// (every record flushed to the kernel, fsync on close, a torn tail from
+// a previous crash repaired away) and writes the header record.
+func newLogWriter(fsys durable.FS, dir string, header Record) (*durable.JSONL, error) {
+	jl, err := durable.AppendJSONL(fsys, filepath.Join(dir, LogName), "explain")
 	if err != nil {
 		return nil, err
 	}
-	lw := &logWriter{f: f, w: bufio.NewWriter(f)}
 	header.Kind = RecordHeader
-	if err := lw.append(header); err != nil {
-		f.Close()
+	if err := jl.Append(header); err != nil {
+		jl.Close()
 		return nil, err
 	}
-	return lw, nil
-}
-
-func (lw *logWriter) append(r Record) error {
-	line, err := json.Marshal(r)
-	if err != nil {
-		return err
-	}
-	lw.mu.Lock()
-	defer lw.mu.Unlock()
-	if lw.err != nil {
-		return lw.err
-	}
-	if _, err := lw.w.Write(line); err != nil {
-		lw.err = err
-		return err
-	}
-	if err := lw.w.WriteByte('\n'); err != nil {
-		lw.err = err
-		return err
-	}
-	if err := lw.w.Flush(); err != nil {
-		lw.err = err
-		return err
-	}
-	return nil
-}
-
-// close flushes, fsyncs, and closes the log, returning the first error
-// seen over the writer's lifetime.
-func (lw *logWriter) close() error {
-	lw.mu.Lock()
-	defer lw.mu.Unlock()
-	err := lw.err
-	if ferr := lw.w.Flush(); err == nil {
-		err = ferr
-	}
-	if serr := lw.f.Sync(); err == nil {
-		err = serr
-	}
-	if cerr := lw.f.Close(); err == nil {
-		err = cerr
-	}
-	return err
+	return jl, nil
 }

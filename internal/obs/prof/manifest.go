@@ -13,13 +13,12 @@ package prof
 // by a crash still yields every completed artifact.
 
 import (
-	"bufio"
-	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
-	"sync"
+
+	"adaptiverank/internal/durable"
 )
 
 // ManifestName is the manifest's file name inside a profile directory.
@@ -84,32 +83,28 @@ func (m *Manifest) PhaseWindows() map[string]int64 {
 	return out
 }
 
-// ReadManifest loads dir's manifest. A truncated final line (crash while
-// appending) is ignored; a malformed line elsewhere is an error.
+// ReadManifest loads dir's manifest under the durable.ScanTornTail
+// contract: a truncated final line (crash while appending) is ignored; a
+// malformed line elsewhere is an error.
 func ReadManifest(dir string) (*Manifest, error) {
 	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
 	if err != nil {
 		return nil, err
 	}
 	m := &Manifest{}
-	lines := bytes.Split(data, []byte("\n"))
-	for i, line := range lines {
-		line = bytes.TrimSpace(line)
-		if len(line) == 0 {
-			continue
-		}
+	if _, err := durable.ScanTornTail(data, func(line int, raw []byte) error {
 		var r Record
-		if err := json.Unmarshal(line, &r); err != nil {
-			if i == len(lines)-1 {
-				break // torn tail: keep everything before it
-			}
-			return nil, fmt.Errorf("prof: manifest line %d: %w", i+1, err)
+		if err := json.Unmarshal(raw, &r); err != nil {
+			return fmt.Errorf("prof: manifest line %d: %w", line, err)
 		}
 		if r.Kind == RecordHeader && m.Header.Kind == "" {
 			m.Header = r
-			continue
+			return nil
 		}
 		m.Artifacts = append(m.Artifacts, r)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	if m.Header.Kind == "" {
 		return nil, fmt.Errorf("prof: manifest in %s has no header record", dir)
@@ -117,24 +112,22 @@ func ReadManifest(dir string) (*Manifest, error) {
 	return m, nil
 }
 
-// manifestWriter appends manifest records crash-safely: every append is
-// flushed to the OS, and close fsyncs before returning.
+// manifestWriter appends manifest records crash-safely via durable.JSONL:
+// every append is flushed to the OS, and close fsyncs before returning —
+// the postmortem exit paths (SIGQUIT, watchdog dump) rely on this.
 type manifestWriter struct {
-	mu sync.Mutex
-	f  *os.File
-	w  *bufio.Writer
+	jl *durable.JSONL
 }
 
-func newManifestWriter(dir string, header Record) (*manifestWriter, error) {
-	f, err := os.OpenFile(filepath.Join(dir, ManifestName),
-		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+func newManifestWriter(fsys durable.FS, dir string, header Record) (*manifestWriter, error) {
+	jl, err := durable.AppendJSONL(fsys, filepath.Join(dir, ManifestName), "prof-manifest")
 	if err != nil {
 		return nil, err
 	}
-	mw := &manifestWriter{f: f, w: bufio.NewWriter(f)}
+	mw := &manifestWriter{jl: jl}
 	header.Kind = RecordHeader
 	if err := mw.append(header); err != nil {
-		f.Close()
+		jl.Close()
 		return nil, err
 	}
 	return mw, nil
@@ -144,35 +137,9 @@ func (mw *manifestWriter) append(r Record) error {
 	if r.Kind == "" {
 		r.Kind = RecordArtifact
 	}
-	line, err := json.Marshal(r)
-	if err != nil {
-		return err
-	}
-	mw.mu.Lock()
-	defer mw.mu.Unlock()
-	if _, err := mw.w.Write(line); err != nil {
-		return err
-	}
-	if err := mw.w.WriteByte('\n'); err != nil {
-		return err
-	}
-	return mw.w.Flush()
+	return mw.jl.Append(r)
 }
 
-// close flushes, fsyncs, and closes the manifest — the postmortem exit
-// paths (SIGQUIT, watchdog dump) rely on this running before the
-// process exits so the manifest survives.
-func (mw *manifestWriter) close() error {
-	mw.mu.Lock()
-	defer mw.mu.Unlock()
-	err := mw.w.Flush()
-	if serr := mw.f.Sync(); err == nil {
-		err = serr
-	}
-	if cerr := mw.f.Close(); err == nil {
-		err = cerr
-	}
-	return err
-}
+func (mw *manifestWriter) close() error { return mw.jl.Close() }
 
 func readFile(path string) ([]byte, error) { return os.ReadFile(path) }

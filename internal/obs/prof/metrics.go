@@ -8,7 +8,6 @@ package prof
 // headline series.
 
 import (
-	"encoding/json"
 	"runtime/metrics"
 	"time"
 )
@@ -40,7 +39,7 @@ type MetricsSample struct {
 // the loop goroutine exists, the loop samples on its ticker, and Close
 // samples only after the loop has exited.
 func (p *Profiler) sampleMetrics() {
-	if p.metW == nil {
+	if p.met == nil {
 		return
 	}
 	samples := make([]metrics.Sample, len(p.metDescs))
@@ -60,17 +59,7 @@ func (p *Profiler) sampleMetrics() {
 	p.mu.Lock()
 	phase := p.phaseLocked()
 	p.mu.Unlock()
-	line, err := json.Marshal(MetricsSample{T: time.Now().UnixNano(), Phase: phase, M: m})
-	if err != nil {
-		p.cErrs.Inc()
-		return
-	}
-	line = append(line, '\n')
-	if _, err := p.metW.Write(line); err != nil {
-		p.cErrs.Inc()
-		return
-	}
-	if err := p.metW.Flush(); err != nil {
+	if err := p.met.Append(MetricsSample{T: time.Now().UnixNano(), Phase: phase, M: m}); err != nil {
 		p.cErrs.Inc()
 	}
 }

@@ -19,7 +19,6 @@
 package prof
 
 import (
-	"bufio"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -28,6 +27,7 @@ import (
 	"sync"
 	"time"
 
+	"adaptiverank/internal/durable"
 	"adaptiverank/internal/obs"
 )
 
@@ -54,6 +54,10 @@ type Options struct {
 	MutexProfileFraction int
 	// Registry receives the prof.* counters (nil is fine).
 	Registry *obs.Registry
+	// FS is the filesystem every profile artifact is written through;
+	// nil selects the real one. Tests inject fault schedules
+	// (durable/faultfs) here.
+	FS durable.FS
 }
 
 // phaseSpans is the set of span names treated as profile phases.
@@ -80,8 +84,7 @@ type Profiler struct {
 	cSnaps   *obs.Counter
 	cErrs    *obs.Counter
 
-	metF     *os.File
-	metW     *bufio.Writer
+	met      *durable.JSONL
 	metDescs []metricDesc
 	metT0    int64
 
@@ -89,7 +92,7 @@ type Profiler struct {
 	seq      int
 	runDepth int
 	phases   []phaseFrame
-	cpuF     *os.File
+	cpuF     durable.File
 	cpuFile  string
 	cpuT0    int64
 	cpuPhase string
@@ -116,7 +119,7 @@ func Start(opts Options) (*Profiler, error) {
 	if opts.MetricsInterval == 0 {
 		opts.MetricsInterval = 5 * time.Second
 	}
-	man, err := newManifestWriter(opts.Dir, Record{
+	man, err := newManifestWriter(opts.FS, opts.Dir, Record{
 		RunID:       opts.RunID,
 		Fingerprint: opts.Fingerprint,
 		Go:          runtime.Version(),
@@ -143,14 +146,12 @@ func Start(opts Options) (*Profiler, error) {
 		runtime.SetMutexProfileFraction(opts.MutexProfileFraction)
 	}
 	if opts.MetricsInterval > 0 {
-		f, err := os.OpenFile(filepath.Join(opts.Dir, "metrics.jsonl"),
-			os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		met, err := durable.AppendJSONL(opts.FS, filepath.Join(opts.Dir, "metrics.jsonl"), "prof-metrics")
 		if err != nil {
 			man.close()
 			return nil, err
 		}
-		p.metF = f
-		p.metW = bufio.NewWriter(f)
+		p.met = met
 		p.metDescs = metricDescs()
 		p.metT0 = time.Now().UnixNano()
 	}
@@ -160,7 +161,7 @@ func Start(opts Options) (*Profiler, error) {
 		p.startCPULocked()
 	}
 	p.mu.Unlock()
-	if p.metW != nil {
+	if p.met != nil {
 		p.sampleMetrics()
 	}
 	go p.loop()
@@ -267,17 +268,14 @@ func (p *Profiler) snapshotLocked(phase string, span int64, kinds []string) {
 		}
 		p.seq++
 		name := fmt.Sprintf("%04d-%s.pb.gz", p.seq, kind)
-		f, err := os.Create(filepath.Join(p.opts.Dir, name))
+		f, err := durable.OpenTrunc(p.opts.FS, filepath.Join(p.opts.Dir, name))
 		if err != nil {
 			p.cErrs.Inc()
 			continue
 		}
 		err = prof.WriteTo(f, 0)
-		if serr := f.Sync(); err == nil {
-			err = serr
-		}
-		if cerr := f.Close(); err == nil {
-			err = cerr
+		if scErr := durable.SyncClose(f); err == nil {
+			err = scErr
 		}
 		if err != nil {
 			p.cErrs.Inc()
@@ -299,7 +297,7 @@ func (p *Profiler) snapshotLocked(phase string, span int64, kinds []string) {
 func (p *Profiler) startCPULocked() {
 	p.seq++
 	name := fmt.Sprintf("%04d-cpu.pb.gz", p.seq)
-	f, err := os.Create(filepath.Join(p.opts.Dir, name))
+	f, err := durable.OpenTrunc(p.opts.FS, filepath.Join(p.opts.Dir, name))
 	if err != nil {
 		p.cErrs.Inc()
 		return
@@ -326,11 +324,7 @@ func (p *Profiler) stopCPULocked() {
 	pprof.StopCPUProfile()
 	f := p.cpuF
 	p.cpuF = nil
-	err := f.Sync()
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
+	if err := durable.SyncClose(f); err != nil {
 		p.cErrs.Inc()
 		return
 	}
@@ -353,7 +347,7 @@ func (p *Profiler) loop() {
 		defer t.Stop()
 		cpuC = t.C
 	}
-	if p.metW != nil {
+	if p.met != nil {
 		t := time.NewTicker(p.opts.MetricsInterval)
 		defer t.Stop()
 		metC = t.C
@@ -394,7 +388,7 @@ func (p *Profiler) Close() error {
 	<-p.done
 
 	var err error
-	if p.metW != nil {
+	if p.met != nil {
 		p.sampleMetrics()
 		if merr := p.man.append(Record{
 			Artifact: obs.ProfArtifactMetrics, File: "metrics.jsonl",
@@ -402,15 +396,8 @@ func (p *Profiler) Close() error {
 		}); err == nil {
 			err = merr
 		}
-		ferr := p.metW.Flush()
-		if serr := p.metF.Sync(); ferr == nil {
-			ferr = serr
-		}
-		if cerr := p.metF.Close(); ferr == nil {
-			ferr = cerr
-		}
-		if err == nil {
-			err = ferr
+		if merr := p.met.Close(); err == nil {
+			err = merr
 		}
 	}
 	if merr := p.man.close(); err == nil {

@@ -148,7 +148,7 @@ func TestMerge(t *testing.T) {
 
 func TestManifestRoundTripAndTornTail(t *testing.T) {
 	dir := t.TempDir()
-	mw, err := newManifestWriter(dir, Record{RunID: "r1", Go: "go1.x", GOMAXPROCS: 4})
+	mw, err := newManifestWriter(nil, dir, Record{RunID: "r1", Go: "go1.x", GOMAXPROCS: 4})
 	if err != nil {
 		t.Fatalf("newManifestWriter: %v", err)
 	}
@@ -317,7 +317,7 @@ func TestProfilerLifecycle(t *testing.T) {
 
 func TestDirHandler(t *testing.T) {
 	dir := t.TempDir()
-	mw, err := newManifestWriter(dir, Record{RunID: "h1"})
+	mw, err := newManifestWriter(nil, dir, Record{RunID: "h1"})
 	if err != nil {
 		t.Fatal(err)
 	}

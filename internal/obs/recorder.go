@@ -5,9 +5,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"os"
 	"sync"
 	"time"
+
+	"adaptiverank/internal/durable"
 )
 
 // Kind names one structured trace event type.
@@ -253,14 +254,21 @@ func nowUnixNano() int64 { return time.Now().UnixNano() }
 // exit path (success, pipeline error, or trace-write failure).
 type FileRecorder struct {
 	*JSONLRecorder
-	f      *os.File
+	f      durable.File
 	closed bool
 }
 
 // CreateTrace creates (truncating) the trace file at path and returns a
 // recorder writing to it.
 func CreateTrace(path string) (*FileRecorder, error) {
-	f, err := os.Create(path)
+	return CreateTraceFS(nil, path)
+}
+
+// CreateTraceFS is CreateTrace through an injectable filesystem, so the
+// chaos harness and fault-injection tests can attack the trace's write
+// path; a nil FS selects the real one.
+func CreateTraceFS(fsys durable.FS, path string) (*FileRecorder, error) {
+	f, err := durable.OpenTrunc(fsys, path)
 	if err != nil {
 		return nil, fmt.Errorf("obs: create trace: %w", err)
 	}
@@ -278,11 +286,8 @@ func (r *FileRecorder) Close() error {
 	}
 	r.closed = true
 	err := r.Flush()
-	if serr := r.f.Sync(); err == nil {
-		err = serr
-	}
-	if cerr := r.f.Close(); err == nil {
-		err = cerr
+	if scErr := durable.SyncClose(r.f); err == nil {
+		err = scErr
 	}
 	return err
 }
@@ -312,36 +317,24 @@ func ReadEvents(r io.Reader) ([]Event, error) {
 // after it is still an error, because that is corruption, not
 // truncation.
 func ReadEventsPartial(r io.Reader) ([]Event, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	var out []Event
-	var pendingErr error // error on the most recently read line
-	line := 0
-	for sc.Scan() {
-		line++
-		b := sc.Bytes()
-		if len(b) == 0 {
-			continue
-		}
-		if pendingErr != nil {
-			// A further record followed the bad one: real corruption.
-			return nil, pendingErr
-		}
-		var e Event
-		if err := json.Unmarshal(b, &e); err != nil {
-			pendingErr = fmt.Errorf("obs: trace record %d: %w", line, err)
-			continue
-		}
-		if e.Kind == "" {
-			pendingErr = fmt.Errorf("obs: trace record %d: missing kind", line)
-			continue
-		}
-		out = append(out, e)
-	}
-	if err := sc.Err(); err != nil {
+	data, err := io.ReadAll(r)
+	if err != nil {
 		return nil, fmt.Errorf("obs: read trace: %w", err)
 	}
-	// pendingErr on the final line is truncation: drop the partial record.
+	var out []Event
+	if _, err := durable.ScanTornTail(data, func(line int, raw []byte) error {
+		var e Event
+		if err := json.Unmarshal(raw, &e); err != nil {
+			return fmt.Errorf("obs: trace record %d: %w", line, err)
+		}
+		if e.Kind == "" {
+			return fmt.Errorf("obs: trace record %d: missing kind", line)
+		}
+		out = append(out, e)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 

@@ -1,8 +1,6 @@
 package pipeline
 
 import (
-	"bufio"
-	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -12,11 +10,17 @@ import (
 	"sync"
 
 	"adaptiverank/internal/corpus"
+	"adaptiverank/internal/durable"
 	"adaptiverank/internal/relation"
 )
 
 // journalVersion is bumped when the record format changes incompatibly.
 const journalVersion = 1
+
+// journalLabel names the journal artifact in durable kill points and
+// error messages ("journal:append-torn" is the chaos harness's favourite
+// place to die).
+const journalLabel = "journal"
 
 // ErrResumeDiverged marks a resumed run whose replayed model state does
 // not match the journal's snapshot: the result would silently differ
@@ -26,9 +30,9 @@ var ErrResumeDiverged = errors.New("pipeline: resume diverged")
 // journalRecord is the JSONL wire format of one run-journal line. The
 // journal is an append-only account of everything a run learned the hard
 // way — per-document extraction outcomes, permanent skips, and model
-// snapshots at updates — written record-at-a-time so a SIGKILL at any
-// instant loses at most the final, partially written line (which the
-// lenient loader drops, mirroring obs.ReadEventsPartial).
+// snapshots at updates — written record-at-a-time through durable.JSONL
+// so a SIGKILL at any instant loses at most the final, partially written
+// line (which the lenient loader drops, per durable.ScanTornTail).
 type journalRecord struct {
 	// Kind is "header", "doc", "skip", or "snap".
 	Kind string `json:"kind"`
@@ -98,19 +102,19 @@ type snapshotRecord struct {
 	Sum uint64
 }
 
-// Journal is the crash-safe run journal backing -checkpoint/-resume.
-// Every Record* call appends one JSON line and flushes it to the kernel
-// before returning, so a killed process loses at most the line being
-// written. Records are deduplicated per document: replaying a resumed
-// run over already-journaled documents appends nothing.
+// Journal is the crash-safe run journal backing -checkpoint/-resume,
+// built on durable.JSONL: every Record* call appends one JSON line and
+// flushes it to the kernel before returning, so a killed process loses
+// at most the line being written. Records are deduplicated per document:
+// replaying a resumed run over already-journaled documents appends
+// nothing.
 //
 // All methods are safe on a nil *Journal (they no-op), so the pipeline
 // can thread an optional journal without nil checks, in the style of
 // obs.Registry.
 type Journal struct {
 	mu    sync.Mutex
-	f     *os.File
-	w     *bufio.Writer
+	jl    *durable.JSONL
 	docs  map[corpus.DocID]JournalEntry
 	snaps map[int]snapshotRecord
 	// checked marks snapshot positions that this session recorded or
@@ -118,24 +122,28 @@ type Journal struct {
 	// snapshots unchecked took a different path than the original run.
 	checked map[int]bool
 	path    string
-	err     error
+}
+
+func newJournal(path string) *Journal {
+	return &Journal{
+		path:    path,
+		docs:    make(map[corpus.DocID]JournalEntry),
+		snaps:   make(map[int]snapshotRecord),
+		checked: make(map[int]bool),
+	}
 }
 
 // CreateJournal creates (truncating) a fresh journal at path for the run
 // identified by fingerprint.
 func CreateJournal(path, fingerprint string) (*Journal, error) {
-	f, err := os.Create(path)
+	jl, err := durable.CreateJSONL(nil, path, journalLabel)
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: create journal: %w", err)
 	}
-	j := &Journal{
-		f: f, w: bufio.NewWriter(f), path: path,
-		docs:    make(map[corpus.DocID]JournalEntry),
-		snaps:   make(map[int]snapshotRecord),
-		checked: make(map[int]bool),
-	}
+	j := newJournal(path)
+	j.jl = jl
 	if err := j.append(journalRecord{Kind: "header", V: journalVersion, FP: fingerprint}); err != nil {
-		f.Close()
+		jl.Close()
 		return nil, err
 	}
 	return j, nil
@@ -149,23 +157,24 @@ func CreateJournal(path, fingerprint string) (*Journal, error) {
 // missing file starts a fresh journal, so -resume also works on the
 // first run.
 func OpenJournal(path, fingerprint string) (*Journal, error) {
-	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	f, err := durable.OS.OpenFile(path, os.O_RDWR, 0)
 	if os.IsNotExist(err) {
 		return CreateJournal(path, fingerprint)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: open journal: %w", err)
 	}
-	j := &Journal{
-		f: f, path: path,
-		docs:    make(map[corpus.DocID]JournalEntry),
-		snaps:   make(map[int]snapshotRecord),
-		checked: make(map[int]bool),
-	}
-	goodEnd, err := j.load(fingerprint)
+	j := newJournal(path)
+	goodEnd, empty, err := j.load(f, fingerprint)
 	if err != nil {
 		f.Close()
 		return nil, err
+	}
+	if empty {
+		// An existing zero-byte file: the truncating create path writes
+		// the fresh header for us.
+		f.Close()
+		return CreateJournal(path, fingerprint)
 	}
 	// Repair a torn tail before appending: anything past the last
 	// complete record is the debris of the killed write.
@@ -173,79 +182,54 @@ func OpenJournal(path, fingerprint string) (*Journal, error) {
 		f.Close()
 		return nil, fmt.Errorf("pipeline: repair journal tail: %w", err)
 	}
-	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+	if _, err := f.Seek(goodEnd, io.SeekStart); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("pipeline: seek journal: %w", err)
 	}
-	j.w = bufio.NewWriter(f)
+	j.jl = durable.Adopt(f, journalLabel)
 	return j, nil
 }
 
-// load parses the journal leniently and returns the byte offset just
-// past the last complete record. A malformed or kind-less final line is
-// truncation and is dropped; a malformed record with complete records
-// after it is corruption and is an error.
-func (j *Journal) load(fingerprint string) (int64, error) {
-	data, err := io.ReadAll(j.f)
+// load parses the journal under the durable.ScanTornTail contract and
+// returns the byte offset just past the last complete record. A
+// malformed final line is truncation and is dropped; a malformed record
+// with complete records after it is corruption and is an error; a wrong
+// header (version or fingerprint) is fatal wherever it sits.
+func (j *Journal) load(f durable.File, fingerprint string) (goodEnd int64, empty bool, err error) {
+	data, err := io.ReadAll(f)
 	if err != nil {
-		return 0, fmt.Errorf("pipeline: read journal: %w", err)
+		return 0, false, fmt.Errorf("pipeline: read journal: %w", err)
 	}
-	var (
-		offset     int64
-		goodEnd    int64
-		pendingErr error
-		line       int
-		sawHeader  bool
-	)
-	for len(data) > 0 {
-		line++
-		raw := data
-		consumed := len(data)
-		if i := bytes.IndexByte(data, '\n'); i >= 0 {
-			raw = data[:i]
-			consumed = i + 1
-		}
-		data = data[consumed:]
-		offset += int64(consumed)
-		if len(raw) > 0 && raw[len(raw)-1] == '\r' {
-			raw = raw[:len(raw)-1]
-		}
-		if len(raw) == 0 {
-			goodEnd = offset
-			continue
-		}
-		if pendingErr != nil {
-			return 0, pendingErr // complete records follow a bad one
-		}
+	if len(data) == 0 {
+		return 0, true, nil
+	}
+	sawHeader := false
+	goodEnd, err = durable.ScanTornTail(data, func(line int, raw []byte) error {
 		var r journalRecord
 		if err := json.Unmarshal(raw, &r); err != nil {
-			pendingErr = fmt.Errorf("pipeline: journal record %d: %w", line, err)
-			continue
+			return fmt.Errorf("pipeline: journal record %d: %w", line, err)
 		}
 		if r.Kind == "" {
-			pendingErr = fmt.Errorf("pipeline: journal record %d: missing kind", line)
-			continue
+			return fmt.Errorf("pipeline: journal record %d: missing kind", line)
 		}
 		if !sawHeader {
 			if r.Kind != "header" {
-				return 0, fmt.Errorf("pipeline: journal record %d: want header, got %q", line, r.Kind)
+				return durable.Fatal(fmt.Errorf("pipeline: journal record %d: want header, got %q", line, r.Kind))
 			}
 			if r.V != journalVersion {
-				return 0, fmt.Errorf("pipeline: journal version %d, want %d", r.V, journalVersion)
+				return durable.Fatal(fmt.Errorf("pipeline: journal version %d, want %d", r.V, journalVersion))
 			}
 			if r.FP != fingerprint {
-				return 0, fmt.Errorf("pipeline: journal fingerprint mismatch: journal is for %q, run is %q", r.FP, fingerprint)
+				return durable.Fatal(fmt.Errorf("pipeline: journal fingerprint mismatch: journal is for %q, run is %q", r.FP, fingerprint))
 			}
 			sawHeader = true
-			goodEnd = offset
-			continue
+			return nil
 		}
 		switch r.Kind {
 		case "doc":
-			ts, err := fromJournalTuples(r.Tuples)
-			if err != nil {
-				pendingErr = fmt.Errorf("pipeline: journal record %d: %w", line, err)
-				continue
+			ts, terr := fromJournalTuples(r.Tuples)
+			if terr != nil {
+				return fmt.Errorf("pipeline: journal record %d: %w", line, terr)
 			}
 			j.docs[corpus.DocID(r.Doc)] = JournalEntry{Useful: r.Useful, Tuples: ts}
 		case "skip":
@@ -256,49 +240,22 @@ func (j *Journal) load(fingerprint string) (int64, error) {
 			// Unknown record kinds from a newer writer are skipped, not
 			// fatal: the journal only ever gains record kinds.
 		}
-		goodEnd = offset
+		return nil
+	})
+	if err != nil {
+		return 0, false, err
 	}
 	if !sawHeader {
-		if pendingErr != nil || line > 0 {
-			// Only a torn header line (or nothing valid at all): the
-			// journal recorded no work; restart it from scratch.
-			return 0, fmt.Errorf("pipeline: journal has no complete header (torn first write?): delete %s to start over", j.path)
-		}
-		// Empty file: write a fresh header.
-		if _, err := j.f.Seek(0, io.SeekStart); err != nil {
-			return 0, fmt.Errorf("pipeline: seek journal: %w", err)
-		}
-		j.w = bufio.NewWriter(j.f)
-		if err := j.append(journalRecord{Kind: "header", V: journalVersion, FP: fingerprint}); err != nil {
-			return 0, err
-		}
-		end, err := j.f.Seek(0, io.SeekCurrent)
-		if err != nil {
-			return 0, fmt.Errorf("pipeline: seek journal: %w", err)
-		}
-		return end, nil
+		// Only a torn header line, blank lines, or dropped debris: the
+		// journal recorded no work and cannot be trusted to resume.
+		return 0, false, fmt.Errorf("pipeline: journal has no complete header (torn first write?): delete %s to start over", j.path)
 	}
-	// pendingErr on the final line is truncation: drop the partial record.
-	return goodEnd, nil
+	return goodEnd, false, nil
 }
 
-// append encodes one record and flushes it through to the kernel.
+// append journals one record, flushed through to the kernel.
 func (j *Journal) append(r journalRecord) error {
-	if j.err != nil {
-		return j.err
-	}
-	b, err := json.Marshal(r)
-	if err == nil {
-		b = append(b, '\n')
-		_, err = j.w.Write(b)
-	}
-	if err == nil {
-		err = j.w.Flush()
-	}
-	if err != nil {
-		j.err = fmt.Errorf("pipeline: write journal: %w", err)
-	}
-	return j.err
+	return j.jl.Append(r)
 }
 
 // Lookup returns the recorded outcome for id, if any.
@@ -411,34 +368,17 @@ func (j *Journal) Err() error {
 	if j == nil {
 		return nil
 	}
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	return j.err
+	return j.jl.Err()
 }
 
-// Close syncs the journal to stable storage and closes the file.
-// Repeated calls are no-ops.
+// Close syncs the journal to stable storage and closes the file,
+// returning the first error seen over the journal's lifetime. Repeated
+// calls are no-ops.
 func (j *Journal) Close() error {
 	if j == nil {
 		return nil
 	}
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	if j.f == nil {
-		return j.err
-	}
-	err := j.err
-	if ferr := j.w.Flush(); err == nil && ferr != nil {
-		err = fmt.Errorf("pipeline: flush journal: %w", ferr)
-	}
-	if serr := j.f.Sync(); err == nil && serr != nil {
-		err = fmt.Errorf("pipeline: sync journal: %w", serr)
-	}
-	if cerr := j.f.Close(); err == nil && cerr != nil {
-		err = fmt.Errorf("pipeline: close journal: %w", cerr)
-	}
-	j.f = nil
-	return err
+	return j.jl.Close()
 }
 
 // SaveLabels persists precomputed oracle labels as a journal file (the
