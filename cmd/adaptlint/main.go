@@ -3,9 +3,12 @@
 // internal/lint enforces invariants generic linters cannot know about —
 // determinism of the ranking pipeline, the closed observability name
 // registry, context propagation through the cancellable core, lock
-// hygiene in the recording fan-out, the CLI exit-path discipline, and
-// the artifact-durability boundary (file creation in artifact packages
-// goes through internal/durable).
+// hygiene in the recording fan-out, the CLI exit-path discipline, the
+// artifact-durability boundary (file creation in artifact packages goes
+// through internal/durable), allocation discipline in the scoring hot
+// path (hotalloc), and a single protection regime per atomically
+// accessed field (atomicsafe). Stale //lint:allow directives that no
+// longer suppress anything are reported as lintdirective findings.
 //
 // Usage:
 //

@@ -104,7 +104,7 @@ func run() int {
 	}
 
 	h := &harness{dir: dir}
-	start := time.Now()
+	start := time.Now() //lint:allow detrand elapsed-time telemetry only; never feeds case selection
 	if *mode == "all" || *mode == "panic" {
 		h.panicMatrix()
 	}
@@ -115,6 +115,7 @@ func run() int {
 		h.faultSoak()
 	}
 
+	//lint:allow detrand elapsed-time telemetry only; never feeds case selection
 	fmt.Printf("crashtest: %d case(s), %d failure(s) in %v\n", h.cases, h.failures, time.Since(start).Round(time.Millisecond))
 	if h.failures > 0 {
 		fmt.Printf("crashtest: artifacts kept in %s\n", dir)

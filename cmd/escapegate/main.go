@@ -1,0 +1,109 @@
+// Command escapegate compiles the declared hot-path packages with the
+// compiler's escape/inlining diagnostics enabled (-gcflags='-m=2') and
+// diffs the resulting per-function facts against the committed
+// ESCAPE_baseline.json. It is the compile-time half of the hot-path
+// performance contract: benchgate catches a regression after the
+// benchmark has paid for it; escapegate catches the cause — a value
+// boxed to the heap or a kernel function pushed past the inlining
+// budget — before a single benchmark runs.
+//
+// Usage:
+//
+//	escapegate -baseline ESCAPE_baseline.json [-dir .] [-pkgs ./internal/vector,...]
+//	escapegate -update            # regenerate the baseline from the current tree
+//	escapegate -report report.txt # also write the findings report to a file
+//
+// The exit status is 0 when every hot function is within its committed
+// budget, 1 when a new heap escape or a newly-uninlinable function was
+// found, and 2 when the baseline is missing/malformed or the build
+// itself fails. The diagnostics are replayed from the Go build cache
+// for unchanged packages, so a gate run after a normal build is close
+// to free.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+
+	"adaptiverank/internal/escape"
+)
+
+func main() { os.Exit(run(os.Args[1:])) }
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("escapegate", flag.ContinueOnError)
+	baseline := fs.String("baseline", "ESCAPE_baseline.json", "committed escape/inline budget file")
+	dir := fs.String("dir", ".", "module root to resolve packages in")
+	pkgs := fs.String("pkgs", strings.Join(escape.DefaultPackages, ","),
+		"comma-separated hot-path package patterns")
+	update := fs.Bool("update", false, "regenerate the baseline from the current tree and exit")
+	report := fs.String("report", "", "also write the findings report to this file")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := strings.Split(*pkgs, ",")
+	for i := range patterns {
+		patterns[i] = strings.TrimSpace(patterns[i])
+	}
+
+	facts, err := escape.Collect(*dir, patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "escapegate: %v\n", err)
+		return 2
+	}
+
+	if *update {
+		b := escape.FromFacts(runtime.Version(), facts)
+		if err := b.Save(*baseline); err != nil {
+			fmt.Fprintf(os.Stderr, "escapegate: writing %s: %v\n", *baseline, err)
+			return 2
+		}
+		n := 0
+		for _, p := range b.Packages {
+			n += len(p.Functions)
+		}
+		fmt.Fprintf(os.Stdout, "escapegate: wrote %s (%d packages, %d functions, %s)\n",
+			*baseline, len(b.Packages), n, b.Go)
+		return 0
+	}
+
+	base, err := escape.Load(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	// Toolchain drift shifts inlining costs and escape behaviour; it is
+	// worth knowing but never worth failing over — the diff below still
+	// gates, and a spurious finding names the version skew in context.
+	if base.Go != "" && base.Go != runtime.Version() {
+		fmt.Fprintf(os.Stderr, "escapegate: warning: baseline generated with %s, running %s\n",
+			base.Go, runtime.Version())
+	}
+
+	findings := escape.Diff(base, facts)
+	if len(findings) > 0 {
+		var b strings.Builder
+		for _, f := range findings {
+			f.Render(&b)
+		}
+		fmt.Fprint(os.Stdout, b.String())
+		if *report != "" {
+			if err := os.WriteFile(*report, []byte(b.String()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "escapegate: writing %s: %v\n", *report, err)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "escapegate: %d budget violation(s) against %s (run with -update to accept)\n",
+			len(findings), *baseline)
+		return 1
+	}
+	n := 0
+	for _, p := range base.Packages {
+		n += len(p.Functions)
+	}
+	fmt.Fprintf(os.Stdout, "escapegate: %d package(s), %d function(s) within budget of %s\n",
+		len(base.Packages), n, *baseline)
+	return 0
+}

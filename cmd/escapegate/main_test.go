@@ -1,0 +1,344 @@
+package main_test
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// buildEscapegate compiles the escapegate binary into a temp dir,
+// mirroring the cmd/benchgate integration-test pattern.
+func buildEscapegate(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "escapegate")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building escapegate: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func exitCode(t *testing.T, err error) int {
+	t.Helper()
+	if err == nil {
+		return 0
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("escapegate did not run: %v", err)
+	}
+	return ee.ExitCode()
+}
+
+func runGate(t *testing.T, bin string, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.CombinedOutput()
+	return string(out), exitCode(t, err)
+}
+
+// The fixture module: a miniature hot-path kernel whose trajectory the
+// test drives — clean baseline, then a boxing escape, then a broken
+// inlining guarantee.
+const hotClean = `// Package hot is the escapegate fixture kernel.
+package hot
+
+// Dot is the allocation-free kernel under budget.
+func Dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Scale multiplies in place; small enough to inline.
+func Scale(a []float64, k float64) {
+	for i := range a {
+		a[i] *= k
+	}
+}
+
+// NewBuf allocates the result buffer; its escape is budgeted.
+func NewBuf(n int) []float64 {
+	return make([]float64, n)
+}
+`
+
+// hotEscape boxes the accumulator into a package-level interface: a new
+// heap escape inside Dot that the committed budget does not cover.
+const hotEscape = `// Package hot is the escapegate fixture kernel.
+package hot
+
+var sink interface{}
+
+// Dot now leaks its accumulator to the heap.
+func Dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	sink = s
+	return s
+}
+
+// Scale multiplies in place; small enough to inline.
+func Scale(a []float64, k float64) {
+	for i := range a {
+		a[i] *= k
+	}
+}
+
+// NewBuf allocates the result buffer; its escape is budgeted.
+func NewBuf(n int) []float64 {
+	return make([]float64, n)
+}
+`
+
+// hotDefer adds a defer to Scale, which the inliner rejects
+// ("unhandled op DEFER"), breaking the recorded can_inline guarantee.
+const hotDefer = `// Package hot is the escapegate fixture kernel.
+package hot
+
+// Dot is the allocation-free kernel under budget.
+func Dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Scale multiplies in place, now guarded by a defer.
+func Scale(a []float64, k float64) {
+	defer cleanup()
+	for i := range a {
+		a[i] *= k
+	}
+}
+
+func cleanup() {}
+
+// NewBuf allocates the result buffer; its escape is budgeted.
+func NewBuf(n int) []float64 {
+	return make([]float64, n)
+}
+`
+
+// writeHotModule lays out a throwaway module the gate can collect from:
+// go.mod plus internal/hot/hot.go with the given source.
+func writeHotModule(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"),
+		[]byte("module example.com/hot\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg := filepath.Join(dir, "internal", "hot")
+	if err := os.MkdirAll(pkg, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	writeHot(t, dir, src)
+	return dir
+}
+
+func writeHot(t *testing.T, dir, src string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, "internal", "hot", "hot.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEscapegateTrajectory drives the built binary over a fixture
+// module's life: -update commits the budget, the clean tree gates green,
+// a new boxing escape fails with the function and flow named, a broken
+// inlining guarantee fails with the compiler's reason, and missing or
+// malformed inputs exit 2.
+func TestEscapegateTrajectory(t *testing.T) {
+	bin := buildEscapegate(t)
+	mod := writeHotModule(t, hotClean)
+	baseline := filepath.Join(t.TempDir(), "ESCAPE_baseline.json")
+	gateArgs := func(extra ...string) []string {
+		return append([]string{"-baseline", baseline, "-dir", mod, "-pkgs", "./internal/hot"}, extra...)
+	}
+
+	out, code := runGate(t, bin, gateArgs("-update")...)
+	if code != 0 {
+		t.Fatalf("-update exit = %d, want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "wrote") || !strings.Contains(out, "1 packages") {
+		t.Errorf("-update output missing summary:\n%s", out)
+	}
+	first, err := os.ReadFile(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The recorded budget must carry the fixture's one intentional escape
+	// and nothing else.
+	if !strings.Contains(string(first), `"make([]float64, n)"`) {
+		t.Errorf("baseline missing NewBuf's budgeted escape:\n%s", first)
+	}
+
+	// -update is byte-deterministic for an unchanged tree.
+	out, code = runGate(t, bin, gateArgs("-update")...)
+	if code != 0 {
+		t.Fatalf("second -update exit = %d, want 0\n%s", code, out)
+	}
+	second, err := os.ReadFile(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(first) != string(second) {
+		t.Error("two -update runs over the same tree differ byte-wise")
+	}
+
+	out, code = runGate(t, bin, gateArgs()...)
+	if code != 0 {
+		t.Fatalf("clean gate exit = %d, want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "within budget") {
+		t.Errorf("clean gate output missing pass summary:\n%s", out)
+	}
+
+	// Introduce the boxing escape: the gate must name the function, the
+	// escaping expression, its position, and the compiler's flow trace.
+	writeHot(t, mod, hotEscape)
+	report := filepath.Join(t.TempDir(), "escape-report.txt")
+	out, code = runGate(t, bin, gateArgs("-report", report)...)
+	if code != 1 {
+		t.Fatalf("boxing-escape gate exit = %d, want 1\n%s", code, out)
+	}
+	for _, frag := range []string{
+		"Dot", "new heap escape", "s (", "internal/hot/hot.go:", "flow:",
+		"budget violation(s)", "-update to accept",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("escape finding missing %q:\n%s", frag, out)
+		}
+	}
+	rep, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatalf("-report file not written: %v", err)
+	}
+	if !strings.Contains(string(rep), "new heap escape") {
+		t.Errorf("report file missing the finding:\n%s", rep)
+	}
+
+	// Break the inlining guarantee instead: the defer pushes Scale out of
+	// the inliner, and the finding carries the compiler's reason. The new
+	// helper function is budgetless-and-clean, so it must not be flagged.
+	writeHot(t, mod, hotDefer)
+	out, code = runGate(t, bin, gateArgs()...)
+	if code != 1 {
+		t.Fatalf("broken-inline gate exit = %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "Scale: no longer inlinable") {
+		t.Errorf("inline finding missing function name:\n%s", out)
+	}
+	if !strings.Contains(out, "DEFER") {
+		t.Errorf("inline finding missing compiler reason:\n%s", out)
+	}
+	if strings.Contains(out, "cleanup") {
+		t.Errorf("clean unknown function was flagged:\n%s", out)
+	}
+
+	// Restoring the source restores the green gate.
+	writeHot(t, mod, hotClean)
+	if out, code = runGate(t, bin, gateArgs()...); code != 0 {
+		t.Fatalf("restored tree exit = %d, want 0\n%s", code, out)
+	}
+
+	// Missing and malformed baselines, and an unresolvable package
+	// pattern, are environment errors: exit 2, never a quiet pass.
+	out, code = runGate(t, bin,
+		"-baseline", filepath.Join(t.TempDir(), "absent.json"), "-dir", mod, "-pkgs", "./internal/hot")
+	if code != 2 {
+		t.Errorf("missing baseline exit = %d, want 2\n%s", code, out)
+	}
+	malformed := filepath.Join(t.TempDir(), "malformed.json")
+	if err := os.WriteFile(malformed, []byte(`{"go":`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, code = runGate(t, bin, "-baseline", malformed, "-dir", mod, "-pkgs", "./internal/hot")
+	if code != 2 {
+		t.Errorf("malformed baseline exit = %d, want 2\n%s", code, out)
+	}
+	out, code = runGate(t, bin, gateArgs("-pkgs", "./internal/nosuchpkg")...)
+	if code != 2 {
+		t.Errorf("unresolvable package exit = %d, want 2\n%s", code, out)
+	}
+}
+
+// TestEscapegateGoVersionDrift rewrites the baseline's toolchain field:
+// the gate must warn about the skew yet still pass — drift is context
+// for the reader, not a violation.
+func TestEscapegateGoVersionDrift(t *testing.T) {
+	bin := buildEscapegate(t)
+	mod := writeHotModule(t, hotClean)
+	baseline := filepath.Join(t.TempDir(), "ESCAPE_baseline.json")
+	if out, code := runGate(t, bin,
+		"-baseline", baseline, "-dir", mod, "-pkgs", "./internal/hot", "-update"); code != 0 {
+		t.Fatalf("-update exit = %d, want 0\n%s", code, out)
+	}
+	data, err := os.ReadFile(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	doc["go"] = "go1.99"
+	drifted, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(baseline, drifted, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, code := runGate(t, bin, "-baseline", baseline, "-dir", mod, "-pkgs", "./internal/hot")
+	if code != 0 {
+		t.Fatalf("drifted-toolchain gate exit = %d, want 0 (drift warns, never fails)\n%s", code, out)
+	}
+	if !strings.Contains(out, "warning: baseline generated with go1.99") {
+		t.Errorf("missing toolchain drift warning:\n%s", out)
+	}
+}
+
+// TestEscapegateSelf gates the repository's committed baseline against
+// the tree it was committed for, so `go test ./...` catches a stale
+// ESCAPE_baseline.json before CI does. A different toolchain shifts
+// inlining costs out from under the budget, so the check only bites when
+// the versions match.
+func TestEscapegateSelf(t *testing.T) {
+	baseline, err := filepath.Abs(filepath.Join("..", "..", "ESCAPE_baseline.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(baseline)
+	if err != nil {
+		t.Fatalf("committed baseline unreadable: %v", err)
+	}
+	var doc struct {
+		Go string `json:"go"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("committed baseline malformed: %v", err)
+	}
+	if doc.Go != runtime.Version() {
+		t.Skipf("baseline generated with %s, running %s", doc.Go, runtime.Version())
+	}
+	bin := buildEscapegate(t)
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, code := runGate(t, bin, "-baseline", baseline, "-dir", root)
+	if code != 0 {
+		t.Fatalf("committed ESCAPE_baseline.json is stale (exit %d); run `go run ./cmd/escapegate -update`\n%s", code, out)
+	}
+}

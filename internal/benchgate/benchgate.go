@@ -160,7 +160,6 @@ func Compare(baseline, current *File, threshold float64) []Finding {
 			continue
 		}
 		names := make([]string, 0, len(base.Metrics))
-		//lint:allow detrand collection order is erased by the sort below
 		for name := range base.Metrics {
 			names = append(names, name)
 		}

@@ -1,0 +1,225 @@
+package escape
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// FuncBudget is one function's committed escape/inline budget: whether
+// it must stay inlinable and which heap escapes are allowed. Escapes are
+// recorded as the escaping expressions (a multiset, sorted), not source
+// positions, so unrelated edits that move lines do not churn the
+// baseline while a genuinely new escape always shows up.
+type FuncBudget struct {
+	Name string `json:"name"`
+	// CanInline records whether the compiler could inline the function
+	// when the baseline was committed. A true here is a guarantee the
+	// gate enforces; a false is simply the recorded state.
+	CanInline bool `json:"can_inline"`
+	// Escapes lists the allowed heap-escape expressions, sorted.
+	Escapes []string `json:"escapes,omitempty"`
+}
+
+// PackageBudget is the budget for every function of one hot-path package.
+type PackageBudget struct {
+	Path      string       `json:"path"`
+	Functions []FuncBudget `json:"functions"`
+}
+
+// Baseline is the committed ESCAPE_baseline.json document.
+type Baseline struct {
+	// Go is the toolchain the baseline was generated with. Inlining
+	// costs shift between compiler releases, so a mismatch is reported
+	// as a warning alongside any findings.
+	Go       string          `json:"go"`
+	Packages []PackageBudget `json:"packages"`
+}
+
+// Lookup finds a package budget by import path.
+func (b *Baseline) Lookup(path string) (PackageBudget, bool) {
+	for _, p := range b.Packages {
+		if p.Path == path {
+			return p, true
+		}
+	}
+	return PackageBudget{}, false
+}
+
+// FromFacts snapshots collected facts as a baseline, deterministically
+// sorted by package path, function name, and escape expression.
+func FromFacts(goVersion string, facts []*PackageFacts) *Baseline {
+	b := &Baseline{Go: goVersion}
+	for _, pf := range facts {
+		pb := PackageBudget{Path: pf.Path}
+		for _, name := range pf.FuncNames() {
+			ff := pf.Funcs[name]
+			fb := FuncBudget{Name: name, CanInline: ff.CanInline}
+			for _, s := range ff.Escapes {
+				fb.Escapes = append(fb.Escapes, s.What)
+			}
+			sort.Strings(fb.Escapes)
+			pb.Functions = append(pb.Functions, fb)
+		}
+		b.Packages = append(b.Packages, pb)
+	}
+	sort.Slice(b.Packages, func(i, j int) bool { return b.Packages[i].Path < b.Packages[j].Path })
+	return b
+}
+
+// Load reads and validates a baseline file. An empty package list is an
+// error: a gate that compares nothing would pass forever.
+func Load(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("escapegate: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("escapegate: %s: %w", path, err)
+	}
+	if len(b.Packages) == 0 {
+		return nil, fmt.Errorf("escapegate: %s: no package budgets", path)
+	}
+	for _, p := range b.Packages {
+		if p.Path == "" {
+			return nil, fmt.Errorf("escapegate: %s: package budget with empty path", path)
+		}
+	}
+	return &b, nil
+}
+
+// Save writes the baseline with stable formatting (sorted two-space
+// indented JSON, trailing newline) so -update is byte-deterministic for
+// a given tree and toolchain.
+func (b *Baseline) Save(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// FindingKind classifies one budget violation.
+type FindingKind string
+
+const (
+	// FindingNewEscape is a heap escape not covered by the function's
+	// committed budget.
+	FindingNewEscape FindingKind = "new-escape"
+	// FindingNotInlinable is a function the baseline guarantees
+	// inlinable that the compiler can no longer inline.
+	FindingNotInlinable FindingKind = "not-inlinable"
+	// FindingMissingPackage is a baseline package absent from the
+	// current collection — the gate must not silently lose coverage.
+	FindingMissingPackage FindingKind = "missing-package"
+)
+
+// Finding is one violation of the committed budget.
+type Finding struct {
+	Kind    FindingKind
+	Package string
+	Func    string
+	// What is the escaping expression (new-escape) or the compiler's
+	// reason (not-inlinable).
+	What string
+	// Site positions the violation for new-escape findings.
+	Site Site
+}
+
+func (f Finding) String() string {
+	switch f.Kind {
+	case FindingNewEscape:
+		pos := f.Site.File
+		if f.Site.Line > 0 {
+			pos = fmt.Sprintf("%s:%d", f.Site.File, f.Site.Line)
+			if f.Site.Col > 0 {
+				pos += fmt.Sprintf(":%d", f.Site.Col)
+			}
+		}
+		return fmt.Sprintf("%s: %s: new heap escape: %s (%s)", f.Package, f.Func, f.What, pos)
+	case FindingNotInlinable:
+		return fmt.Sprintf("%s: %s: no longer inlinable: %s", f.Package, f.Func, f.What)
+	case FindingMissingPackage:
+		return fmt.Sprintf("%s: package missing from current collection", f.Package)
+	}
+	return fmt.Sprintf("%s: %s: %s", f.Package, f.Func, f.What)
+}
+
+// Render writes the human-readable "who escaped and why" report for one
+// finding, including the compiler's escape-flow trace when recorded.
+func (f Finding) Render(w *strings.Builder) {
+	w.WriteString(f.String())
+	w.WriteByte('\n')
+	for _, fl := range f.Site.Flow {
+		w.WriteString("    ")
+		w.WriteString(fl)
+		w.WriteByte('\n')
+	}
+}
+
+// Diff gates current facts against the committed baseline:
+//
+//   - a baseline package absent from current is a finding (coverage
+//     must not silently shrink);
+//   - a function whose current escape multiset exceeds its budget
+//     yields one finding per uncovered site, carrying the compiler's
+//     flow trace;
+//   - a function recorded CanInline that the compiler now cannot
+//     inline yields a finding with the compiler's reason.
+//
+// Functions absent from the baseline fail only when they have escapes:
+// a clean new helper needs no ceremony, and the moment it gains an
+// escape the gate names it. Functions that disappeared (renamed or
+// deleted) are not findings — their budget is moot, and any escape in
+// the successor is caught by the unknown-function rule.
+func Diff(base *Baseline, facts []*PackageFacts) []Finding {
+	var out []Finding
+	seen := make(map[string]*PackageFacts, len(facts))
+	for _, pf := range facts {
+		seen[pf.Path] = pf
+	}
+	for _, pb := range base.Packages {
+		pf, ok := seen[pb.Path]
+		if !ok {
+			out = append(out, Finding{Kind: FindingMissingPackage, Package: pb.Path})
+			continue
+		}
+		budgets := make(map[string]FuncBudget, len(pb.Functions))
+		for _, fb := range pb.Functions {
+			budgets[fb.Name] = fb
+		}
+		for _, name := range pf.FuncNames() {
+			ff := pf.Funcs[name]
+			fb, known := budgets[name]
+			if known && fb.CanInline && !ff.CanInline {
+				reason := ff.InlineReason
+				if reason == "" {
+					reason = "no inline diagnostic for this function"
+				}
+				out = append(out, Finding{
+					Kind: FindingNotInlinable, Package: pb.Path, Func: name, What: reason,
+				})
+			}
+			// Multiset difference: each allowed expression covers one
+			// occurrence; everything uncovered is a new escape.
+			allowed := make(map[string]int, len(fb.Escapes))
+			for _, e := range fb.Escapes {
+				allowed[e]++
+			}
+			for _, s := range ff.Escapes {
+				if allowed[s.What] > 0 {
+					allowed[s.What]--
+					continue
+				}
+				out = append(out, Finding{
+					Kind: FindingNewEscape, Package: pb.Path, Func: name,
+					What: s.What, Site: s,
+				})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,174 @@
+package escape
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func factsFixture() []*PackageFacts {
+	return []*PackageFacts{
+		{
+			Path: "example.com/internal/vector",
+			Funcs: map[string]*FuncFacts{
+				"Packed.Dot": {Name: "Packed.Dot", CanInline: false},
+				"Sparse.At":  {Name: "Sparse.At", CanInline: true},
+				"NewSparse": {Name: "NewSparse", CanInline: false, Escapes: []Site{
+					{File: "internal/vector/vector.go", Line: 31, Col: 15, What: "make([]pair, 0, len(idx))"},
+				}},
+			},
+		},
+	}
+}
+
+func TestDiffClean(t *testing.T) {
+	facts := factsFixture()
+	base := FromFacts("go1.24.0", facts)
+	if findings := Diff(base, facts); len(findings) != 0 {
+		t.Fatalf("identical facts produced findings: %v", findings)
+	}
+}
+
+func TestDiffNewEscape(t *testing.T) {
+	base := FromFacts("go1.24.0", factsFixture())
+	cur := factsFixture()
+	cur[0].Funcs["Packed.Dot"].Escapes = []Site{{
+		File: "internal/vector/packed.go", Line: 40, Col: 9, What: "&acc",
+		Flow: []string{"flow: {heap} = &acc:", "from &acc (address-of) at internal/vector/packed.go:40:9"},
+	}}
+	findings := Diff(base, cur)
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings %v, want 1", len(findings), findings)
+	}
+	f := findings[0]
+	if f.Kind != FindingNewEscape || f.Func != "Packed.Dot" || f.What != "&acc" {
+		t.Errorf("finding = %+v, want new-escape on Packed.Dot of &acc", f)
+	}
+	var b strings.Builder
+	f.Render(&b)
+	for _, frag := range []string{"Packed.Dot", "new heap escape", "&acc", "packed.go:40:9", "flow: {heap}"} {
+		if !strings.Contains(b.String(), frag) {
+			t.Errorf("rendered report missing %q:\n%s", frag, b.String())
+		}
+	}
+}
+
+// A second occurrence of a budgeted expression is still a finding: the
+// budget is a multiset, not a set.
+func TestDiffMultisetBudget(t *testing.T) {
+	base := FromFacts("go1.24.0", factsFixture())
+	cur := factsFixture()
+	ns := cur[0].Funcs["NewSparse"]
+	ns.Escapes = append(ns.Escapes, Site{
+		File: "internal/vector/vector.go", Line: 44, Col: 15, What: "make([]pair, 0, len(idx))",
+	})
+	findings := Diff(base, cur)
+	if len(findings) != 1 || findings[0].Kind != FindingNewEscape {
+		t.Fatalf("duplicate of budgeted escape: got %v, want one new-escape finding", findings)
+	}
+}
+
+func TestDiffNotInlinable(t *testing.T) {
+	base := FromFacts("go1.24.0", factsFixture())
+	cur := factsFixture()
+	cur[0].Funcs["Sparse.At"].CanInline = false
+	cur[0].Funcs["Sparse.At"].InlineReason = "function too complex: cost 112 exceeds budget 80"
+	findings := Diff(base, cur)
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings %v, want 1", len(findings), findings)
+	}
+	f := findings[0]
+	if f.Kind != FindingNotInlinable || f.Func != "Sparse.At" {
+		t.Errorf("finding = %+v, want not-inlinable on Sparse.At", f)
+	}
+	if !strings.Contains(f.String(), "cost 112 exceeds budget 80") {
+		t.Errorf("finding %q lost the compiler reason", f.String())
+	}
+	// The reverse transition — a function becoming inlinable — is an
+	// improvement, not a violation.
+	cur2 := factsFixture()
+	cur2[0].Funcs["Packed.Dot"].CanInline = true
+	if fs := Diff(base, cur2); len(fs) != 0 {
+		t.Errorf("newly-inlinable function produced findings: %v", fs)
+	}
+}
+
+func TestDiffMissingPackage(t *testing.T) {
+	base := FromFacts("go1.24.0", factsFixture())
+	findings := Diff(base, nil)
+	if len(findings) != 1 || findings[0].Kind != FindingMissingPackage {
+		t.Fatalf("got %v, want one missing-package finding", findings)
+	}
+}
+
+// Unknown functions are budgetless: clean ones pass without ceremony,
+// and the moment one gains an escape the gate names it.
+func TestDiffUnknownFunction(t *testing.T) {
+	base := FromFacts("go1.24.0", factsFixture())
+	cur := factsFixture()
+	cur[0].Funcs["NewHelper"] = &FuncFacts{Name: "NewHelper", CanInline: true}
+	if fs := Diff(base, cur); len(fs) != 0 {
+		t.Errorf("clean unknown function produced findings: %v", fs)
+	}
+	cur[0].Funcs["NewHelper"].Escapes = []Site{{File: "f.go", Line: 3, What: "new(big)"}}
+	fs := Diff(base, cur)
+	if len(fs) != 1 || fs[0].Kind != FindingNewEscape || fs[0].Func != "NewHelper" {
+		t.Errorf("escaping unknown function: got %v, want one new-escape on NewHelper", fs)
+	}
+	// Deleted functions carry no obligation.
+	cur2 := factsFixture()
+	delete(cur2[0].Funcs, "Sparse.At")
+	if fs := Diff(base, cur2); len(fs) != 0 {
+		t.Errorf("deleted function produced findings: %v", fs)
+	}
+}
+
+func TestBaselineSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ESCAPE_baseline.json")
+	base := FromFacts("go1.24.0", factsFixture())
+	if err := base.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Go != "go1.24.0" || len(loaded.Packages) != 1 {
+		t.Fatalf("round trip lost data: %+v", loaded)
+	}
+	if fs := Diff(loaded, factsFixture()); len(fs) != 0 {
+		t.Errorf("round-tripped baseline diffs against its own facts: %v", fs)
+	}
+	// Saving twice is byte-identical: -update must be deterministic.
+	path2 := filepath.Join(dir, "again.json")
+	if err := base.Save(path2); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := os.ReadFile(path)
+	b, _ := os.ReadFile(path2)
+	if string(a) != string(b) {
+		t.Error("two saves of the same baseline differ byte-wise")
+	}
+}
+
+func TestLoadRejectsBadBaselines(t *testing.T) {
+	dir := t.TempDir()
+	for name, content := range map[string]string{
+		"empty.json":     `{"go":"go1.24.0","packages":[]}`,
+		"nopath.json":    `{"go":"go1.24.0","packages":[{"path":"","functions":[]}]}`,
+		"malformed.json": `{"go":`,
+	} {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(p); err == nil {
+			t.Errorf("Load(%s) accepted a bad baseline", name)
+		}
+	}
+	if _, err := Load(filepath.Join(dir, "absent.json")); err == nil {
+		t.Error("Load of a missing file succeeded")
+	}
+}

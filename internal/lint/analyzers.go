@@ -14,6 +14,8 @@ var All = []*Analyzer{
 	LockSafe,
 	ErrPath,
 	DuraFS,
+	HotAlloc,
+	AtomicSafe,
 }
 
 // Main loads the packages matching patterns from dir, runs every

@@ -42,12 +42,20 @@ var DetRand = &Analyzer{
 // attribution folds) are compared byte-for-byte across runs by the
 // determinism tests, so a map-order or wall-clock leak there is as
 // observable as one in the detectors.
+// internal/durable and internal/escape are in scope because crash
+// recovery and the escape-budget baseline must be byte-reproducible;
+// cmd/crashtest drives deterministic fault trajectories, so its
+// scheduling decisions must not depend on wall-clock or global rand
+// (its elapsed-time telemetry carries reasoned allows).
 var detRandScope = []string{
 	"internal/ranking",
 	"internal/update",
 	"internal/vector",
 	"internal/pipeline",
 	"internal/obs/explain",
+	"internal/durable",
+	"internal/escape",
+	"cmd/crashtest",
 }
 
 // globalRandFuncs are the package-level math/rand functions that draw

@@ -159,9 +159,24 @@ func TestDuraFSGolden(t *testing.T) {
 	})
 }
 
+func TestHotAllocGolden(t *testing.T) {
+	runGolden(t, lint.HotAlloc, []lint.Fixture{
+		{Path: "fixture.example/internal/vector", Dir: "testdata/hotalloc/vector"},
+		{Path: "fixture.example/internal/ranking", Dir: "testdata/hotalloc/ranking"},
+		{Path: "fixture.example/internal/extract", Dir: "testdata/hotalloc/extract"},
+	})
+}
+
+func TestAtomicSafeGolden(t *testing.T) {
+	runGolden(t, lint.AtomicSafe, []lint.Fixture{
+		{Path: "fixture.example/internal/obs", Dir: "testdata/atomicsafe/obs"},
+	})
+}
+
 // TestDirectiveHygiene checks that malformed //lint:allow directives are
-// themselves diagnostics: a missing reason and an unknown analyzer name
-// must both be reported, and a well-formed directive must not be.
+// themselves diagnostics: a missing reason, an unknown analyzer name,
+// and a stale directive that suppresses nothing must all be reported,
+// while a well-formed directive doing its job must not be.
 func TestDirectiveHygiene(t *testing.T) {
 	pkgs, err := lint.LoadFixtures(".", []lint.Fixture{
 		{Path: "fixture.example/internal/ranking", Dir: "testdata/directive/pkg"},
@@ -178,13 +193,16 @@ func TestDirectiveHygiene(t *testing.T) {
 		}
 		msgs = append(msgs, d.Message)
 	}
-	if len(msgs) != 2 {
-		t.Fatalf("got %d directive diagnostics %v, want 2", len(msgs), msgs)
+	if len(msgs) != 3 {
+		t.Fatalf("got %d directive diagnostics %v, want 3", len(msgs), msgs)
 	}
 	if !strings.Contains(msgs[0], "needs a reason") {
 		t.Errorf("first diagnostic %q should flag the missing reason", msgs[0])
 	}
 	if !strings.Contains(msgs[1], "unknown analyzer") {
 		t.Errorf("second diagnostic %q should flag the unknown analyzer", msgs[1])
+	}
+	if !strings.Contains(msgs[2], "stale") {
+		t.Errorf("third diagnostic %q should flag the stale directive", msgs[2])
 	}
 }

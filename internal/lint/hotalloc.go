@@ -1,0 +1,348 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+)
+
+// HotAlloc bans the allocation patterns that would quietly re-introduce
+// per-score heap traffic into the packed scoring hot path — the invariant
+// the AllocsPerRun budgets, benchgate, and escapegate enforce from the
+// runtime and compiler sides. Four families are flagged in the declared
+// hot-path files:
+//
+//  1. interface boxing — a concrete value passed to an interface-typed
+//     parameter (sort.Slice's any, fmt's ...any) allocates when it
+//     escapes, which for stdlib callees it almost always does;
+//  2. fmt.* calls and string concatenation — formatting goes through
+//     heap buffers and reflection; hot-path rendering uses strconv and
+//     strings.Builder instead;
+//  3. capturing closures passed outside the package — escape analysis
+//     cannot prove a closure handed to another package stays on the
+//     stack, so its captured frame is heap-allocated;
+//  4. unpooled slice growth — append inside a loop onto a slice declared
+//     with no capacity reallocates O(log n) times; hot code sizes the
+//     slice up front or reuses a scratch buffer.
+//
+// Cold paths inside hot files (panic guards, debug String methods)
+// carry reasoned //lint:allow hotalloc directives.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "forbid interface boxing, fmt/concat, escaping closures, and unpooled slice growth in hot-path packages",
+	Run:  runHotAlloc,
+}
+
+// hotAllocPackages are the packages that are hot-path in their entirety.
+var hotAllocPackages = []string{
+	"internal/vector",
+}
+
+// hotAllocFiles names the hot files of packages that mix hot kernels
+// with cold training/strategy code.
+var hotAllocFiles = map[string][]string{
+	"internal/ranking": {"packed.go"},
+}
+
+func hotAllocInScope(p *Pass, f *ast.File) bool {
+	if pathMatches(p.ImportPath, hotAllocPackages...) {
+		return true
+	}
+	base := filepath.Base(p.Fset.Position(f.Pos()).Filename)
+	for frag, files := range hotAllocFiles {
+		if !pathMatches(p.ImportPath, frag) {
+			continue
+		}
+		for _, name := range files {
+			if base == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func runHotAlloc(p *Pass) {
+	for _, f := range p.Files {
+		if !hotAllocInScope(p, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				hotAllocFmt(p, n)
+				hotAllocBoxing(p, n)
+				hotAllocClosure(p, n)
+			case *ast.BinaryExpr:
+				hotAllocConcat(p, n)
+			case *ast.AssignStmt:
+				if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isString(p.TypeOf(n.Lhs[0])) {
+					p.Reportf(n.Pos(), "string concatenation allocates in a hot path: use strings.Builder or strconv")
+				}
+			case *ast.ForStmt:
+				hotAllocGrowth(p, n.Body, n.Pos(), n.End())
+			case *ast.RangeStmt:
+				hotAllocGrowth(p, n.Body, n.Pos(), n.End())
+			}
+			return true
+		})
+	}
+}
+
+// hotAllocConcat flags runtime string concatenation. A chain like
+// a+":"+b parses as nested ADDs; only the leftmost ADD (whose own left
+// operand is not a string ADD) reports, so each chain yields one
+// finding. Constant-folded concatenation is free and exempt.
+func hotAllocConcat(p *Pass, be *ast.BinaryExpr) {
+	if be.Op != token.ADD || !isString(p.TypeOf(be)) {
+		return
+	}
+	if tv, ok := p.TypesInfo.Types[be]; ok && tv.Value != nil {
+		return
+	}
+	if x, ok := ast.Unparen(be.X).(*ast.BinaryExpr); ok && x.Op == token.ADD && isString(p.TypeOf(x)) {
+		return
+	}
+	p.Reportf(be.Pos(), "string concatenation allocates in a hot path: use strings.Builder or strconv")
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// hotAllocFmt flags calls into package fmt: every formatter boxes its
+// operands and formats through heap buffers.
+func hotAllocFmt(p *Pass, call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	obj := p.ObjectOf(sel.Sel)
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "fmt" {
+		return
+	}
+	p.Reportf(call.Pos(), "fmt.%s in a hot path: formatting allocates; use strconv or strings.Builder", obj.Name())
+}
+
+// hotAllocBoxing flags concrete values passed to interface-typed
+// parameters. The signature comes from the type info, so instantiated
+// generics (slices.SortFunc and friends) are seen with their concrete
+// parameter types and do not trip the rule.
+func hotAllocBoxing(p *Pass, call *ast.CallExpr) {
+	sig, ok := p.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return // conversion, builtin, or unresolved
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // s... passes the slice itself, no boxing
+			}
+			sl, ok := params.At(params.Len() - 1).Type().(*types.Slice)
+			if !ok {
+				continue
+			}
+			pt = sl.Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		at := p.TypeOf(arg)
+		if at == nil || types.IsInterface(at) {
+			continue
+		}
+		if b, ok := at.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		p.Reportf(arg.Pos(), "boxing %s into %s allocates in a hot path", at, pt)
+	}
+}
+
+// hotAllocClosure flags function literals that capture enclosing
+// variables and are passed to another package: the callee is opaque to
+// local escape reasoning, so the captured frame is heap-allocated.
+// Capture-free literals (pure comparators) are plain code pointers and
+// stay exempt.
+func hotAllocClosure(p *Pass, call *ast.CallExpr) {
+	var callee types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		callee = p.ObjectOf(fun.Sel)
+	case *ast.Ident:
+		callee = p.ObjectOf(fun)
+	}
+	if callee == nil || callee.Pkg() == nil || callee.Pkg() == p.Pkg {
+		return
+	}
+	for _, arg := range call.Args {
+		lit, ok := ast.Unparen(arg).(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		if name := capturedVar(p, lit); name != "" {
+			p.Reportf(lit.Pos(), "closure capturing %s passed to %s.%s in a hot path: the captured frame escapes; pass state explicitly or open-code the loop",
+				name, callee.Pkg().Name(), callee.Name())
+		}
+	}
+}
+
+// capturedVar names one variable of the enclosing function the literal
+// captures, or "" when it captures nothing.
+func capturedVar(p *Pass, lit *ast.FuncLit) string {
+	var captured string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := p.ObjectOf(id).(*types.Var)
+		if !ok || v.IsField() || v.Pkg() != p.Pkg {
+			return true
+		}
+		// Package-level variables are referenced, not captured.
+		if p.Pkg != nil && v.Parent() == p.Pkg.Scope() {
+			return true
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			captured = v.Name()
+		}
+		return true
+	})
+	return captured
+}
+
+// hotAllocGrowth flags `s = append(s, ...)` inside a loop when s was
+// declared outside the loop with provably zero capacity (var s []T,
+// s := []T{}, s := make([]T, 0)). Appends to capacity-sized or
+// unknown-origin slices are left alone. Each append is attributed to its
+// innermost enclosing loop, so nested loops are skipped here and get
+// their own visit.
+func hotAllocGrowth(p *Pass, body *ast.BlockStmt, loopPos, loopEnd token.Pos) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			if n.Tok != token.ASSIGN || len(n.Lhs) != 1 || len(n.Rhs) != 1 {
+				return true
+			}
+			id, ok := n.Lhs[0].(*ast.Ident)
+			if !ok {
+				return true
+			}
+			call, ok := n.Rhs[0].(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			fid, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok || fid.Name != "append" {
+				return true
+			}
+			if _, isBuiltin := p.ObjectOf(fid).(*types.Builtin); !isBuiltin {
+				return true
+			}
+			first, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+			if !ok || p.ObjectOf(first) != p.ObjectOf(id) {
+				return true
+			}
+			obj := p.ObjectOf(id)
+			if obj == nil || (obj.Pos() >= loopPos && obj.Pos() <= loopEnd) {
+				return true
+			}
+			init, known := declInit(p, obj)
+			if known && zeroCapInit(p, init) {
+				p.Reportf(n.Pos(), "append grows %s inside a loop without preallocated capacity in a hot path: size it with make(_, 0, n) or reuse a scratch buffer", id.Name)
+			}
+		}
+		return true
+	})
+}
+
+// declInit locates obj's declaration and returns its initializer
+// expression (nil for `var s []T`). known is false when the declaration
+// is not in the analyzed files or has an unanalyzable shape
+// (multi-value assignment, function parameter).
+func declInit(p *Pass, obj types.Object) (init ast.Expr, known bool) {
+	for _, f := range p.Files {
+		if obj.Pos() < f.Pos() || obj.Pos() > f.End() {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if known {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.ValueSpec:
+				for i, name := range n.Names {
+					if name.Pos() != obj.Pos() {
+						continue
+					}
+					if len(n.Values) == 0 {
+						known = true // var s []T
+					} else if len(n.Values) == len(n.Names) {
+						init, known = n.Values[i], true
+					}
+					return false
+				}
+			case *ast.AssignStmt:
+				if n.Tok != token.DEFINE {
+					return true
+				}
+				for i, lhs := range n.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok || id.Pos() != obj.Pos() {
+						continue
+					}
+					if len(n.Rhs) == len(n.Lhs) {
+						init, known = n.Rhs[i], true
+					}
+					return false
+				}
+			}
+			return true
+		})
+		break
+	}
+	return init, known
+}
+
+// zeroCapInit reports whether init provably yields a zero-capacity
+// slice: no initializer, an empty composite literal, or a two-argument
+// make with constant length 0.
+func zeroCapInit(p *Pass, init ast.Expr) bool {
+	switch e := ast.Unparen(init).(type) {
+	case nil:
+		return true
+	case *ast.CompositeLit:
+		if _, ok := p.TypeOf(e).Underlying().(*types.Slice); ok {
+			return len(e.Elts) == 0
+		}
+	case *ast.CallExpr:
+		fid, ok := ast.Unparen(e.Fun).(*ast.Ident)
+		if !ok || fid.Name != "make" || len(e.Args) != 2 {
+			return false
+		}
+		if _, isBuiltin := p.ObjectOf(fid).(*types.Builtin); !isBuiltin {
+			return false
+		}
+		if tv, ok := p.TypesInfo.Types[e.Args[1]]; ok && tv.Value != nil {
+			return tv.Value.String() == "0"
+		}
+	}
+	return false
+}

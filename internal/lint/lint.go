@@ -14,7 +14,8 @@
 //	//lint:allow <analyzer> <reason>
 //
 // placed either on the flagged line or on the line immediately above it.
-// The reason is mandatory: a bare allow is itself a diagnostic.
+// The reason is mandatory: a bare allow is itself a diagnostic, and so
+// is a stale allow that no longer suppresses anything.
 package lint
 
 import (
@@ -152,6 +153,22 @@ func Run(analyzers []*Analyzer, pkgs []*Package) []Diagnostic {
 				diags:      &diags,
 			}
 			a.Run(pass)
+		}
+		// Stale-directive sweep: a well-formed allow whose analyzer ran
+		// here yet suppressed nothing is dead weight — the code it
+		// excused was fixed, moved, or was never in the analyzer's
+		// scope. Left in place it documents an exemption that does not
+		// exist and would silently mask a future regression on its line.
+		for filename, ds := range allows {
+			for i := range ds {
+				if d := &ds[i]; !d.used && known[d.analyzer] {
+					diags = append(diags, Diagnostic{
+						Analyzer: "lintdirective",
+						Pos:      token.Position{Filename: filename, Line: d.line},
+						Message:  fmt.Sprintf("stale //lint:allow %s: it suppresses no diagnostic; remove it", d.analyzer),
+					})
+				}
+			}
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {

@@ -1,0 +1,65 @@
+// Fixture: mixed protection regimes on struct fields. The gen field is
+// accessed via sync/atomic, so every plain touch of it is a race.
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counter struct {
+	mu   sync.Mutex
+	gen  uint64
+	hits int64
+	name string
+}
+
+// The atomic sites themselves establish the regime and are clean.
+func (c *counter) bump() {
+	atomic.AddUint64(&c.gen, 1)
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counter) snapshot() (uint64, int64) {
+	return atomic.LoadUint64(&c.gen), atomic.LoadInt64(&c.hits)
+}
+
+// A bare plain read races with bump.
+func (c *counter) stale() uint64 {
+	return c.gen // want "plain access to field gen"
+}
+
+// A plain write under the mutex is no better: bump does not take mu.
+func (c *counter) reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gen = 0 // want "plainly under a mutex"
+}
+
+// Increment through the field races too, even mid-expression.
+func (c *counter) drift() {
+	c.gen++ // want "plain access to field gen"
+}
+
+// Fields never touched by sync/atomic are out of scope.
+func (c *counter) rename(n string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.name = n
+}
+
+// Typed atomics are immune by construction and draw no findings.
+type typed struct {
+	v atomic.Int64
+}
+
+func (t *typed) load() int64 { return t.v.Load() }
+func (t *typed) add() int64  { return t.v.Add(1) }
+
+// Single-threaded setup may opt out with a reasoned directive.
+func newCounter() *counter {
+	c := &counter{}
+	//lint:allow atomicsafe constructor runs before the counter is shared
+	c.gen = 1
+	return c
+}

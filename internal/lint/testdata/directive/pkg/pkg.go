@@ -1,5 +1,6 @@
 // Fixture for directive hygiene: malformed //lint:allow comments are
-// themselves diagnostics.
+// themselves diagnostics, and so are well-formed ones that no longer
+// suppress anything.
 package ranking
 
 //lint:allow detrand
@@ -8,8 +9,8 @@ func MissingReason() {}
 //lint:allow nosuchcheck because reasons
 func UnknownAnalyzer() {}
 
-// wellFormed shows a valid directive (nothing reported for it even when
-// it suppresses nothing).
+// wellFormed shows a valid directive doing its job: it suppresses the
+// map-fold finding on the loop below and draws no report.
 func wellFormed(m map[int]float64) []int {
 	var keys []int
 	//lint:allow detrand collection order is erased by the caller's sort
@@ -17,4 +18,15 @@ func wellFormed(m map[int]float64) []int {
 		keys = append(keys, k)
 	}
 	return keys
+}
+
+// staleDirective carries a well-formed allow for code that stopped
+// triggering the analyzer: the sweep reports it as stale.
+func staleDirective(xs []int) int {
+	n := 0
+	//lint:allow detrand this loop ranges a slice, nothing to suppress
+	for _, x := range xs {
+		n += x
+	}
+	return n
 }

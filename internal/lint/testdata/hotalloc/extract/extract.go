@@ -1,0 +1,17 @@
+// Fixture: a package outside the hot-path scope. Allocation-heavy code
+// is fine here; the analyzer must stay silent.
+package extract
+
+import (
+	"fmt"
+	"sort"
+)
+
+func Describe(names []string) string {
+	sort.Slice(names, func(a, b int) bool { return names[a] < names[b] })
+	out := ""
+	for _, n := range names {
+		out += n + ","
+	}
+	return fmt.Sprintf("[%s]", out)
+}

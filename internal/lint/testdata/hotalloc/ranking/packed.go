@@ -1,0 +1,9 @@
+// Fixture: in internal/ranking only packed.go is declared hot; the rule
+// families apply here.
+package ranking
+
+import "fmt"
+
+func hotRender(score float64) string {
+	return fmt.Sprint(score) // want "fmt.Sprint" "boxing"
+}

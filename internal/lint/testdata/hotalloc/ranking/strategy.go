@@ -1,0 +1,9 @@
+// Fixture: cold strategy code in the same package is out of scope —
+// the identical pattern draws no finding here.
+package ranking
+
+import "fmt"
+
+func coldRender(score float64) string {
+	return fmt.Sprint(score)
+}

@@ -1,0 +1,119 @@
+// Fixture: hot-path allocation patterns in a package that is hot in its
+// entirety. Every banned family appears once, with clean counterparts.
+package vector
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type weights struct{ w map[int32]float64 }
+
+// Interface boxing: sort.Slice takes any, and the comparator captures
+// idx — two findings on one line.
+func sortedBad(w *weights) []int32 {
+	idx := make([]int32, 0, len(w.w))
+	for i := range w.w {
+		idx = append(idx, i)
+	}
+	sort.Slice(idx, func(a, b int) bool { return idx[a] < idx[b] }) // want "boxing" "closure capturing idx"
+	return idx
+}
+
+// fmt in a hot path: the call is flagged, and its variadic operands box.
+func renderBad(i int32, v float64) string {
+	return fmt.Sprintf("%d:%g", i, v) // want "fmt.Sprintf" "boxing" "boxing"
+}
+
+// The strconv/Builder equivalent is clean.
+func renderGood(i int32, v float64) string {
+	var b strings.Builder
+	b.WriteString(strconv.FormatInt(int64(i), 10))
+	b.WriteByte(':')
+	b.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+	return b.String()
+}
+
+// String concatenation allocates per +.
+func concatBad(a, b string) string {
+	return a + ":" + b // want "string concatenation"
+}
+
+func concatAssignBad(a, b string) string {
+	a += b // want "string concatenation"
+	return a
+}
+
+// Constant folding is not concatenation.
+const greeting = "hello" + " " + "world"
+
+// Capture-free comparators passed to instantiated generics are plain
+// code pointers: no boxing, no capture, no finding.
+func capturefree(xs []int32) {
+	sortFunc(xs, func(a, b int32) int { return int(a) - int(b) })
+}
+
+// sortFunc stands in for slices.SortFunc so the fixture does not need
+// the real generic instantiation machinery.
+func sortFunc[S ~[]E, E any](x S, cmp func(a, b E) int) {}
+
+// A capturing closure to a same-package callee stays: local escape
+// analysis can see through it.
+func localClosure(w *weights) float64 {
+	var sum float64
+	eachLocal(func(v float64) { sum += v })
+	return sum
+}
+
+func eachLocal(f func(float64)) {}
+
+// A capturing closure handed to another package escapes.
+func searchBad(idx []int32, i int32) int {
+	return sort.Search(len(idx), func(k int) bool { return idx[k] >= i }) // want "closure capturing"
+}
+
+// A capture-free literal crossing the package boundary is still a plain
+// code pointer: no finding.
+func searchFree() int {
+	return sort.Search(10, func(k int) bool { return k > 5 })
+}
+
+// Unpooled growth: a nil slice grown inside a loop.
+func growBad(xs []int32) []int32 {
+	var out []int32
+	for _, x := range xs {
+		out = append(out, x*2) // want "without preallocated capacity"
+	}
+	return out
+}
+
+// Growth with preallocated capacity is the approved shape.
+func growGood(xs []int32) []int32 {
+	out := make([]int32, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, x*2)
+	}
+	return out
+}
+
+// A slice declared inside the loop body is per-iteration scratch, not
+// cross-iteration growth.
+func growInner(xs []int32) int {
+	n := 0
+	for range xs {
+		var scratch []int32
+		scratch = append(scratch, 1)
+		n += len(scratch)
+	}
+	return n
+}
+
+// Cold paths inside hot files opt out with a reasoned directive.
+func guarded(n int) {
+	if n < 0 {
+		//lint:allow hotalloc cold panic path guarding a caller bug
+		panic(fmt.Sprintf("negative count %d", n))
+	}
+}

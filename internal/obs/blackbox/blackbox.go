@@ -216,7 +216,6 @@ func (r *Ring) snapshot() state {
 		s.events = append(s.events, r.buf...)
 	}
 	s.decisions = append(s.decisions, r.decisions...)
-	//lint:allow detrand map order is erased by the sort below
 	for _, si := range r.spans {
 		s.spans = append(s.spans, si)
 	}

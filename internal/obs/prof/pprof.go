@@ -675,7 +675,6 @@ func TopFuncs(p *Profile, valueIndex int) []FuncStat {
 		}
 	}
 	out := make([]FuncStat, 0, len(cum))
-	//lint:allow detrand aggregation order is erased by the sort below
 	for name, c := range cum {
 		out = append(out, FuncStat{Name: name, Flat: flat[name], Cum: c})
 	}

@@ -9,7 +9,7 @@ package vector
 
 import (
 	"math"
-	"sort"
+	"slices"
 )
 
 // ContributionsPacked returns w·x + bias through the same dense-mirror
@@ -92,13 +92,7 @@ func TopMovers(prev, cur *Weights, k int) []WeightedFeature {
 			movers = append(movers, WeightedFeature{Index: i, Weight: d})
 		}
 	}
-	sort.Slice(movers, func(a, b int) bool {
-		av, bv := math.Abs(movers[a].Weight), math.Abs(movers[b].Weight)
-		if av != bv {
-			return av > bv
-		}
-		return movers[a].Index < movers[b].Index
-	})
+	slices.SortFunc(movers, absDescByIndex)
 	if k < len(movers) {
 		movers = movers[:k]
 	}
@@ -119,6 +113,6 @@ func unionSortedIndices(a, b *Weights) []int32 {
 			idx = append(idx, i)
 		}
 	}
-	sort.Slice(idx, func(x, y int) bool { return idx[x] < idx[y] })
+	slices.Sort(idx)
 	return idx
 }

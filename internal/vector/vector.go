@@ -5,9 +5,11 @@
 package vector
 
 import (
+	"cmp"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
+	"strconv"
 	"strings"
 )
 
@@ -22,6 +24,7 @@ type Sparse struct {
 // Duplicate indices are summed; zero values are dropped.
 func NewSparse(idx []int32, val []float64) Sparse {
 	if len(idx) != len(val) {
+		//lint:allow hotalloc cold panic path guarding a caller bug, never taken while scoring
 		panic(fmt.Sprintf("vector: NewSparse length mismatch: %d indices, %d values", len(idx), len(val)))
 	}
 	type pair struct {
@@ -32,7 +35,14 @@ func NewSparse(idx []int32, val []float64) Sparse {
 	for k := range idx {
 		pairs = append(pairs, pair{idx[k], val[k]})
 	}
-	sort.Slice(pairs, func(a, b int) bool { return pairs[a].i < pairs[b].i })
+	// Total order (index, then value) so duplicate indices sum in a
+	// deterministic order regardless of the sort's stability.
+	slices.SortFunc(pairs, func(a, b pair) int {
+		if c := cmp.Compare(a.i, b.i); c != 0 {
+			return c
+		}
+		return cmp.Compare(a.v, b.v)
+	})
 	outIdx := make([]int32, 0, len(pairs))
 	outVal := make([]float64, 0, len(pairs))
 	for _, p := range pairs {
@@ -62,7 +72,7 @@ func FromCounts(counts map[int32]float64) Sparse {
 	for i := range counts {
 		idx = append(idx, i)
 	}
-	sort.Slice(idx, func(a, b int) bool { return idx[a] < idx[b] })
+	slices.Sort(idx)
 	val := make([]float64, 0, len(idx))
 	outIdx := make([]int32, 0, len(idx))
 	for _, i := range idx {
@@ -85,11 +95,21 @@ func (s Sparse) MaxIndex() int32 {
 	return s.idx[len(s.idx)-1]
 }
 
-// At returns the value at feature index i (0 when absent).
+// At returns the value at feature index i (0 when absent). The lower
+// bound is searched with an open-coded loop (same semantics as
+// sort.Search) so the probe stays closure- and allocation-free.
 func (s Sparse) At(i int32) float64 {
-	k := sort.Search(len(s.idx), func(k int) bool { return s.idx[k] >= i })
-	if k < len(s.idx) && s.idx[k] == i {
-		return s.val[k]
+	lo, hi := 0, len(s.idx)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s.idx[mid] < i {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(s.idx) && s.idx[lo] == i {
+		return s.val[lo]
 	}
 	return 0
 }
@@ -205,7 +225,9 @@ func (s Sparse) String() string {
 		if k > 0 {
 			b.WriteString(", ")
 		}
-		fmt.Fprintf(&b, "%d:%g", s.idx[k], s.val[k])
+		b.WriteString(strconv.FormatInt(int64(s.idx[k]), 10))
+		b.WriteByte(':')
+		b.WriteString(strconv.FormatFloat(s.val[k], 'g', -1, 64))
 	}
 	b.WriteByte('}')
 	return b.String()

@@ -1,8 +1,9 @@
 package vector
 
 import (
+	"cmp"
 	"math"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 )
@@ -64,7 +65,7 @@ func (w *Weights) sortedIndices() []int32 {
 	for i := range w.w {
 		idx = append(idx, i)
 	}
-	sort.Slice(idx, func(a, b int) bool { return idx[a] < idx[b] })
+	slices.Sort(idx)
 	return idx
 }
 
@@ -108,19 +109,19 @@ func (w *Weights) AddSparse(a float64, x Sparse) {
 	if a == 0 {
 		return
 	}
-	x.Range(func(i int32, v float64) {
-		w.Add(i, a*v)
-	})
+	for k, i := range x.idx {
+		w.Add(i, a*x.val[k])
+	}
 }
 
 // Dot returns the inner product of w with a sparse vector.
 func (w *Weights) Dot(x Sparse) float64 {
 	var sum float64
-	x.Range(func(i int32, v float64) {
+	for k, i := range x.idx {
 		if wi, ok := w.w[i]; ok {
-			sum += wi * v
+			sum += wi * x.val[k]
 		}
-	})
+	}
 	return sum
 }
 
@@ -259,15 +260,23 @@ func (w *Weights) TopK(k int) []WeightedFeature {
 	for i, v := range w.w {
 		all = append(all, WeightedFeature{Index: i, Weight: v})
 	}
-	sort.Slice(all, func(a, b int) bool {
-		av, bv := math.Abs(all[a].Weight), math.Abs(all[b].Weight)
-		if av != bv {
-			return av > bv
-		}
-		return all[a].Index < all[b].Index
-	})
+	slices.SortFunc(all, absDescByIndex)
 	if k < len(all) {
 		all = all[:k]
 	}
 	return all
+}
+
+// absDescByIndex orders WeightedFeatures by decreasing |weight| with
+// index as tiebreaker — a total order, so the result is deterministic
+// under any (even unstable) sort.
+func absDescByIndex(a, b WeightedFeature) int {
+	av, bv := math.Abs(a.Weight), math.Abs(b.Weight)
+	if av != bv {
+		if av > bv {
+			return -1
+		}
+		return 1
+	}
+	return cmp.Compare(a.Index, b.Index)
 }
